@@ -1,0 +1,65 @@
+// Experiment E13 (ablation): the DESIGN.md design choices isolated on
+// the auction workload —
+//  * drop-on-arrival (eager removability test before storing a new
+//    tuple, "purging future tuples" §5.1) on/off;
+//  * punctuation purgeability (§5.1 retirement of obsolete
+//    punctuations) on/off;
+//  * punctuation propagation machinery on/off (irrelevant for the
+//    single operator, costed anyway — shows its overhead is the
+//    pending bookkeeping only).
+// Each knob changes memory/throughput, never results.
+
+#include "bench_util.h"
+#include "workload/auction.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_Ablation(benchmark::State& state) {
+  AuctionConfig config;
+  config.num_items = 1500;
+  config.bids_per_item = 8;
+  config.max_open = 48;
+  // Bids often arrive after the item punctuation: drop-on-arrival has
+  // something to do.
+  Trace trace = AuctionWorkload::Generate(config);
+
+  QueryRegister reg;
+  PUNCTSAFE_CHECK_OK(AuctionWorkload::Setup(&reg));
+  auto q = ContinuousJoinQuery::Create(reg.catalog(),
+                                       AuctionWorkload::QueryStreams(),
+                                       AuctionWorkload::QueryPredicates());
+  PUNCTSAFE_CHECK_OK(q.status());
+
+  ExecutorConfig exec_config;
+  exec_config.mjoin.drop_excluded_arrivals = state.range(0) != 0;
+  exec_config.mjoin.purge_punctuations = state.range(1) != 0;
+  exec_config.mjoin.propagate_punctuations = state.range(2) != 0;
+  bench::RunTraceAndRecord(*q, reg.schemes(), PlanShape::SingleMJoin(2),
+                           trace, exec_config, state);
+
+  // Extra counters: how much each mechanism actually did.
+  auto exec = PlanExecutor::Create(*q, reg.schemes(),
+                                   PlanShape::SingleMJoin(2), exec_config);
+  PUNCTSAFE_CHECK_OK(exec.status());
+  PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
+  const auto& op = (*exec)->operators().front();
+  state.counters["dropped_on_arrival"] = static_cast<double>(
+      op->state_metrics(0).dropped_on_arrival +
+      op->state_metrics(1).dropped_on_arrival);
+  state.counters["punct_retired"] =
+      static_cast<double>(op->punctuations_purged());
+  state.counters["punct_live_end"] =
+      static_cast<double>(op->TotalLivePunctuations());
+}
+BENCHMARK(BM_Ablation)
+    ->ArgNames({"drop_arrivals", "punct_purge", "propagate"})
+    ->Args({1, 0, 1})   // default configuration
+    ->Args({0, 0, 1})   // no drop-on-arrival
+    ->Args({1, 1, 1})   // + punctuation purgeability
+    ->Args({1, 0, 0});  // no propagation bookkeeping
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E6 (paper Figure 10 / Theorem 5): the transformed
+// punctuation graph. Confirms the Figure 10 collapse (two merge
+// rounds to a single virtual node), measures the transformation cost
+// on the paper example and on random instances, and counts agreement
+// between the literal Definition 11 rule and the reachability-closure
+// variant against the Definition 9 fixpoint ground truth.
+
+#include "bench_util.h"
+#include "core/transformed_punctuation_graph.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_Fig10Collapse(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet schemes = bench::Fig8Schemes(catalog);
+  size_t rounds = 0, final_nodes = 0;
+  for (auto _ : state) {
+    TransformedPunctuationGraph tpg =
+        TransformedPunctuationGraph::Build(q, schemes);
+    rounds = tpg.num_rounds();
+    final_nodes = tpg.num_final_nodes();
+    benchmark::DoNotOptimize(tpg);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["final_nodes"] = static_cast<double>(final_nodes);
+}
+BENCHMARK(BM_Fig10Collapse);
+
+void BM_TpgModeAgreement(benchmark::State& state) {
+  // Pre-generate instances so the loop times only the checking.
+  std::vector<RandomQueryInstance> instances;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    RandomQueryConfig config;
+    config.num_streams = 2 + seed % 5;
+    config.multi_attr_prob = 0.5;
+    config.second_scheme_prob = 0.4;
+    config.seed = seed * 131 + 7;
+    auto inst = MakeRandomQuery(config);
+    PUNCTSAFE_CHECK_OK(inst.status());
+    instances.push_back(std::move(inst).ValueOrDie());
+  }
+  size_t safe = 0, strict_agree = 0, closure_agree = 0;
+  for (auto _ : state) {
+    safe = strict_agree = closure_agree = 0;
+    for (const RandomQueryInstance& inst : instances) {
+      GeneralizedPunctuationGraph gpg =
+          GeneralizedPunctuationGraph::Build(inst.query, inst.schemes);
+      bool truth = gpg.IsStronglyConnected();
+      safe += truth ? 1 : 0;
+      auto strict = TransformedPunctuationGraph::BuildFromGpg(
+          gpg, TransformedPunctuationGraph::Mode::kPaperStrict);
+      auto closure = TransformedPunctuationGraph::BuildFromGpg(
+          gpg, TransformedPunctuationGraph::Mode::kClosure);
+      strict_agree += (strict.CollapsedToSingleNode() == truth) ? 1 : 0;
+      closure_agree += (closure.CollapsedToSingleNode() == truth) ? 1 : 0;
+    }
+  }
+  state.counters["instances"] = static_cast<double>(instances.size());
+  state.counters["safe_instances"] = static_cast<double>(safe);
+  state.counters["strict_agree"] = static_cast<double>(strict_agree);
+  state.counters["closure_agree"] = static_cast<double>(closure_agree);
+}
+BENCHMARK(BM_TpgModeAgreement);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

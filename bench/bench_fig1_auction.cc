@@ -1,0 +1,54 @@
+// Experiment E1 (paper Figure 1 / Example 1): the online-auction
+// binary join. With itemid punctuations on both streams the join
+// state tracks the open-auction window; stripping the punctuations
+// from the *same* market makes state_hw grow linearly with the input.
+// Sweep the market size to see the bounded-vs-linear shapes.
+
+#include "bench_util.h"
+#include "workload/auction.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_AuctionWithPunctuations(benchmark::State& state) {
+  AuctionConfig config;
+  config.num_items = static_cast<size_t>(state.range(0));
+  config.bids_per_item = 8;
+  config.max_open = 32;
+  Trace trace = AuctionWorkload::Generate(config);
+
+  QueryRegister reg;
+  PUNCTSAFE_CHECK_OK(AuctionWorkload::Setup(&reg));
+  auto q = ContinuousJoinQuery::Create(reg.catalog(),
+                                       AuctionWorkload::QueryStreams(),
+                                       AuctionWorkload::QueryPredicates());
+  PUNCTSAFE_CHECK_OK(q.status());
+  bench::RunTraceAndRecord(*q, reg.schemes(), PlanShape::SingleMJoin(2),
+                           trace, {}, state);
+}
+BENCHMARK(BM_AuctionWithPunctuations)->Arg(250)->Arg(1000)->Arg(4000);
+
+void BM_AuctionWithoutPunctuations(benchmark::State& state) {
+  AuctionConfig config;
+  config.num_items = static_cast<size_t>(state.range(0));
+  config.bids_per_item = 8;
+  config.max_open = 32;
+  config.punctuate_items = false;
+  config.punctuate_close = false;
+  Trace trace = AuctionWorkload::Generate(config);
+
+  QueryRegister reg;
+  PUNCTSAFE_CHECK_OK(AuctionWorkload::Setup(&reg));
+  auto q = ContinuousJoinQuery::Create(reg.catalog(),
+                                       AuctionWorkload::QueryStreams(),
+                                       AuctionWorkload::QueryPredicates());
+  PUNCTSAFE_CHECK_OK(q.status());
+  bench::RunTraceAndRecord(*q, reg.schemes(), PlanShape::SingleMJoin(2),
+                           trace, {}, state);
+}
+BENCHMARK(BM_AuctionWithoutPunctuations)->Arg(250)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment E2 (paper Figure 3 / Section 3.2): the chained purge
+// strategy on the 3-way chain query S1.B=S2.B, S2.C=S3.C. Purging a
+// stored S1 tuple needs punctuations from S2 (directly) and from S3
+// (on the C-values of the joinable S2 tuples) — the chain effect.
+// Compared against PurgePolicy::kNone on the same trace to isolate
+// what the strategy buys.
+
+#include "bench_util.h"
+#include "util/rng.h"
+
+namespace punctsafe {
+namespace {
+
+ContinuousJoinQuery ChainQuery(const StreamCatalog& catalog) {
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"S1", "S2", "S3"},
+      {Eq({"S1", "B"}, {"S2", "B"}), Eq({"S2", "C"}, {"S3", "C"})});
+  PUNCTSAFE_CHECK_OK(q.status());
+  return std::move(q).ValueOrDie();
+}
+
+SchemeSet ChainSchemes(const StreamCatalog& catalog) {
+  // Cycle of simple schemes making every state purgeable:
+  // S1(B): closes what S2 waits on; S2(B) and S2(C); S3(C).
+  SchemeSet set;
+  PUNCTSAFE_CHECK_OK(set.Add(bench::SchemeOn(catalog, "S1", {"B"})));
+  PUNCTSAFE_CHECK_OK(set.Add(bench::SchemeOn(catalog, "S2", {"B"})));
+  PUNCTSAFE_CHECK_OK(set.Add(bench::SchemeOn(catalog, "S2", {"C"})));
+  PUNCTSAFE_CHECK_OK(set.Add(bench::SchemeOn(catalog, "S3", {"C"})));
+  return set;
+}
+
+// Windowed trace: values live in windows of `window` ids; at each
+// window boundary every scheme closes the expiring ids.
+Trace ChainTrace(size_t windows, size_t tuples_per_window) {
+  Rng rng(17);
+  Trace trace;
+  int64_t now = 0;
+  for (size_t w = 0; w < windows; ++w) {
+    int64_t base = static_cast<int64_t>(w) * 4;
+    for (size_t t = 0; t < tuples_per_window; ++t) {
+      int64_t v1 = base + rng.NextInRange(0, 3);
+      int64_t v2 = base + rng.NextInRange(0, 3);
+      switch (rng.NextBelow(3)) {
+        case 0:
+          trace.push_back({"S1", StreamElement::OfTuple(
+                                     Tuple({Value(v1), Value(v2)}), ++now)});
+          break;
+        case 1:
+          trace.push_back({"S2", StreamElement::OfTuple(
+                                     Tuple({Value(v1), Value(v2)}), ++now)});
+          break;
+        default:
+          trace.push_back({"S3", StreamElement::OfTuple(
+                                     Tuple({Value(v1), Value(v2)}), ++now)});
+      }
+    }
+    for (int64_t v = base; v < base + 4; ++v) {
+      trace.push_back({"S1", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{1, Value(v)}}),
+                                 ++now)});
+      trace.push_back({"S2", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{0, Value(v)}}),
+                                 ++now)});
+      trace.push_back({"S2", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{1, Value(v)}}),
+                                 ++now)});
+      trace.push_back({"S3", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{0, Value(v)}}),
+                                 ++now)});
+    }
+  }
+  return trace;
+}
+
+void BM_ChainedPurge(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = ChainQuery(catalog);
+  SchemeSet schemes = ChainSchemes(catalog);
+  Trace trace = ChainTrace(static_cast<size_t>(state.range(0)), 40);
+  ExecutorConfig config;
+  config.mjoin.purge_policy =
+      state.range(1) == 0 ? PurgePolicy::kEager : PurgePolicy::kNone;
+  bench::RunTraceAndRecord(q, schemes, PlanShape::SingleMJoin(3), trace,
+                           config, state);
+}
+BENCHMARK(BM_ChainedPurge)
+    ->ArgNames({"windows", "no_purge"})
+    ->Args({20, 0})
+    ->Args({80, 0})
+    ->Args({320, 0})
+    ->Args({20, 1})
+    ->Args({80, 1})
+    ->Args({320, 1});
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

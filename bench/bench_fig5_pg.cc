@@ -1,0 +1,55 @@
+// Experiment E3 (paper Figure 5 / Section 4.1): punctuation-graph
+// construction and the Corollary 1 strong-connectivity check. The
+// paper claims linear time; the sweep over chain queries of growing
+// width lets the per-stream cost be read off the timing column.
+// Counters confirm the Figure 5 verdicts (safe=1, all states
+// purgeable).
+
+#include "bench_util.h"
+#include "core/punctuation_graph.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_Fig5BuildAndCheck(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet schemes = bench::Fig5Schemes(catalog);
+  bool safe = false;
+  size_t purgeable = 0;
+  for (auto _ : state) {
+    PunctuationGraph pg = PunctuationGraph::Build(q, schemes);
+    safe = pg.IsStronglyConnected();
+    purgeable = 0;
+    for (size_t s = 0; s < q.num_streams(); ++s) {
+      purgeable += pg.StatePurgeable(s) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(pg);
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+  state.counters["purgeable_states"] = static_cast<double>(purgeable);
+}
+BENCHMARK(BM_Fig5BuildAndCheck);
+
+void BM_PgCheckScaling(benchmark::State& state) {
+  bench::ChainFixture fx = bench::MakeChain(static_cast<size_t>(
+      state.range(0)));
+  bool safe = false;
+  for (auto _ : state) {
+    PunctuationGraph pg = PunctuationGraph::Build(fx.query, fx.schemes);
+    safe = pg.IsStronglyConnected();
+    benchmark::DoNotOptimize(safe);
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+  state.counters["streams"] = static_cast<double>(state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PgCheckScaling)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

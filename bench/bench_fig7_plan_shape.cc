@@ -1,0 +1,68 @@
+// Experiment E4 (paper Figure 7): same query, same schemes, same
+// trace — the plan shape decides safety. The single MJoin over the
+// Figure 5 triangle keeps state_hw flat across trace lengths; every
+// binary tree leaks its lower join's S1 state linearly, exactly the
+// paper's "not all execution plans are safe" point.
+
+#include "bench_util.h"
+#include "core/plan_safety.h"
+#include "util/rng.h"
+
+namespace punctsafe {
+namespace {
+
+Trace TriangleTrace(size_t windows, size_t tuples_per_window) {
+  Rng rng(23);
+  Trace trace;
+  int64_t now = 0;
+  for (size_t w = 0; w < windows; ++w) {
+    int64_t base = static_cast<int64_t>(w) * 4;
+    auto val = [&]() { return Value(base + rng.NextInRange(0, 3)); };
+    for (size_t t = 0; t < tuples_per_window; ++t) {
+      const char* streams[] = {"S1", "S2", "S3"};
+      trace.push_back({streams[rng.NextBelow(3)],
+                       StreamElement::OfTuple(Tuple({val(), val()}), ++now)});
+    }
+    // Figure 5 schemes: S1 on B (attr 1), S2 on C (attr 1), S3 on A
+    // (attr 1) — close the window's ids.
+    for (int64_t v = base; v < base + 4; ++v) {
+      for (const char* s : {"S1", "S2", "S3"}) {
+        trace.push_back(
+            {s, StreamElement::OfPunctuation(
+                    Punctuation::OfConstants(2, {{1, Value(v)}}), ++now)});
+      }
+    }
+  }
+  return trace;
+}
+
+void BM_PlanShape(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet schemes = bench::Fig5Schemes(catalog);
+  Trace trace = TriangleTrace(static_cast<size_t>(state.range(0)), 30);
+  PlanShape shape = state.range(1) == 0
+                        ? PlanShape::SingleMJoin(3)
+                        : PlanShape::LeftDeepBinary(
+                              {static_cast<size_t>(state.range(1) - 1),
+                               static_cast<size_t>(state.range(1) % 3),
+                               static_cast<size_t>((state.range(1) + 1) % 3)});
+  // shape arg: 0 = MJoin; 1..3 = binary tree rooted at different pairs.
+  bench::RunTraceAndRecord(q, schemes, shape, trace, {}, state);
+  auto report = CheckPlanSafety(q, schemes, shape);
+  state.counters["plan_safe"] =
+      report.ok() && report.ValueOrDie().safe ? 1 : 0;
+}
+BENCHMARK(BM_PlanShape)
+    ->ArgNames({"windows", "shape"})
+    ->Args({25, 0})
+    ->Args({100, 0})
+    ->Args({400, 0})
+    ->Args({25, 1})
+    ->Args({100, 1})
+    ->Args({400, 1});
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

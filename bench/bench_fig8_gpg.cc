@@ -1,0 +1,84 @@
+// Experiment E5 (paper Figures 8/9, Section 4.2): multi-attribute
+// schemes. The simple punctuation graph calls the triangle query
+// unsafe under ℜ = {S1(_,+), S2(+,_), S2(_,+), S3(+,+)}; the
+// generalized graph proves it safe, and the runtime purge driven by
+// the S3 pair punctuations keeps state bounded. Timing compares the
+// linear PG check with the generalized fixpoint check.
+
+#include "bench_util.h"
+#include "core/generalized_punctuation_graph.h"
+#include "core/punctuation_graph.h"
+#include "util/rng.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_Fig8Verdicts(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet schemes = bench::Fig8Schemes(catalog);
+  bool pg_safe = true, gpg_safe = false;
+  for (auto _ : state) {
+    pg_safe = PunctuationGraph::Build(q, schemes).IsStronglyConnected();
+    gpg_safe = GeneralizedPunctuationGraph::Build(q, schemes)
+                   .IsStronglyConnected();
+    benchmark::DoNotOptimize(gpg_safe);
+  }
+  state.counters["pg_says_safe"] = pg_safe ? 1 : 0;    // expected: 0
+  state.counters["gpg_says_safe"] = gpg_safe ? 1 : 0;  // expected: 1
+}
+BENCHMARK(BM_Fig8Verdicts);
+
+// Runtime side: generation-scoped trace with pair punctuations
+// (a, c) on S3 plus the simple S1/S2 punctuations.
+Trace Fig8Trace(size_t windows, size_t tuples_per_window) {
+  Rng rng(31);
+  Trace trace;
+  int64_t now = 0;
+  constexpr int64_t kPool = 3;
+  for (size_t w = 0; w < windows; ++w) {
+    int64_t base = static_cast<int64_t>(w) * kPool;
+    auto val = [&]() { return Value(base + rng.NextInRange(0, kPool - 1)); };
+    for (size_t t = 0; t < tuples_per_window; ++t) {
+      const char* streams[] = {"S1", "S2", "S3"};
+      trace.push_back({streams[rng.NextBelow(3)],
+                       StreamElement::OfTuple(Tuple({val(), val()}), ++now)});
+    }
+    for (int64_t a = base; a < base + kPool; ++a) {
+      // S1(_, +) on B and S2 schemes on B and C.
+      trace.push_back({"S1", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{1, Value(a)}}),
+                                 ++now)});
+      trace.push_back({"S2", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{0, Value(a)}}),
+                                 ++now)});
+      trace.push_back({"S2", StreamElement::OfPunctuation(
+                                 Punctuation::OfConstants(2, {{1, Value(a)}}),
+                                 ++now)});
+      // S3(+, +): every (C, A) pair of the window.
+      for (int64_t c = base; c < base + kPool; ++c) {
+        trace.push_back(
+            {"S3", StreamElement::OfPunctuation(
+                       Punctuation::OfConstants(
+                           2, {{0, Value(c)}, {1, Value(a)}}),
+                       ++now)});
+      }
+    }
+  }
+  return trace;
+}
+
+void BM_Fig8RuntimePurge(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet schemes = bench::Fig8Schemes(catalog);
+  Trace trace = Fig8Trace(static_cast<size_t>(state.range(0)), 30);
+  bench::RunTraceAndRecord(q, schemes, PlanShape::SingleMJoin(3), trace, {},
+                           state);
+}
+BENCHMARK(BM_Fig8RuntimePurge)->Arg(20)->Arg(80)->Arg(320);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Experiment E10 (paper Section 5.1): punctuation lifespans on the
+// network-monitoring workload with recycling flow ids. Without
+// lifespans the punctuation store's size tracks every id ever
+// punctuated AND stale punctuations wrongly exclude revived ids
+// (watch `results` crater); with the recommended lifespan the store
+// stays bounded by the ids in flight and the answer is complete —
+// the TCP sequence-number story made measurable.
+
+#include "bench_util.h"
+#include "workload/network.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_PunctuationLifespan(benchmark::State& state) {
+  NetworkConfig config;
+  config.num_flows = static_cast<size_t>(state.range(0));
+  config.id_space = 64;
+  Trace trace = NetworkWorkload::Generate(config);
+
+  QueryRegister reg;
+  PUNCTSAFE_CHECK_OK(NetworkWorkload::Setup(&reg));
+  auto q = ContinuousJoinQuery::Create(reg.catalog(),
+                                       NetworkWorkload::QueryStreams(),
+                                       NetworkWorkload::QueryPredicates());
+  PUNCTSAFE_CHECK_OK(q.status());
+
+  ExecutorConfig exec_config;
+  if (state.range(1) == 1) {
+    exec_config.mjoin.punctuation_lifespan =
+        NetworkWorkload::RecommendedLifespan(config);
+  }
+  bench::RunTraceAndRecord(*q, reg.schemes(), PlanShape::SingleMJoin(3),
+                           trace, exec_config, state);
+}
+BENCHMARK(BM_PunctuationLifespan)
+    ->ArgNames({"flows", "lifespan"})
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({8000, 1})
+    ->Args({500, 0})
+    ->Args({2000, 0})
+    ->Args({8000, 0});
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

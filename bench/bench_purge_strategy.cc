@@ -1,0 +1,53 @@
+// Experiment E9 (paper Section 5.2, Plan Parameter II, after [Ding et
+// al. 2004]): eager vs lazy runtime purge. Eager sweeps on every
+// punctuation — minimal memory, maximal sweep work; lazy batches
+// sweeps — higher state high-water, better throughput (items/s). The
+// batch-size sweep shows the knob's whole range; kNone is the
+// memory-unbounded extreme.
+
+#include "bench_util.h"
+#include "workload/auction.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_PurgeStrategy(benchmark::State& state) {
+  AuctionConfig config;
+  config.num_items = 2000;
+  config.bids_per_item = 8;
+  config.max_open = 48;
+  Trace trace = AuctionWorkload::Generate(config);
+
+  QueryRegister reg;
+  PUNCTSAFE_CHECK_OK(AuctionWorkload::Setup(&reg));
+  auto q = ContinuousJoinQuery::Create(reg.catalog(),
+                                       AuctionWorkload::QueryStreams(),
+                                       AuctionWorkload::QueryPredicates());
+  PUNCTSAFE_CHECK_OK(q.status());
+
+  ExecutorConfig exec_config;
+  int64_t mode = state.range(0);
+  if (mode == 0) {
+    exec_config.mjoin.purge_policy = PurgePolicy::kEager;
+  } else if (mode < 0) {
+    exec_config.mjoin.purge_policy = PurgePolicy::kNone;
+  } else {
+    exec_config.mjoin.purge_policy = PurgePolicy::kLazy;
+    exec_config.mjoin.lazy_batch = static_cast<size_t>(mode);
+  }
+  bench::RunTraceAndRecord(*q, reg.schemes(), PlanShape::SingleMJoin(2),
+                           trace, exec_config, state);
+}
+// 0 = eager, >0 = lazy batch size, -1 = never purge.
+BENCHMARK(BM_PurgeStrategy)
+    ->ArgName("mode")
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(-1);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

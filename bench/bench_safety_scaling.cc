@@ -1,0 +1,76 @@
+// Experiment E7 (paper Section 4.3): safety-checking complexity.
+// Three checkers on the same growing chain queries:
+//  * the linear simple-graph check (Section 4.1),
+//  * the polynomial transformed-graph check (Definition 11),
+//  * the exponential baseline that enumerates every plan shape — the
+//    approach the paper's contribution avoids (capped at 7 streams:
+//    39208 shapes; 8 would be 660032).
+// The `shapes` counter shows the plan-space explosion the one-graph
+// check sidesteps.
+
+#include "bench_util.h"
+#include "core/naive_checker.h"
+#include "core/punctuation_graph.h"
+#include "core/transformed_punctuation_graph.h"
+
+namespace punctsafe {
+namespace {
+
+void BM_LinearPgCheck(benchmark::State& state) {
+  bench::ChainFixture fx =
+      bench::MakeChain(static_cast<size_t>(state.range(0)));
+  bool safe = false;
+  for (auto _ : state) {
+    safe = PunctuationGraph::Build(fx.query, fx.schemes)
+               .IsStronglyConnected();
+    benchmark::DoNotOptimize(safe);
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinearPgCheck)
+    ->DenseRange(3, 7)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Complexity(benchmark::oN);
+
+void BM_PolynomialTpgCheck(benchmark::State& state) {
+  bench::ChainFixture fx =
+      bench::MakeChain(static_cast<size_t>(state.range(0)));
+  bool safe = false;
+  for (auto _ : state) {
+    safe = TransformedPunctuationGraph::Build(fx.query, fx.schemes)
+               .CollapsedToSingleNode();
+    benchmark::DoNotOptimize(safe);
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PolynomialTpgCheck)
+    ->DenseRange(3, 7)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+void BM_ExponentialNaiveCheck(benchmark::State& state) {
+  bench::ChainFixture fx =
+      bench::MakeChain(static_cast<size_t>(state.range(0)));
+  size_t shapes = 0;
+  bool safe = false;
+  for (auto _ : state) {
+    auto result = NaiveSafetyCheck(fx.query, fx.schemes, /*max_streams=*/8,
+                                   /*stop_at_first_safe=*/false);
+    PUNCTSAFE_CHECK_OK(result.status());
+    shapes = result->shapes_checked;
+    safe = result->safe;
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+  state.counters["shapes"] = static_cast<double>(shapes);
+}
+BENCHMARK(BM_ExponentialNaiveCheck)->DenseRange(3, 7);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

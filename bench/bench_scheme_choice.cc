@@ -1,0 +1,101 @@
+// Experiment E8 (paper Section 5.2, Plan Parameter I): which
+// punctuation schemes to consume. Option (a) processes every
+// available punctuation; option (b) only the minimal subset that
+// keeps the punctuation graph strongly connected. (a) purges data
+// sooner (lower state_hw) but stores/processes more punctuations;
+// (b) saves punctuation work at the price of data memory — the
+// trade-off the paper spells out.
+
+#include "bench_util.h"
+#include "plan/scheme_selection.h"
+#include "util/rng.h"
+
+namespace punctsafe {
+namespace {
+
+// Triangle trace carrying punctuations for ALL Figure-5-style schemes
+// on both join attributes of every stream (rich scheme environment).
+Trace RichTrace(size_t windows, size_t tuples_per_window) {
+  Rng rng(41);
+  Trace trace;
+  int64_t now = 0;
+  constexpr int64_t kPool = 3;
+  for (size_t w = 0; w < windows; ++w) {
+    int64_t base = static_cast<int64_t>(w) * kPool;
+    auto val = [&]() { return Value(base + rng.NextInRange(0, kPool - 1)); };
+    for (size_t t = 0; t < tuples_per_window; ++t) {
+      const char* streams[] = {"S1", "S2", "S3"};
+      trace.push_back({streams[rng.NextBelow(3)],
+                       StreamElement::OfTuple(Tuple({val(), val()}), ++now)});
+    }
+    for (int64_t v = base; v < base + kPool; ++v) {
+      for (const char* s : {"S1", "S2", "S3"}) {
+        for (size_t attr = 0; attr < 2; ++attr) {
+          trace.push_back(
+              {s, StreamElement::OfPunctuation(
+                      Punctuation::OfConstants(2, {{attr, Value(v)}}),
+                      ++now)});
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+SchemeSet AllSchemes(const StreamCatalog& catalog) {
+  SchemeSet set;
+  for (const char* s : {"S1", "S2", "S3"}) {
+    auto schema = catalog.Get(s);
+    PUNCTSAFE_CHECK_OK(schema.status());
+    for (const Attribute& a : (*schema)->attributes()) {
+      PUNCTSAFE_CHECK_OK(set.Add(bench::SchemeOn(catalog, s, {a.name})));
+    }
+  }
+  return set;
+}
+
+void BM_SchemeChoice(benchmark::State& state) {
+  StreamCatalog catalog = bench::TriangleCatalog();
+  ContinuousJoinQuery q = bench::TriangleQuery(catalog);
+  SchemeSet all = AllSchemes(catalog);
+  SchemeSet chosen = all;
+  if (state.range(1) == 1) {
+    auto minimal = MinimalSafeSchemeSubset(q, all);
+    PUNCTSAFE_CHECK_OK(minimal.status());
+    chosen = std::move(minimal).ValueOrDie();
+  }
+  state.counters["schemes_used"] = static_cast<double>(chosen.size());
+
+  Trace trace = RichTrace(static_cast<size_t>(state.range(0)), 30);
+  // Punctuations not matching a registered scheme still arrive; the
+  // executor stores only what its scheme set can use for purging, so
+  // restricting the scheme set models "ignore the irrelevant ones".
+  Trace filtered;
+  for (const TraceEvent& e : trace) {
+    if (e.element.is_punctuation()) {
+      bool usable = false;
+      for (const PunctuationScheme* s : chosen.SchemesFor(e.stream)) {
+        usable |= s->IsInstantiation(e.element.punctuation);
+      }
+      if (!usable) continue;
+    }
+    filtered.push_back(e);
+  }
+  state.counters["punctuations_fed"] = static_cast<double>(
+      filtered.size() -
+      std::count_if(filtered.begin(), filtered.end(),
+                    [](const TraceEvent& e) { return e.element.is_tuple(); }));
+  bench::RunTraceAndRecord(q, chosen, PlanShape::SingleMJoin(3), filtered,
+                           {}, state);
+}
+BENCHMARK(BM_SchemeChoice)
+    ->ArgNames({"windows", "minimal"})
+    ->Args({50, 0})
+    ->Args({200, 0})
+    ->Args({50, 1})
+    ->Args({200, 1});
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

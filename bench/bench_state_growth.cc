@@ -1,0 +1,63 @@
+// Experiment E11 (Definitions 1-5, the paper's core promise): the
+// compile-time verdict predicts runtime memory across random queries.
+// One safe and one unsafe randomized instance run covering traces of
+// growing length: the safe query's state_hw stays flat while the
+// unsafe query's final_live grows linearly — with identical
+// punctuation effort.
+
+#include "bench_util.h"
+#include "core/safety_checker.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+// Deterministically finds the first random instance with the desired
+// verdict.
+RandomQueryInstance FindInstance(bool want_safe) {
+  for (uint64_t seed = 0;; ++seed) {
+    RandomQueryConfig config;
+    config.num_streams = 4;
+    config.attrs_per_stream = 2;
+    config.extra_predicates = 1;
+    config.multi_attr_prob = 0.3;
+    config.schemeless_prob = want_safe ? 0.0 : 0.6;
+    config.seed = seed * 53 + 1;
+    auto inst = MakeRandomQuery(config);
+    PUNCTSAFE_CHECK_OK(inst.status());
+    SafetyChecker checker(inst->schemes);
+    auto report = checker.CheckQuery(inst->query);
+    PUNCTSAFE_CHECK_OK(report.status());
+    if (report->safe == want_safe) return std::move(inst).ValueOrDie();
+  }
+}
+
+void RunGrowth(benchmark::State& state, bool safe_instance) {
+  RandomQueryInstance inst = FindInstance(safe_instance);
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = static_cast<size_t>(state.range(0));
+  tconfig.values_per_generation = 3;
+  tconfig.tuples_per_generation = 20;
+  Trace trace = MakeCoveringTrace(inst.query, inst.schemes, tconfig);
+  bench::RunTraceAndRecord(inst.query, inst.schemes,
+                           PlanShape::SingleMJoin(inst.query.num_streams()),
+                           trace, {}, state);
+  state.counters["verdict_safe"] = safe_instance ? 1 : 0;
+}
+
+void BM_SafeQueryGrowth(benchmark::State& state) { RunGrowth(state, true); }
+BENCHMARK(BM_SafeQueryGrowth)->ArgName("generations")->Arg(10)->Arg(40)->Arg(160);
+
+void BM_UnsafeQueryGrowth(benchmark::State& state) {
+  RunGrowth(state, false);
+}
+BENCHMARK(BM_UnsafeQueryGrowth)
+    ->ArgName("generations")
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(160);
+
+}  // namespace
+}  // namespace punctsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Shared helpers for the experiment benchmarks. Each bench binary
+// regenerates one row of the EXPERIMENTS.md index; counters carry the
+// behavioral quantities (state high-water, results, verdicts) next to
+// google-benchmark's timing columns.
+
+#ifndef PUNCTSAFE_BENCH_BENCH_UTIL_H_
+#define PUNCTSAFE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/input_manager.h"
+#include "exec/plan_executor.h"
+#include "query/cjq.h"
+#include "stream/catalog.h"
+#include "util/logging.h"
+
+namespace punctsafe {
+namespace bench {
+
+/// Paper triangle fixture: S1(A,B) ⋈ S2(B,C) ⋈ S3(C,A).
+inline StreamCatalog TriangleCatalog() {
+  StreamCatalog catalog;
+  PUNCTSAFE_CHECK_OK(catalog.Register("S1", Schema::OfInts({"A", "B"})));
+  PUNCTSAFE_CHECK_OK(catalog.Register("S2", Schema::OfInts({"B", "C"})));
+  PUNCTSAFE_CHECK_OK(catalog.Register("S3", Schema::OfInts({"C", "A"})));
+  return catalog;
+}
+
+inline ContinuousJoinQuery TriangleQuery(const StreamCatalog& catalog) {
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"S1", "S2", "S3"},
+      {Eq({"S1", "B"}, {"S2", "B"}), Eq({"S2", "C"}, {"S3", "C"}),
+       Eq({"S3", "A"}, {"S1", "A"})});
+  PUNCTSAFE_CHECK_OK(q.status());
+  return std::move(q).ValueOrDie();
+}
+
+inline PunctuationScheme SchemeOn(const StreamCatalog& catalog,
+                                  const std::string& stream,
+                                  const std::vector<std::string>& attrs) {
+  auto schema = catalog.Get(stream);
+  PUNCTSAFE_CHECK_OK(schema.status());
+  auto s =
+      PunctuationScheme::OnAttributes(stream, **schema, attrs);
+  PUNCTSAFE_CHECK_OK(s.status());
+  return std::move(s).ValueOrDie();
+}
+
+inline SchemeSet Fig5Schemes(const StreamCatalog& catalog) {
+  SchemeSet set;
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S1", {"B"})));
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S2", {"C"})));
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S3", {"A"})));
+  return set;
+}
+
+inline SchemeSet Fig8Schemes(const StreamCatalog& catalog) {
+  SchemeSet set;
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S1", {"B"})));
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S2", {"B"})));
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S2", {"C"})));
+  PUNCTSAFE_CHECK_OK(set.Add(SchemeOn(catalog, "S3", {"C", "A"})));
+  return set;
+}
+
+/// Builds an executor, feeds the trace, records the standard counters.
+inline void RunTraceAndRecord(const ContinuousJoinQuery& query,
+                              const SchemeSet& schemes,
+                              const PlanShape& shape, const Trace& trace,
+                              ExecutorConfig config,
+                              benchmark::State& state) {
+  size_t high_water = 0, final_live = 0, punct_high = 0;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    auto exec = PlanExecutor::Create(query, schemes, shape, config);
+    PUNCTSAFE_CHECK_OK(exec.status());
+    PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
+    high_water = (*exec)->tuple_high_water();
+    final_live = (*exec)->TotalLiveTuples();
+    punct_high = (*exec)->punctuation_high_water();
+    results = (*exec)->num_results();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+  state.counters["state_hw"] = static_cast<double>(high_water);
+  state.counters["final_live"] = static_cast<double>(final_live);
+  state.counters["punct_hw"] = static_cast<double>(punct_high);
+  state.counters["results"] = static_cast<double>(results);
+}
+
+/// Chain query T0 - T1 - ... - T{n-1} on a shared key attribute, with
+/// one simple scheme per stream (fully safe): the scaling fixture.
+struct ChainFixture {
+  StreamCatalog catalog;
+  ContinuousJoinQuery query;
+  SchemeSet schemes;
+};
+
+inline ChainFixture MakeChain(size_t n) {
+  ChainFixture fx{{}, ContinuousJoinQuery(), {}};
+  std::vector<std::string> streams;
+  std::vector<JoinPredicateSpec> preds;
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = "T" + std::to_string(i);
+    PUNCTSAFE_CHECK_OK(fx.catalog.Register(name, Schema::OfInts({"k", "v"})));
+    if (i > 0) preds.push_back(Eq({streams.back(), "k"}, {name, "k"}));
+    streams.push_back(name);
+    PUNCTSAFE_CHECK_OK(fx.schemes.Add(SchemeOn(fx.catalog, name, {"k"})));
+  }
+  auto q = ContinuousJoinQuery::Create(fx.catalog, streams, preds);
+  PUNCTSAFE_CHECK_OK(q.status());
+  fx.query = std::move(q).ValueOrDie();
+  return fx;
+}
+
+}  // namespace bench
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+#include "core/chained_purge.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+std::string ChainedPurgePlan::ToString(
+    const ContinuousJoinQuery& query) const {
+  std::ostringstream out;
+  out << "purge chain for " << query.stream(root_stream) << ":";
+  for (const PurgeStep& step : steps) {
+    out << "\n  close " << query.stream(step.target_stream) << " via "
+        << step.scheme.ToString() << " with values from ";
+    out << JoinMapped(step.bindings, ", ",
+                      [&query](const GpgEdge::Binding& b) {
+                        return StrCat(
+                            query.stream(b.source_stream), ".",
+                            query.schema(b.source_stream)
+                                .attribute(b.source_attr)
+                                .name);
+                      });
+  }
+  return out.str();
+}
+
+Result<ChainedPurgePlan> DeriveChainedPurgePlan(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes,
+    size_t root_stream) {
+  return DeriveChainedPurgePlan(
+      query, GeneralizedPunctuationGraph::Build(query, schemes), root_stream);
+}
+
+Result<ChainedPurgePlan> DeriveChainedPurgePlan(
+    const ContinuousJoinQuery& query, const GeneralizedPunctuationGraph& gpg,
+    size_t root_stream) {
+  if (root_stream >= query.num_streams()) {
+    return Status::InvalidArgument(
+        StrCat("stream index ", root_stream, " out of range"));
+  }
+  ChainedPurgePlan plan;
+  plan.root_stream = root_stream;
+
+  std::vector<bool> covered(query.num_streams(), false);
+  covered[root_stream] = true;
+  size_t covered_count = 1;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GpgEdge& e : gpg.edges()) {
+      if (covered[e.target]) continue;
+      bool all_sources = std::all_of(e.sources.begin(), e.sources.end(),
+                                     [&](size_t s) { return covered[s]; });
+      if (!all_sources) continue;
+      covered[e.target] = true;
+      ++covered_count;
+      plan.steps.push_back({e.target, e.scheme, e.bindings});
+      changed = true;
+    }
+  }
+
+  if (covered_count != query.num_streams()) {
+    std::vector<std::string> missing;
+    for (size_t i = 0; i < covered.size(); ++i) {
+      if (!covered[i]) missing.push_back(query.stream(i));
+    }
+    return Status::FailedPrecondition(
+        StrCat("state of ", query.stream(root_stream),
+               " is not purgeable: no purge chain reaches {",
+               Join(missing, ","), "} (Theorem 3)"));
+  }
+  return plan;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,104 @@
+// The generalized punctuation graph (paper Definitions 8-10) and the
+// Section 4.2 safety results.
+//
+// A scheme with punctuatable attributes {A_1, ..., A_m} on stream S
+// contributes a *generalized directed edge* {S_1, ..., S_m} -> S,
+// where S_k is a stream joined with S on A_k: once a purge chain has
+// covered all the source streams, the finite joinable-value
+// combinations over (A_1, ..., A_m) are known and finitely many scheme
+// instantiations close S (the generalized chained purge strategy).
+//
+//  - Definition 9: reachability is the fixpoint that adds a target
+//    once *all* sources of one of its generalized edges are reached.
+//  - Theorem 3:    the join state of S_i is purgeable iff S_i reaches
+//    every other node.
+//  - Corollary 2 / Theorem 4: operator / CJQ safe iff strongly
+//    connected under Definition 10.
+//
+// Edge generation notes (documented in DESIGN.md):
+//  * a scheme only yields edges when every punctuatable attribute is a
+//    join attribute of its stream within the query — a punctuation
+//    constraining a non-join attribute can never close a join value
+//    with finitely many instantiations;
+//  * when one punctuatable attribute joins several partner streams,
+//    any partner can supply the values, so one edge is emitted per
+//    combination of partner choices (deduplicated by source set).
+
+#ifndef PUNCTSAFE_CORE_GENERALIZED_PUNCTUATION_GRAPH_H_
+#define PUNCTSAFE_CORE_GENERALIZED_PUNCTUATION_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/cjq.h"
+#include "stream/scheme.h"
+
+namespace punctsafe {
+
+/// \brief One generalized edge {sources} -> target with full
+/// provenance: which scheme, and for each punctuatable attribute,
+/// which predicate binds it to which source stream attribute.
+struct GpgEdge {
+  /// \brief How one punctuatable attribute of the target's scheme is
+  /// supplied by a source stream.
+  struct Binding {
+    size_t target_attr = 0;    ///< punctuatable attribute on `target`
+    size_t source_stream = 0;  ///< query stream supplying the values
+    size_t source_attr = 0;    ///< attribute on the source side
+    size_t predicate = 0;      ///< index into query.predicates()
+  };
+
+  std::vector<size_t> sources;  ///< sorted, deduplicated stream indices
+  size_t target = 0;
+  PunctuationScheme scheme;
+  std::vector<Binding> bindings;  ///< one per punctuatable attribute
+};
+
+class GeneralizedPunctuationGraph {
+ public:
+  /// \brief Upper bound on partner-choice combinations expanded per
+  /// scheme; beyond it the remaining combinations are dropped (makes
+  /// the check conservative, never unsound). Generously above anything
+  /// a real query produces.
+  static constexpr size_t kMaxCombinationsPerScheme = 4096;
+
+  static GeneralizedPunctuationGraph Build(const ContinuousJoinQuery& query,
+                                           const SchemeSet& schemes);
+
+  size_t num_streams() const { return num_streams_; }
+  const std::vector<GpgEdge>& edges() const { return edges_; }
+
+  /// \brief Definition 9 fixpoint: nodes reachable from `start`
+  /// (start included).
+  std::vector<bool> ReachableFrom(size_t start) const;
+
+  /// \brief Theorem 3: per-stream purgeability.
+  bool StatePurgeable(size_t stream) const;
+
+  /// \brief Witness streams for a negative Theorem 3 verdict.
+  std::vector<size_t> UnreachableFrom(size_t stream) const;
+
+  /// \brief Definition 10 / Corollary 2 / Theorem 4.
+  bool IsStronglyConnected() const;
+
+  /// \brief True iff some combination expansion hit
+  /// kMaxCombinationsPerScheme (verdicts may then be conservative).
+  bool truncated() const { return truncated_; }
+
+  std::string ToString(const ContinuousJoinQuery& query) const;
+
+  /// \brief Graphviz rendering; generalized edges with several
+  /// sources appear as a point-shaped junction node (the Figure 9
+  /// "generalized node").
+  std::string ToDot(const ContinuousJoinQuery& query) const;
+
+ private:
+  size_t num_streams_ = 0;
+  std::vector<GpgEdge> edges_;
+  bool truncated_ = false;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_GENERALIZED_PUNCTUATION_GRAPH_H_

@@ -1,0 +1,135 @@
+#include "core/local_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+std::vector<LocalGpgEdge> BuildLocalEdges(
+    const ContinuousJoinQuery& query, const std::vector<LocalInput>& inputs) {
+  constexpr size_t kOutside = static_cast<size_t>(-1);
+  std::vector<size_t> input_of(query.num_streams(), kOutside);
+  for (size_t c = 0; c < inputs.size(); ++c) {
+    for (size_t s : inputs[c].streams) input_of[s] = c;
+  }
+
+  std::vector<LocalGpgEdge> edges;
+  for (size_t target = 0; target < inputs.size(); ++target) {
+    for (const AvailableScheme& scheme : inputs[target].schemes) {
+      // Partner choices per punctuatable attribute.
+      std::vector<std::vector<LocalGpgEdge::Binding>> choices;
+      bool usable = true;
+      for (size_t attr : scheme.attrs) {
+        std::vector<LocalGpgEdge::Binding> partners;
+        for (const ResolvedPredicate& p : query.predicates()) {
+          if (!p.Involves(scheme.origin_stream) ||
+              p.AttrOn(scheme.origin_stream) != attr) {
+            continue;
+          }
+          size_t other = p.OtherStream(scheme.origin_stream);
+          size_t other_input = input_of[other];
+          if (other_input == kOutside || other_input == target) continue;
+          partners.push_back(
+              {attr, other_input, other, p.AttrOn(other)});
+        }
+        if (partners.empty()) {
+          usable = false;  // attribute does not cross this operator
+          break;
+        }
+        choices.push_back(std::move(partners));
+      }
+      if (!usable) continue;
+
+      std::vector<size_t> cursor(choices.size(), 0);
+      for (;;) {
+        LocalGpgEdge edge;
+        edge.target_input = target;
+        edge.scheme = scheme;
+        for (size_t i = 0; i < choices.size(); ++i) {
+          const auto& binding = choices[i][cursor[i]];
+          edge.bindings.push_back(binding);
+          edge.source_inputs.push_back(binding.source_input);
+        }
+        std::sort(edge.source_inputs.begin(), edge.source_inputs.end());
+        edge.source_inputs.erase(
+            std::unique(edge.source_inputs.begin(), edge.source_inputs.end()),
+            edge.source_inputs.end());
+        if (std::none_of(edges.begin(), edges.end(),
+                         [&](const LocalGpgEdge& e) {
+                           return e.target_input == edge.target_input &&
+                                  e.scheme == edge.scheme &&
+                                  e.source_inputs == edge.source_inputs;
+                         })) {
+          edges.push_back(std::move(edge));
+        }
+        size_t i = 0;
+        while (i < cursor.size()) {
+          if (++cursor[i] < choices[i].size()) break;
+          cursor[i] = 0;
+          ++i;
+        }
+        if (i == cursor.size()) break;
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<bool> LocalReachableFrom(size_t start, size_t num_inputs,
+                                     const std::vector<LocalGpgEdge>& edges) {
+  std::vector<bool> reached(num_inputs, false);
+  reached[start] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LocalGpgEdge& e : edges) {
+      if (reached[e.target_input]) continue;
+      bool all = std::all_of(e.source_inputs.begin(), e.source_inputs.end(),
+                             [&](size_t c) { return reached[c]; });
+      if (all) {
+        reached[e.target_input] = true;
+        changed = true;
+      }
+    }
+  }
+  return reached;
+}
+
+bool LocalInputPurgeable(size_t start, size_t num_inputs,
+                         const std::vector<LocalGpgEdge>& edges) {
+  auto reached = LocalReachableFrom(start, num_inputs, edges);
+  return std::all_of(reached.begin(), reached.end(),
+                     [](bool b) { return b; });
+}
+
+Result<std::vector<LocalGpgEdge>> DeriveLocalPurgeSteps(
+    size_t start, size_t num_inputs, const std::vector<LocalGpgEdge>& edges) {
+  std::vector<bool> covered(num_inputs, false);
+  covered[start] = true;
+  size_t count = 1;
+  std::vector<LocalGpgEdge> steps;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LocalGpgEdge& e : edges) {
+      if (covered[e.target_input]) continue;
+      bool all = std::all_of(e.source_inputs.begin(), e.source_inputs.end(),
+                             [&](size_t c) { return covered[c]; });
+      if (!all) continue;
+      covered[e.target_input] = true;
+      ++count;
+      steps.push_back(e);
+      changed = true;
+    }
+  }
+  if (count != num_inputs) {
+    return Status::FailedPrecondition(
+        StrCat("operator input ", start,
+               " is not purgeable: purge chain covers only ", count, " of ",
+               num_inputs, " inputs"));
+  }
+  return steps;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,86 @@
+// Operator-local generalized punctuation graphs.
+//
+// A join operator inside an execution plan sees *inputs* (raw streams
+// or sub-plan outputs), not the query's raw streams. This module
+// builds the Definition 8 structure at that level: vertices are the
+// operator's inputs, and a punctuation scheme available on input k
+// (originating from query stream `origin_stream`) yields a generalized
+// edge {source inputs} -> k when every punctuatable attribute is a
+// join attribute crossing this operator. Both the static plan-safety
+// check (plan_safety.h) and the runtime MJoin purge logic
+// (exec/mjoin.h) are built on these edges; the runtime additionally
+// consumes the per-attribute bindings to know which stored values
+// instantiate the required punctuations (chained purge strategy,
+// Section 3.2.1).
+
+#ifndef PUNCTSAFE_CORE_LOCAL_GRAPH_H_
+#define PUNCTSAFE_CORE_LOCAL_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/cjq.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief A punctuation scheme as visible on a (possibly composite)
+/// plan-tree edge: the originating query stream plus its punctuatable
+/// attributes in that stream's schema.
+struct AvailableScheme {
+  size_t origin_stream = 0;
+  std::vector<size_t> attrs;
+
+  bool operator==(const AvailableScheme& other) const {
+    return origin_stream == other.origin_stream && attrs == other.attrs;
+  }
+};
+
+/// \brief One operator input: the query streams underneath it and the
+/// schemes its sub-plan can deliver.
+struct LocalInput {
+  std::vector<size_t> streams;  ///< sorted query stream indices
+  std::vector<AvailableScheme> schemes;
+};
+
+/// \brief A generalized edge between operator inputs, with the
+/// value-supply bindings the runtime needs.
+struct LocalGpgEdge {
+  /// \brief How one punctuatable attribute of the target scheme is
+  /// supplied across the operator.
+  struct Binding {
+    size_t target_attr = 0;     ///< attr on the scheme's origin stream
+    size_t source_input = 0;    ///< operator input supplying values
+    size_t source_stream = 0;   ///< query stream inside that input
+    size_t source_attr = 0;     ///< attribute on the source stream
+  };
+
+  std::vector<size_t> source_inputs;  ///< sorted, deduplicated
+  size_t target_input = 0;
+  AvailableScheme scheme;
+  std::vector<Binding> bindings;  ///< one per punctuatable attribute
+};
+
+/// \brief Builds all local generalized edges for an operator over
+/// `inputs` under the query's predicates.
+std::vector<LocalGpgEdge> BuildLocalEdges(const ContinuousJoinQuery& query,
+                                          const std::vector<LocalInput>& inputs);
+
+/// \brief Definition 9 fixpoint over operator inputs.
+std::vector<bool> LocalReachableFrom(size_t start, size_t num_inputs,
+                                     const std::vector<LocalGpgEdge>& edges);
+
+/// \brief True iff `start` reaches every input (Theorem 3 at the
+/// operator level).
+bool LocalInputPurgeable(size_t start, size_t num_inputs,
+                         const std::vector<LocalGpgEdge>& edges);
+
+/// \brief The fixpoint run from `start` with the firing edges recorded
+/// in order: the operator-level chained purge plan. FailedPrecondition
+/// when `start` is not purgeable.
+Result<std::vector<LocalGpgEdge>> DeriveLocalPurgeSteps(
+    size_t start, size_t num_inputs, const std::vector<LocalGpgEdge>& edges);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_LOCAL_GRAPH_H_

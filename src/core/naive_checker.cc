@@ -1,0 +1,130 @@
+#include "core/naive_checker.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/plan_safety.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+// Enumerates unordered partitions of `items` into non-empty blocks.
+// The first item is pinned to the first block, which canonicalizes the
+// enumeration (each partition produced exactly once).
+void EnumeratePartitions(
+    const std::vector<size_t>& items,
+    const std::function<void(const std::vector<std::vector<size_t>>&)>& emit,
+    std::vector<std::vector<size_t>>* current, size_t index) {
+  if (index == items.size()) {
+    emit(*current);
+    return;
+  }
+  size_t item = items[index];
+  // Place into an existing block... (indexing, not references: the
+  // recursion appends to *current and may reallocate it)
+  for (size_t b = 0; b < current->size(); ++b) {
+    (*current)[b].push_back(item);
+    EnumeratePartitions(items, emit, current, index + 1);
+    (*current)[b].pop_back();
+  }
+  // ...or open a new block.
+  current->push_back({item});
+  EnumeratePartitions(items, emit, current, index + 1);
+  current->pop_back();
+}
+
+}  // namespace
+
+std::vector<PlanShape> EnumerateAllShapes(const std::vector<size_t>& streams) {
+  if (streams.size() == 1) return {PlanShape::Leaf(streams[0])};
+  std::vector<PlanShape> shapes;
+  std::vector<std::vector<size_t>> current;
+  EnumeratePartitions(
+      streams,
+      [&](const std::vector<std::vector<size_t>>& partition) {
+        if (partition.size() < 2) return;  // a join needs >= 2 inputs
+        // Cartesian product over per-block sub-shapes.
+        std::vector<std::vector<PlanShape>> block_shapes;
+        block_shapes.reserve(partition.size());
+        for (const auto& block : partition) {
+          block_shapes.push_back(EnumerateAllShapes(block));
+        }
+        std::vector<size_t> cursor(partition.size(), 0);
+        for (;;) {
+          std::vector<PlanShape> children;
+          children.reserve(partition.size());
+          for (size_t i = 0; i < partition.size(); ++i) {
+            children.push_back(block_shapes[i][cursor[i]]);
+          }
+          shapes.push_back(PlanShape::Join(std::move(children)));
+          size_t i = 0;
+          while (i < cursor.size()) {
+            if (++cursor[i] < block_shapes[i].size()) break;
+            cursor[i] = 0;
+            ++i;
+          }
+          if (i == cursor.size()) break;
+        }
+      },
+      &current, 0);
+  return shapes;
+}
+
+uint64_t CountAllShapes(size_t n) {
+  // t(m) = number of shapes over m leaves (A000311: 1, 1, 4, 26, 236,
+  // 2752, 39208, ...). Let g(s) be the sum over *all* set partitions
+  // of an s-set (including the single-block one) of prod t(|block|).
+  // Pinning the first element's block (j extra members chosen from the
+  // remaining s-1) gives
+  //   g(s) = sum_{j=0..s-1} C(s-1, j) * t(j+1) * g(s-1-j),  g(0) = 1.
+  // Since the single-block partition contributes t(m) and the >= 2
+  // block partitions sum to t(m) by definition, g(m) = 2 t(m) for
+  // m >= 2; dropping the j = m-1 term from the recursion therefore
+  // yields t(m) directly from smaller values.
+  if (n == 0) return 0;
+  std::vector<uint64_t> t{0, 1};  // t[0] unused
+  std::vector<uint64_t> g{1, 1};  // g[0] = 1, g[1] = t(1) = 1
+  for (size_t m = 2; m <= n; ++m) {
+    uint64_t total = 0;
+    for (size_t j = 0; j + 1 < m; ++j) {
+      uint64_t comb = 1;  // C(m-1, j), built incrementally (exact)
+      for (size_t x = 0; x < j; ++x) comb = comb * (m - 1 - x) / (x + 1);
+      total += comb * t[j + 1] * g[m - 1 - j];
+    }
+    t.push_back(total);
+    g.push_back(2 * total);
+  }
+  return t[n];
+}
+
+Result<NaiveCheckResult> NaiveSafetyCheck(const ContinuousJoinQuery& query,
+                                          const SchemeSet& schemes,
+                                          size_t max_streams,
+                                          bool stop_at_first_safe) {
+  if (query.num_streams() > max_streams) {
+    return Status::InvalidArgument(
+        StrCat("naive enumeration refused for ", query.num_streams(),
+               " streams (limit ", max_streams, "): ",
+               CountAllShapes(query.num_streams()), " shapes"));
+  }
+  std::vector<size_t> streams(query.num_streams());
+  for (size_t i = 0; i < streams.size(); ++i) streams[i] = i;
+
+  NaiveCheckResult result;
+  for (PlanShape& shape : EnumerateAllShapes(streams)) {
+    ++result.shapes_checked;
+    PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport report,
+                               CheckPlanSafety(query, schemes, shape));
+    if (report.safe) {
+      result.safe = true;
+      if (!result.safe_plan.has_value()) result.safe_plan = std::move(shape);
+      if (stop_at_first_safe) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,55 @@
+// The exponential baseline the paper's algorithm avoids: decide
+// whether a CJQ has a safe execution plan by enumerating *every*
+// operator-tree shape over the query's streams and checking each with
+// the operator-level rules (plan_safety.h).
+//
+// The number of shapes over n streams is the "total partitions"
+// sequence 1, 4, 26, 236, 2752, 39208, ... (OEIS A000311), which is
+// why Theorems 2/4 — a single strong-connectivity test — matter. The
+// property-test suite verifies the two checkers agree on randomized
+// queries, and bench_safety_scaling measures the cost gap.
+
+#ifndef PUNCTSAFE_CORE_NAIVE_CHECKER_H_
+#define PUNCTSAFE_CORE_NAIVE_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+struct NaiveCheckResult {
+  bool safe = false;
+  /// Shapes examined before the verdict (all of them when unsafe,
+  /// possibly fewer when a safe shape is found early).
+  size_t shapes_checked = 0;
+  /// A witness safe shape when one exists.
+  std::optional<PlanShape> safe_plan;
+};
+
+/// \brief Enumerates every plan shape over the streams `0..n-1` of the
+/// query and reports whether any is safe.
+///
+/// InvalidArgument when the query exceeds `max_streams` (guard against
+/// accidental combinatorial explosion).
+Result<NaiveCheckResult> NaiveSafetyCheck(const ContinuousJoinQuery& query,
+                                          const SchemeSet& schemes,
+                                          size_t max_streams = 8,
+                                          bool stop_at_first_safe = true);
+
+/// \brief Enumerates all plan shapes over the given stream indices
+/// (exposed for tests and the plan enumerator).
+std::vector<PlanShape> EnumerateAllShapes(const std::vector<size_t>& streams);
+
+/// \brief Number of operator-tree shapes over n leaves (A000311),
+/// computed without materializing them.
+uint64_t CountAllShapes(size_t n);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_NAIVE_CHECKER_H_

@@ -1,0 +1,102 @@
+#include "core/plan_safety.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+LocalInput CheckNode(const ContinuousJoinQuery& query,
+                     const SchemeSet& schemes, const PlanShape& shape,
+                     PlanSafetyReport* report) {
+  if (shape.IsLeaf()) {
+    LocalInput info;
+    info.streams = {shape.stream()};
+    info.schemes = RawAvailableSchemes(query, schemes, shape.stream());
+    return info;
+  }
+
+  std::vector<LocalInput> children;
+  children.reserve(shape.children().size());
+  for (const PlanShape& child : shape.children()) {
+    children.push_back(CheckNode(query, schemes, child, report));
+  }
+
+  std::vector<LocalGpgEdge> edges = BuildLocalEdges(query, children);
+
+  OperatorVerdict verdict;
+  verdict.purgeable = true;
+  LocalInput info;
+  for (size_t c = 0; c < children.size(); ++c) {
+    verdict.child_streams.push_back(children[c].streams);
+    bool purgeable = LocalInputPurgeable(c, children.size(), edges);
+    verdict.child_purgeable.push_back(purgeable);
+    verdict.purgeable = verdict.purgeable && purgeable;
+    info.streams.insert(info.streams.end(), children[c].streams.begin(),
+                        children[c].streams.end());
+    if (purgeable) {
+      // A purgeable input's punctuations can be regenerated on the
+      // operator output once the matching stored tuples are gone, so
+      // its schemes propagate upward.
+      info.schemes.insert(info.schemes.end(), children[c].schemes.begin(),
+                          children[c].schemes.end());
+    }
+  }
+  std::sort(info.streams.begin(), info.streams.end());
+  report->operators.push_back(std::move(verdict));
+  return info;
+}
+
+}  // namespace
+
+std::vector<AvailableScheme> RawAvailableSchemes(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes,
+    size_t stream) {
+  std::vector<AvailableScheme> out;
+  for (const PunctuationScheme* s :
+       schemes.SchemesFor(query.stream(stream))) {
+    if (s->arity() != query.schema(stream).num_attributes()) continue;
+    out.push_back({stream, s->PunctuatableAttrs()});
+  }
+  return out;
+}
+
+std::string PlanSafetyReport::ToString(
+    const ContinuousJoinQuery& query) const {
+  std::ostringstream out;
+  out << (safe ? "SAFE" : "UNSAFE");
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorVerdict& v = operators[i];
+    out << "\n  op#" << i << (v.purgeable ? " purgeable" : " NOT purgeable");
+    for (size_t c = 0; c < v.child_streams.size(); ++c) {
+      out << " [" << JoinMapped(v.child_streams[c], ",", [&](size_t s) {
+        return query.stream(s);
+      }) << (v.child_purgeable[c] ? "" : " !") << "]";
+    }
+  }
+  return out.str();
+}
+
+Result<PlanSafetyReport> CheckPlanSafety(const ContinuousJoinQuery& query,
+                                         const SchemeSet& schemes,
+                                         const PlanShape& shape) {
+  std::vector<size_t> leaves = shape.Leaves();
+  std::vector<size_t> expected(query.num_streams());
+  for (size_t i = 0; i < expected.size(); ++i) expected[i] = i;
+  if (leaves != expected) {
+    return Status::InvalidArgument(
+        "plan shape leaves do not cover the query streams exactly once");
+  }
+
+  PlanSafetyReport report;
+  LocalInput root = CheckNode(query, schemes, shape, &report);
+  report.root_schemes = std::move(root.schemes);
+  report.safe = std::all_of(
+      report.operators.begin(), report.operators.end(),
+      [](const OperatorVerdict& v) { return v.purgeable; });
+  return report;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,60 @@
+#include "core/punctuation_graph.h"
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+PunctuationGraph PunctuationGraph::Build(const ContinuousJoinQuery& query,
+                                         const SchemeSet& schemes) {
+  PunctuationGraph pg;
+  pg.digraph_ = Digraph(query.num_streams());
+  for (size_t k = 0; k < query.predicates().size(); ++k) {
+    const ResolvedPredicate& p = query.predicates()[k];
+    // Edge right -> left if left side punctuatable (and vice versa).
+    if (schemes.HasSimpleSchemeOn(query.stream(p.left_stream), p.left_attr)) {
+      pg.digraph_.AddEdge(p.right_stream, p.left_stream);
+      pg.edges_.push_back({p.right_stream, p.left_stream, k, p.left_attr});
+    }
+    if (schemes.HasSimpleSchemeOn(query.stream(p.right_stream),
+                                  p.right_attr)) {
+      pg.digraph_.AddEdge(p.left_stream, p.right_stream);
+      pg.edges_.push_back({p.left_stream, p.right_stream, k, p.right_attr});
+    }
+  }
+  return pg;
+}
+
+std::vector<size_t> PunctuationGraph::UnreachableFrom(size_t stream) const {
+  std::vector<size_t> out;
+  auto seen = digraph_.ReachableFrom(stream);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::string PunctuationGraph::ToDot(const ContinuousJoinQuery& query) const {
+  std::ostringstream out;
+  out << "digraph PG {\n  rankdir=LR;\n";
+  for (size_t s = 0; s < num_streams(); ++s) {
+    out << "  \"" << query.stream(s) << "\";\n";
+  }
+  for (const PgEdge& e : edges_) {
+    out << "  \"" << query.stream(e.from) << "\" -> \""
+        << query.stream(e.to) << "\" [label=\""
+        << query.schema(e.to).attribute(e.punct_attr).name << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PunctuationGraph::ToString(
+    const ContinuousJoinQuery& query) const {
+  return JoinMapped(edges_, ", ", [&query](const PgEdge& e) {
+    return StrCat(query.stream(e.from), "->", query.stream(e.to), " [",
+                  query.stream(e.to), ".",
+                  query.schema(e.to).attribute(e.punct_attr).name, "]");
+  });
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,82 @@
+// The punctuation graph (paper Definition 7) and the Section 4.1
+// safety results built on it.
+//
+// Vertices are the input streams of a join operator (or of a whole
+// CJQ, treating the query as a single MJoin — Theorem 2). For a join
+// predicate A_x^i = A_y^j, if the scheme set contains a *simple*
+// scheme on S_i with attribute x punctuatable, there is a directed
+// edge S_j -> S_i: punctuations instantiated on S_i.x close the
+// partner values that S_j-side tuples are waiting on.
+//
+//  - Theorem 1:   the join state of S_i is purgeable iff S_i reaches
+//                 every other node.
+//  - Corollary 1: the operator is purgeable iff the graph is strongly
+//                 connected.
+//  - Theorem 2:   a CJQ has a safe execution plan iff its punctuation
+//                 graph is strongly connected.
+//
+// This graph is exact when every scheme is simple (single punctuatable
+// attribute); multi-attribute schemes need the generalized graph in
+// generalized_punctuation_graph.h (the paper's Section 4.2 example,
+// Figure 8, is precisely a query this graph under-approximates).
+
+#ifndef PUNCTSAFE_CORE_PUNCTUATION_GRAPH_H_
+#define PUNCTSAFE_CORE_PUNCTUATION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "query/cjq.h"
+#include "stream/scheme.h"
+
+namespace punctsafe {
+
+/// \brief Provenance of one punctuation-graph edge: which predicate
+/// and which punctuatable attribute produced it.
+struct PgEdge {
+  size_t from = 0;       ///< stream waiting on punctuations
+  size_t to = 0;         ///< stream whose scheme closes the values
+  size_t predicate = 0;  ///< index into query.predicates()
+  size_t punct_attr = 0; ///< punctuatable attribute index on `to`
+};
+
+class PunctuationGraph {
+ public:
+  /// \brief Builds PG^ℜ for the query under the scheme set (linear in
+  /// |predicates| * |schemes|).
+  static PunctuationGraph Build(const ContinuousJoinQuery& query,
+                                const SchemeSet& schemes);
+
+  size_t num_streams() const { return digraph_.num_nodes(); }
+  const Digraph& digraph() const { return digraph_; }
+  const std::vector<PgEdge>& edges() const { return edges_; }
+
+  /// \brief Theorem 1: join state of `stream` is purgeable iff it
+  /// reaches every other node.
+  bool StatePurgeable(size_t stream) const {
+    return digraph_.ReachesAll(stream);
+  }
+
+  /// \brief Streams unreachable from `stream` (witness for a negative
+  /// Theorem 1 verdict).
+  std::vector<size_t> UnreachableFrom(size_t stream) const;
+
+  /// \brief Corollary 1 / Theorem 2: strong connectivity.
+  bool IsStronglyConnected() const { return digraph_.IsStronglyConnected(); }
+
+  /// \brief "S2->S1 [S1.B=S2.B via S1(_,+)]" style rendering.
+  std::string ToString(const ContinuousJoinQuery& query) const;
+
+  /// \brief Graphviz rendering (edges labeled with the punctuatable
+  /// attribute that created them).
+  std::string ToDot(const ContinuousJoinQuery& query) const;
+
+ private:
+  Digraph digraph_;
+  std::vector<PgEdge> edges_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_PUNCTUATION_GRAPH_H_

@@ -1,0 +1,78 @@
+// The top-level safety-checking API (paper Section 4.3): the check the
+// query register runs before admitting a continuous join query.
+//
+// Dispatch mirrors the paper:
+//  * when every relevant scheme is simple (one punctuatable
+//    attribute), the Section 4.1 linear-time path applies: build the
+//    punctuation graph and test strong connectivity;
+//  * otherwise the Section 4.2/4.3 polynomial path applies: build the
+//    generalized punctuation graph and run the transformed-graph
+//    collapse (Theorem 5).
+//
+// Reports carry per-stream purgeability (Theorems 1/3), witness
+// unreachable streams for negative verdicts, and constructive chained
+// purge plans (Section 3.2.1) for positive ones.
+
+#ifndef PUNCTSAFE_CORE_SAFETY_CHECKER_H_
+#define PUNCTSAFE_CORE_SAFETY_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chained_purge.h"
+#include "core/transformed_punctuation_graph.h"
+#include "query/cjq.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief Purgeability verdict for one stream's join state.
+struct StreamPurgeability {
+  size_t stream = 0;
+  bool purgeable = false;
+  /// Streams the purge chain cannot reach (empty when purgeable).
+  std::vector<size_t> unreachable;
+  /// Constructive witness when purgeable.
+  std::optional<ChainedPurgePlan> purge_plan;
+};
+
+struct SafetyReport {
+  bool safe = false;
+  /// True when the linear Section 4.1 path decided the query (all
+  /// relevant schemes simple).
+  bool used_simple_path = false;
+  /// Rounds the transformed-graph collapse took (0 on the simple
+  /// path).
+  size_t tpg_rounds = 0;
+  std::vector<StreamPurgeability> per_stream;
+  /// Human-readable summary with witnesses.
+  std::string explanation;
+};
+
+class SafetyChecker {
+ public:
+  explicit SafetyChecker(SchemeSet schemes) : schemes_(std::move(schemes)) {}
+
+  const SchemeSet& schemes() const { return schemes_; }
+
+  /// \brief Theorem 2 / Theorem 4 verdict plus per-stream detail.
+  Result<SafetyReport> CheckQuery(const ContinuousJoinQuery& query) const;
+
+  /// \brief Theorem 1 / Theorem 3 verdict for one stream's state when
+  /// the whole query runs as a single MJoin.
+  Result<StreamPurgeability> CheckState(const ContinuousJoinQuery& query,
+                                        const std::string& stream) const;
+
+  /// \brief Section 3.2.1 constructive purge plan for one stream.
+  Result<ChainedPurgePlan> DerivePurgePlan(const ContinuousJoinQuery& query,
+                                           const std::string& stream) const;
+
+ private:
+  SchemeSet schemes_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_SAFETY_CHECKER_H_

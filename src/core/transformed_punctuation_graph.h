@@ -1,0 +1,90 @@
+// The transformed punctuation graph (paper Definition 11) — the
+// polynomial-time safety-checking algorithm of Section 4.3.
+//
+// The transformation repeatedly (a) finds strongly connected
+// components of the current node graph, (b) merges each non-trivial
+// component into a virtual node, and (c) recomputes edges between the
+// merged nodes: plain edges are promoted, and a *virtual directed
+// edge* N_i -> N_j is added when some scheme on a stream covered by
+// N_j has all punctuatable attributes supplied by streams covered by
+// N_i (the Definition 11(ii) subset rule). Theorem 5: the GPG is
+// strongly connected iff this process collapses to one virtual node.
+//
+// We implement the transformation uniformly over the GPG edge list: a
+// node-level edge N_i -> N_j exists iff some generalized edge has its
+// target covered by N_j and all sources within the *allowed source
+// cover* of N_i. Two variants of the allowed cover are provided:
+//
+//  * kPaperStrict — sources must lie within cover(N_i) itself. This is
+//    the literal Definition 11 rule. It is sound (single final node
+//    implies GPG strong connectivity) but can stall when a generalized
+//    edge's sources span several mutually *un*merged nodes.
+//  * kClosure (default) — sources may lie anywhere in the covers of
+//    nodes currently reachable from N_i. This is still sound (a purge
+//    chain from N_i first absorbs everything N_i reaches, after which
+//    the scheme fires) and is complete: if the process stalls with a
+//    sink node N, every generalized edge leaving cover(N) would have
+//    created an edge out of N, so streams in N cannot reach the rest
+//    in the GPG either. The two variants are compared against the
+//    Definition 9 fixpoint in the property-test suite.
+
+#ifndef PUNCTSAFE_CORE_TRANSFORMED_PUNCTUATION_GRAPH_H_
+#define PUNCTSAFE_CORE_TRANSFORMED_PUNCTUATION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/generalized_punctuation_graph.h"
+#include "graph/digraph.h"
+#include "query/cjq.h"
+#include "stream/scheme.h"
+
+namespace punctsafe {
+
+class TransformedPunctuationGraph {
+ public:
+  enum class Mode {
+    kPaperStrict,
+    kClosure,
+  };
+
+  /// \brief One round's state: node covers plus the node-level edges
+  /// computed for that round. Kept for explanations and tests.
+  struct Snapshot {
+    std::vector<std::vector<size_t>> covers;  ///< streams per node
+    Digraph node_edges;
+  };
+
+  static TransformedPunctuationGraph Build(const ContinuousJoinQuery& query,
+                                           const SchemeSet& schemes,
+                                           Mode mode = Mode::kClosure);
+
+  /// \brief Builds directly from a pre-built GPG (avoids recomputing
+  /// edges when both structures are needed).
+  static TransformedPunctuationGraph BuildFromGpg(
+      const GeneralizedPunctuationGraph& gpg, Mode mode = Mode::kClosure);
+
+  /// \brief Theorem 5 verdict: safe iff the transformation collapsed
+  /// the graph to a single virtual node.
+  bool CollapsedToSingleNode() const { return final_covers_.size() <= 1; }
+
+  size_t num_final_nodes() const { return final_covers_.size(); }
+  const std::vector<std::vector<size_t>>& final_covers() const {
+    return final_covers_;
+  }
+
+  /// \brief Number of merge rounds executed (bounded by n - 1, giving
+  /// the Section 4.3 polynomial bound).
+  size_t num_rounds() const { return history_.size(); }
+  const std::vector<Snapshot>& history() const { return history_; }
+
+  std::string ToString(const ContinuousJoinQuery& query) const;
+
+ private:
+  std::vector<std::vector<size_t>> final_covers_;
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_CORE_TRANSFORMED_PUNCTUATION_GRAPH_H_

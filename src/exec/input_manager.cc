@@ -1,0 +1,47 @@
+#include "exec/input_manager.h"
+
+#include <algorithm>
+
+namespace punctsafe {
+
+Trace InputManager::Merge(const std::vector<Trace>& parts) {
+  Trace merged;
+  size_t total = 0;
+  for (const Trace& p : parts) total += p.size();
+  merged.reserve(total);
+  for (const Trace& p : parts) {
+    merged.insert(merged.end(), p.begin(), p.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.element.timestamp < b.element.timestamp;
+                   });
+  return merged;
+}
+
+void InputManager::Accept(const std::string& stream, StreamElement element) {
+  buffer_.push_back({stream, std::move(element)});
+}
+
+Result<size_t> InputManager::DrainInto(PlanExecutor* executor) {
+  std::stable_sort(buffer_.begin(), buffer_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.element.timestamp < b.element.timestamp;
+                   });
+  size_t delivered = 0;
+  for (const TraceEvent& event : buffer_) {
+    PUNCTSAFE_RETURN_IF_ERROR(executor->Push(event));
+    ++delivered;
+  }
+  buffer_.clear();
+  return delivered;
+}
+
+Status FeedTrace(PlanExecutor* executor, const Trace& trace) {
+  for (const TraceEvent& event : trace) {
+    PUNCTSAFE_RETURN_IF_ERROR(executor->Push(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,43 @@
+// InputManager (paper Figure 2): accepts per-stream element sequences
+// from the application environment, merges them into one
+// timestamp-ordered feed and drives an executor.
+
+#ifndef PUNCTSAFE_EXEC_INPUT_MANAGER_H_
+#define PUNCTSAFE_EXEC_INPUT_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan_executor.h"
+#include "stream/element.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+class InputManager {
+ public:
+  /// \brief Stable merge of per-stream traces by timestamp (ties keep
+  /// the input order, so a punctuation generated after a tuple at the
+  /// same tick stays after it).
+  static Trace Merge(const std::vector<Trace>& parts);
+
+  /// \brief Buffers one element for `stream`.
+  void Accept(const std::string& stream, StreamElement element);
+
+  /// \brief Feeds everything buffered so far into the executor in
+  /// timestamp order, then clears the buffer. Returns the number of
+  /// events delivered.
+  Result<size_t> DrainInto(PlanExecutor* executor);
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  Trace buffer_;
+};
+
+/// \brief Convenience: pushes a whole trace through an executor.
+Status FeedTrace(PlanExecutor* executor, const Trace& trace);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_INPUT_MANAGER_H_

@@ -1,0 +1,49 @@
+// Runtime accounting for join operators: the quantities the paper's
+// safety property is *about* (join-state size staying bounded) plus
+// the punctuation-side costs that the Section 5.2 cost/benefit
+// discussion weighs.
+
+#ifndef PUNCTSAFE_EXEC_METRICS_H_
+#define PUNCTSAFE_EXEC_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace punctsafe {
+
+/// \brief Per-input join-state accounting.
+struct StateMetrics {
+  uint64_t inserted = 0;       ///< tuples added to the state
+  uint64_t purged = 0;         ///< tuples removed via punctuations
+  uint64_t dropped_on_arrival = 0;  ///< new tuples immediately removable
+  size_t live = 0;             ///< currently stored tuples
+  size_t high_water = 0;       ///< max live ever observed
+
+  void OnInsert() {
+    ++inserted;
+    ++live;
+    if (live > high_water) high_water = live;
+  }
+  void OnPurge(size_t count) {
+    purged += count;
+    live -= count;
+  }
+};
+
+/// \brief Per-operator accounting.
+struct OperatorMetrics {
+  uint64_t results_emitted = 0;
+  uint64_t punctuations_received = 0;
+  uint64_t punctuations_stored = 0;      ///< after dedup/expiry filtering
+  uint64_t punctuations_propagated = 0;  ///< emitted on the output
+  uint64_t punctuations_expired = 0;     ///< dropped by lifespan expiry
+  uint64_t purge_sweeps = 0;
+  uint64_t removability_checks = 0;
+  size_t punctuations_live = 0;
+  size_t punctuations_high_water = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_METRICS_H_

@@ -1,0 +1,551 @@
+#include "exec/mjoin.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+// Partial join assignment: one stored tuple per covered input,
+// nullptr for inputs not expanded yet.
+using Assignment = std::vector<const Tuple*>;
+}  // namespace
+
+Result<std::unique_ptr<MJoinOperator>> MJoinOperator::Create(
+    const ContinuousJoinQuery& query, std::vector<LocalInput> inputs,
+    MJoinConfig config) {
+  if (inputs.size() < 2) {
+    return Status::InvalidArgument("an MJoin needs at least two inputs");
+  }
+  std::vector<bool> covered(query.num_streams(), false);
+  for (const LocalInput& in : inputs) {
+    if (in.streams.empty()) {
+      return Status::InvalidArgument("an MJoin input must cover >= 1 stream");
+    }
+    if (!std::is_sorted(in.streams.begin(), in.streams.end())) {
+      return Status::InvalidArgument("input stream covers must be sorted");
+    }
+    for (size_t s : in.streams) {
+      if (s >= query.num_streams() || covered[s]) {
+        return Status::InvalidArgument(
+            "input covers must be disjoint subsets of the query streams");
+      }
+      covered[s] = true;
+    }
+  }
+
+  auto op = std::unique_ptr<MJoinOperator>(new MJoinOperator());
+  op->config_ = config;
+  op->inputs_ = std::move(inputs);
+  const size_t m = op->inputs_.size();
+
+  // Composite layouts: per input, (stream, attr) -> offset.
+  op->widths_.resize(m);
+  op->offset_keys_.resize(m);
+  op->offset_values_.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    size_t offset = 0;
+    for (size_t s : op->inputs_[k].streams) {
+      for (size_t a = 0; a < query.schema(s).num_attributes(); ++a) {
+        op->offset_keys_[k].push_back({s, a});
+        op->offset_values_[k].push_back(offset + a);
+      }
+      offset += query.schema(s).num_attributes();
+    }
+    op->widths_[k] = offset;
+  }
+
+  // Output layout: covered streams ascending; copy plan per stream.
+  for (size_t s = 0; s < query.num_streams(); ++s) {
+    if (covered[s]) op->output_streams_.push_back(s);
+  }
+  size_t out = 0;
+  for (size_t s : op->output_streams_) {
+    // Locate the input covering s and the segment start within it.
+    for (size_t k = 0; k < m; ++k) {
+      size_t from = 0;
+      bool found = false;
+      for (size_t cs : op->inputs_[k].streams) {
+        if (cs == s) {
+          found = true;
+          break;
+        }
+        from += query.schema(cs).num_attributes();
+      }
+      if (found) {
+        size_t len = query.schema(s).num_attributes();
+        op->copy_plan_.push_back({k, from, len, out});
+        out += len;
+        break;
+      }
+    }
+  }
+  op->output_width_ = out;
+
+  // Localized predicates + per-input join offsets for indexing.
+  constexpr size_t kOutside = static_cast<size_t>(-1);
+  std::vector<size_t> input_of(query.num_streams(), kOutside);
+  for (size_t k = 0; k < m; ++k) {
+    for (size_t s : op->inputs_[k].streams) input_of[s] = k;
+  }
+  std::vector<std::vector<size_t>> indexed(m);
+  for (const ResolvedPredicate& p : query.predicates()) {
+    size_t ia = input_of[p.left_stream];
+    size_t ib = input_of[p.right_stream];
+    if (ia == kOutside || ib == kOutside || ia == ib) continue;
+    LocalPredicate lp;
+    lp.input_a = ia;
+    lp.offset_a = op->OffsetOf(ia, p.left_stream, p.left_attr);
+    lp.input_b = ib;
+    lp.offset_b = op->OffsetOf(ib, p.right_stream, p.right_attr);
+    indexed[ia].push_back(lp.offset_a);
+    indexed[ib].push_back(lp.offset_b);
+    op->predicates_.push_back(lp);
+  }
+  op->predicates_of_input_.resize(m);
+  for (size_t i = 0; i < op->predicates_.size(); ++i) {
+    op->predicates_of_input_[op->predicates_[i].input_a].push_back(i);
+    op->predicates_of_input_[op->predicates_[i].input_b].push_back(i);
+  }
+
+  // Stores.
+  for (size_t k = 0; k < m; ++k) {
+    std::sort(indexed[k].begin(), indexed[k].end());
+    indexed[k].erase(std::unique(indexed[k].begin(), indexed[k].end()),
+                     indexed[k].end());
+    op->states_.push_back(std::make_unique<TupleStore>(indexed[k]));
+    op->punct_stores_.push_back(
+        std::make_unique<PunctuationStore>(config.punctuation_lifespan));
+  }
+
+  // All generalized edges from the operator-local graph, localized to
+  // composite offsets; removability checks run a fixpoint over them.
+  std::vector<LocalGpgEdge> edges = BuildLocalEdges(query, op->inputs_);
+  for (const LocalGpgEdge& e : edges) {
+    RuntimeEdge edge;
+    edge.target_input = e.target_input;
+    edge.source_inputs = e.source_inputs;
+    for (const LocalGpgEdge::Binding& b : e.bindings) {
+      edge.target_offsets.push_back(op->OffsetOf(
+          e.target_input, e.scheme.origin_stream, b.target_attr));
+      edge.sources.push_back(
+          {b.source_input,
+           op->OffsetOf(b.source_input, b.source_stream, b.source_attr)});
+    }
+    op->runtime_edges_.push_back(std::move(edge));
+  }
+  op->input_purgeable_.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    op->input_purgeable_[k] = LocalInputPurgeable(k, m, edges);
+  }
+
+  // Propagatable scheme signatures (inputs with purgeable state only).
+  op->propagatable_signatures_.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    if (!op->input_purgeable_[k]) continue;
+    for (const AvailableScheme& scheme : op->inputs_[k].schemes) {
+      std::vector<size_t> signature;
+      for (size_t attr : scheme.attrs) {
+        signature.push_back(op->OffsetOf(k, scheme.origin_stream, attr));
+      }
+      std::sort(signature.begin(), signature.end());
+      op->propagatable_signatures_[k].push_back(std::move(signature));
+    }
+  }
+  return op;
+}
+
+size_t MJoinOperator::OffsetOf(size_t input, size_t stream,
+                               size_t attr) const {
+  for (size_t i = 0; i < offset_keys_[input].size(); ++i) {
+    if (offset_keys_[input][i] == std::make_pair(stream, attr)) {
+      return offset_values_[input][i];
+    }
+  }
+  PUNCTSAFE_LOG(Fatal) << "attribute (" << stream << "," << attr
+                       << ") not covered by input " << input;
+  return 0;
+}
+
+void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
+  PUNCTSAFE_CHECK(input < num_inputs());
+  PUNCTSAFE_CHECK(tuple.size() == widths_[input])
+      << "tuple arity " << tuple.size() << " != input width "
+      << widths_[input];
+
+  if (config_.drop_excluded_arrivals &&
+      punct_stores_[input]->ExcludesTuple(tuple, ts)) {
+    // Promised never to arrive: late or contract-violating; ignore.
+    states_[input]->CountDroppedArrival();
+    return;
+  }
+
+  ProduceResults(input, tuple, ts);
+
+  // Under the eager policy, test the chained purge plan before
+  // storing: if the stores already close every continuation, the
+  // tuple never occupies state.
+  if (config_.purge_policy == PurgePolicy::kEager &&
+      Removable(input, tuple, ts)) {
+    states_[input]->CountDroppedArrival();
+    return;
+  }
+  states_[input]->Insert(tuple);
+}
+
+void MJoinOperator::ProduceResults(size_t input, const Tuple& tuple,
+                                   int64_t ts) {
+  const size_t m = num_inputs();
+
+  // Expansion order: BFS over the predicate graph from `input`, then
+  // any unreached inputs (cross-product components).
+  std::vector<size_t> order;
+  std::vector<bool> seen(m, false);
+  std::deque<size_t> queue{input};
+  seen[input] = true;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (size_t pi : predicates_of_input_[u]) {
+      const LocalPredicate& p = predicates_[pi];
+      size_t v = (p.input_a == u) ? p.input_b : p.input_a;
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (size_t k = 0; k < m; ++k) {
+    if (!seen[k]) order.push_back(k);
+  }
+
+  std::vector<Assignment> assignments;
+  Assignment start(m, nullptr);
+  start[input] = &tuple;
+  assignments.push_back(std::move(start));
+
+  for (size_t idx = 1; idx < order.size() && !assignments.empty(); ++idx) {
+    assignments = Expand(order[idx], assignments);
+  }
+
+  for (const Assignment& a : assignments) {
+    std::vector<Value> row(output_width_);
+    for (const CopySegment& seg : copy_plan_) {
+      const Tuple* part = a[seg.input];
+      for (size_t i = 0; i < seg.len; ++i) {
+        row[seg.to + i] = part->at(seg.from + i);
+      }
+    }
+    Emit(StreamElement::OfTuple(Tuple(std::move(row)), ts));
+  }
+}
+
+std::vector<std::vector<const Tuple*>> MJoinOperator::Expand(
+    size_t v, const std::vector<std::vector<const Tuple*>>& assignments)
+    const {
+  std::vector<Assignment> out;
+  // Predicates between v and covered inputs, split into one probe
+  // predicate (index lookup) and verification predicates.
+  for (const Assignment& a : assignments) {
+    long probe_pred = -1;
+    std::vector<size_t> verify;
+    for (size_t pi : predicates_of_input_[v]) {
+      const LocalPredicate& p = predicates_[pi];
+      size_t other = (p.input_a == v) ? p.input_b : p.input_a;
+      if (a[other] == nullptr) continue;
+      if (probe_pred < 0) {
+        probe_pred = static_cast<long>(pi);
+      } else {
+        verify.push_back(pi);
+      }
+    }
+    auto matches = [&](const Tuple& candidate) {
+      for (size_t pi : verify) {
+        const LocalPredicate& p = predicates_[pi];
+        size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
+        size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
+        size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
+        if (!(candidate.at(v_off) == a[o_in]->at(o_off))) return false;
+      }
+      return true;
+    };
+    auto add = [&](const Tuple& candidate) {
+      Assignment next = a;
+      next[v] = &candidate;
+      out.push_back(std::move(next));
+    };
+    if (probe_pred >= 0) {
+      const LocalPredicate& p = predicates_[probe_pred];
+      size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
+      size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
+      size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
+      for (size_t slot : states_[v]->Probe(v_off, a[o_in]->at(o_off))) {
+        const Tuple& candidate = states_[v]->At(slot);
+        if (matches(candidate)) add(candidate);
+      }
+    } else {
+      // No predicate to covered inputs: cross product.
+      states_[v]->ForEachLive([&](size_t, const Tuple& candidate) {
+        if (matches(candidate)) add(candidate);
+      });
+    }
+  }
+  return out;
+}
+
+bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
+  if (!input_purgeable_[input]) return false;
+  ++metrics_.removability_checks;
+  const size_t m = num_inputs();
+
+  std::vector<Assignment> joinable;
+  Assignment start(m, nullptr);
+  start[input] = &tuple;
+  joinable.push_back(std::move(start));
+
+  // Fixpoint over the generalized edges: an input counts as closed as
+  // soon as ANY edge whose sources are already closed has all its
+  // value combinations excluded by the target's punctuation store —
+  // the existential reading of the chained purge strategy.
+  std::vector<bool> covered(m, false);
+  covered[input] = true;
+  size_t covered_count = 1;
+  bool progress = true;
+  while (progress && covered_count < m) {
+    progress = false;
+    for (const RuntimeEdge& edge : runtime_edges_) {
+      if (covered[edge.target_input]) continue;
+      bool sources_ready =
+          std::all_of(edge.source_inputs.begin(), edge.source_inputs.end(),
+                      [&](size_t s) { return covered[s]; });
+      if (!sources_ready) continue;
+      // The distinct value combinations the target's punctuations must
+      // exclude: δ_PA(T_t[Υ]) of the generalized chained purge.
+      std::unordered_set<Tuple, TupleHash> combos;
+      for (const Assignment& a : joinable) {
+        std::vector<Value> combo;
+        combo.reserve(edge.sources.size());
+        for (const RuntimeEdge::Source& src : edge.sources) {
+          combo.push_back(a[src.input]->at(src.offset));
+        }
+        combos.insert(Tuple(std::move(combo)));
+      }
+      bool all_excluded = true;
+      for (const Tuple& combo : combos) {
+        if (!punct_stores_[edge.target_input]->CoversSubspace(
+                edge.target_offsets, combo.values(), now)) {
+          all_excluded = false;
+          break;
+        }
+      }
+      if (!all_excluded) continue;  // maybe another edge closes it
+      // Extend T_t[Υ] through the newly closed input.
+      joinable = Expand(edge.target_input, joinable);
+      if (joinable.size() > config_.max_joinable_set) {
+        PUNCTSAFE_LOG(Warning)
+            << "removability check aborted: joinable set exceeded "
+            << config_.max_joinable_set;
+        return false;  // conservative
+      }
+      covered[edge.target_input] = true;
+      ++covered_count;
+      progress = true;
+    }
+  }
+  return covered_count == m;
+}
+
+void MJoinOperator::PushPunctuation(size_t input,
+                                    const Punctuation& punctuation,
+                                    int64_t ts) {
+  PUNCTSAFE_CHECK(input < num_inputs());
+  PUNCTSAFE_CHECK(punctuation.arity() == widths_[input])
+      << "punctuation arity " << punctuation.arity() << " != input width "
+      << widths_[input];
+  ++metrics_.punctuations_received;
+
+  if (config_.punctuation_lifespan.has_value()) {
+    for (auto& store : punct_stores_) {
+      metrics_.punctuations_expired += store->ExpireBefore(ts);
+    }
+  }
+
+  if (punct_stores_[input]->Add(punctuation, ts)) {
+    ++metrics_.punctuations_stored;
+  }
+  metrics_.punctuations_live = TotalLivePunctuations();
+  metrics_.punctuations_high_water =
+      std::max(metrics_.punctuations_high_water, metrics_.punctuations_live);
+
+  // Queue propagation if this instantiates a propagatable scheme.
+  if (config_.propagate_punctuations) {
+    std::vector<size_t> signature = punctuation.ConstrainedAttrs();
+    for (const auto& prop : propagatable_signatures_[input]) {
+      if (prop != signature) continue;
+      bool already = std::any_of(
+          pending_propagations_.begin(), pending_propagations_.end(),
+          [&](const PendingPropagation& p) {
+            return p.input == input && p.punctuation == punctuation;
+          });
+      if (!already) pending_propagations_.push_back({input, punctuation});
+      break;
+    }
+  }
+
+  switch (config_.purge_policy) {
+    case PurgePolicy::kEager:
+      Sweep(ts);
+      break;
+    case PurgePolicy::kLazy:
+      if (++punctuations_since_sweep_ >= config_.lazy_batch) Sweep(ts);
+      break;
+    case PurgePolicy::kNone:
+      break;
+  }
+  std::vector<bool> changed(num_inputs(), false);
+  changed[input] = true;
+  TryPropagate(ts, changed);
+}
+
+void MJoinOperator::Sweep(int64_t now) {
+  ++metrics_.purge_sweeps;
+  punctuations_since_sweep_ = 0;
+  std::vector<bool> changed(num_inputs(), false);
+  for (size_t k = 0; k < num_inputs(); ++k) {
+    if (!input_purgeable_[k]) continue;
+    std::vector<size_t> removable;
+    states_[k]->ForEachLive([&](size_t slot, const Tuple& t) {
+      if (Removable(k, t, now)) removable.push_back(slot);
+    });
+    if (!removable.empty()) changed[k] = true;
+    states_[k]->PurgeSlots(removable);
+  }
+  TryPropagate(now, changed);
+  if (config_.purge_punctuations) PurgeObsoletePunctuations(now);
+}
+
+void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
+  // A punctuation p on input v exists to close join values that
+  // partner inputs wait on. Once every predicate (u.x = v.y) with y
+  // constrained by p has (a) u's own punctuation store excluding
+  // {x = p[y]} — no future u tuple will wait on it — and (b) no live
+  // u tuple with x = p[y] — nothing stored waits on it — p carries no
+  // information the system still needs (paper Section 5.1; the binary
+  // case is the paper's (*, b1)-retires-(b1, *) example). Punctuations
+  // whose constrained attributes include a non-join attribute are
+  // kept: they still deduplicate late arrivals on their own input.
+  //
+  // Conditions are evaluated against a snapshot and the removals
+  // applied afterwards: two punctuations that justify each other's
+  // retirement both go — exclusion is a property of the stream
+  // contract, not of the store that recorded it.
+  auto retirable = [&](size_t v, const Punctuation& p) {
+    bool touches_join = false;
+    for (size_t y : p.ConstrainedAttrs()) {
+      for (size_t pi : predicates_of_input_[v]) {
+        const LocalPredicate& pred = predicates_[pi];
+        size_t v_off = (pred.input_a == v) ? pred.offset_a : pred.offset_b;
+        if (v_off != y) continue;
+        touches_join = true;
+        size_t u = (pred.input_a == v) ? pred.input_b : pred.input_a;
+        size_t u_off = (pred.input_a == v) ? pred.offset_b : pred.offset_a;
+        const Value& value = p.pattern(y).constant();
+        if (!punct_stores_[u]->CoversSubspace({u_off}, {value}, now)) {
+          return false;  // future u tuples may still need p
+        }
+        if (!states_[u]->Probe(u_off, value).empty()) {
+          return false;  // a stored u tuple still waits on p
+        }
+      }
+      // A constrained non-join attribute neither helps nor blocks:
+      // the join-attribute conditions decide.
+    }
+    return touches_join;
+  };
+
+  std::vector<std::unordered_set<Punctuation, PunctuationHash>> to_remove(
+      num_inputs());
+  for (size_t v = 0; v < num_inputs(); ++v) {
+    punct_stores_[v]->ForEach([&](const Punctuation& p) {
+      if (retirable(v, p)) to_remove[v].insert(p);
+    });
+  }
+  for (size_t v = 0; v < num_inputs(); ++v) {
+    punctuations_purged_ += punct_stores_[v]->RemoveIf(
+        [&](const Punctuation& p) { return to_remove[v].count(p) > 0; });
+  }
+  metrics_.punctuations_live = TotalLivePunctuations();
+}
+
+void MJoinOperator::TryPropagate(int64_t now,
+                                 const std::vector<bool>& changed_inputs) {
+  if (!config_.propagate_punctuations) return;
+  for (auto it = pending_propagations_.begin();
+       it != pending_propagations_.end();) {
+    if (!changed_inputs[it->input]) {
+      ++it;  // nothing changed for this input since the last check
+      continue;
+    }
+    // A pending punctuation is blocked while a stored tuple still
+    // matches it; probe the state via an index where possible.
+    const Punctuation& p = it->punctuation;
+    const TupleStore& store = *states_[it->input];
+    bool blocked = false;
+    size_t probe_attr = static_cast<size_t>(-1);
+    for (size_t a : p.ConstrainedAttrs()) {
+      if (store.HasIndexOn(a)) {
+        probe_attr = a;
+        break;
+      }
+    }
+    if (probe_attr != static_cast<size_t>(-1)) {
+      for (size_t slot :
+           store.Probe(probe_attr, p.pattern(probe_attr).constant())) {
+        if (p.Matches(store.At(slot))) {
+          blocked = true;
+          break;
+        }
+      }
+    } else {
+      blocked = store.AnyLive([&](const Tuple& t) { return p.Matches(t); });
+    }
+    if (blocked) {
+      ++it;
+      continue;
+    }
+    Emit(StreamElement::OfPunctuation(RebaseToOutput(it->input, p), now));
+    ++metrics_.punctuations_propagated;
+    it = pending_propagations_.erase(it);
+  }
+}
+
+Punctuation MJoinOperator::RebaseToOutput(size_t input,
+                                          const Punctuation& p) const {
+  std::vector<Pattern> patterns(output_width_);
+  for (const CopySegment& seg : copy_plan_) {
+    if (seg.input != input) continue;
+    for (size_t i = 0; i < seg.len; ++i) {
+      patterns[seg.to + i] = p.pattern(seg.from + i);
+    }
+  }
+  return Punctuation(std::move(patterns));
+}
+
+size_t MJoinOperator::TotalLiveTuples() const {
+  size_t total = 0;
+  for (const auto& s : states_) total += s->live_count();
+  return total;
+}
+
+size_t MJoinOperator::TotalLivePunctuations() const {
+  size_t total = 0;
+  for (const auto& s : punct_stores_) total += s->size();
+  return total;
+}
+
+}  // namespace punctsafe

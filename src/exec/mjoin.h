@@ -1,0 +1,199 @@
+// The MJoin operator [Viglas et al. 2003]: a generalized symmetric
+// join over n >= 2 inputs, extended with punctuation-driven state
+// purging via the paper's chained purge strategy (Sections 3.2 and
+// 4.2).
+//
+// Inputs may be raw streams or sub-plan outputs; each input carries a
+// composite row whose layout is the concatenation of its covered
+// query streams' schemas in ascending stream order (the operator's
+// output uses the same convention over the union of its covers, so
+// operators nest without glue).
+//
+// Runtime behavior per input i:
+//  * new tuple  — joined symmetrically against the other states
+//    (index-accelerated expansion along the operator's predicate
+//    graph), results emitted, tuple inserted; under the eager policy
+//    its removability is tested immediately so already-closed arrivals
+//    never occupy state ("purging future tuples", Section 5.1).
+//  * new punctuation — stored (with optional lifespan), then a purge
+//    sweep runs per policy: every stored tuple whose chained purge
+//    plan is fully covered by the punctuation stores is dropped.
+//    If the punctuation instantiates a propagatable scheme, an output
+//    punctuation is emitted once the matching stored tuples are gone
+//    (pending until then) — the propagation rule plan trees rely on.
+//
+// Removability of tuple t in input i follows the chained purge plan
+// derived from the operator-local generalized punctuation graph
+// (core/local_graph.h): walk the plan's steps, at each step verify
+// that the joinable-value combinations accumulated so far are all
+// excluded by the target input's punctuation store, then extend the
+// joinable set T_t[Υ] through the target's state.
+
+#ifndef PUNCTSAFE_EXEC_MJOIN_H_
+#define PUNCTSAFE_EXEC_MJOIN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/local_graph.h"
+#include "exec/operator.h"
+#include "exec/punctuation_store.h"
+#include "exec/tuple_store.h"
+#include "query/cjq.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+struct MJoinConfig {
+  PurgePolicy purge_policy = PurgePolicy::kEager;
+  /// Punctuations between sweeps under the lazy policy.
+  size_t lazy_batch = 64;
+  /// Lifespan (timestamp units) for stored punctuations; nullopt
+  /// keeps them forever (see Section 5.1 on the trade-off).
+  std::optional<int64_t> punctuation_lifespan;
+  /// Drop arriving tuples already excluded by a stored punctuation on
+  /// their own input (late/contract-violating arrivals).
+  bool drop_excluded_arrivals = true;
+  /// Emit output punctuations for propagatable schemes.
+  bool propagate_punctuations = true;
+  /// Joinable-set size cap during removability checks; exceeding it
+  /// aborts the check conservatively (tuple stays).
+  size_t max_joinable_set = 4096;
+  /// Purge stored punctuations once partner punctuations prove them
+  /// obsolete (paper Section 5.1, "punctuation purgeability"): a
+  /// punctuation can go when, for every join predicate touching one of
+  /// its constrained attributes, the partner input is itself closed on
+  /// the corresponding value and holds no matching live tuple.
+  bool purge_punctuations = false;
+};
+
+class MJoinOperator : public JoinOperator {
+ public:
+  /// \brief Builds an MJoin over `inputs` (>= 2) of `query`.
+  ///
+  /// `inputs[k].streams` are the query streams covered by input k;
+  /// `inputs[k].schemes` the punctuation schemes deliverable on it
+  /// (for raw-stream inputs, RawAvailableSchemes). Covers must be
+  /// disjoint. Inputs whose operator-local state is not purgeable get
+  /// no purge plan: the operator still runs, its state just grows —
+  /// exactly the unsafe behavior the safety checker exists to reject,
+  /// kept executable for the paper's unbounded-state experiments.
+  static Result<std::unique_ptr<MJoinOperator>> Create(
+      const ContinuousJoinQuery& query, std::vector<LocalInput> inputs,
+      MJoinConfig config);
+
+  size_t num_inputs() const override { return inputs_.size(); }
+  void PushTuple(size_t input, const Tuple& tuple, int64_t ts) override;
+  void PushPunctuation(size_t input, const Punctuation& punctuation,
+                       int64_t ts) override;
+  size_t TotalLiveTuples() const override;
+  size_t TotalLivePunctuations() const override;
+
+  /// \brief Per-input join-state metrics.
+  const StateMetrics& state_metrics(size_t input) const {
+    return states_[input]->metrics();
+  }
+  /// \brief Whether input k's state is purgeable (Theorem 3 on the
+  /// operator-local generalized graph).
+  bool InputPurgeable(size_t input) const {
+    return input_purgeable_[input];
+  }
+  /// \brief Streams covered by the operator output (sorted).
+  const std::vector<size_t>& output_streams() const {
+    return output_streams_;
+  }
+  /// \brief Output composite width (attribute count).
+  size_t output_width() const { return output_width_; }
+
+  /// \brief Forces a purge sweep (used by lazy-policy drivers that
+  /// want a final flush, and by tests).
+  void Sweep(int64_t now);
+
+  /// \brief Stored punctuations dropped by the Section 5.1
+  /// punctuation-purgeability pass.
+  uint64_t punctuations_purged() const { return punctuations_purged_; }
+
+ private:
+  // A join predicate localized to operator inputs and composite
+  // offsets.
+  struct LocalPredicate {
+    size_t input_a, offset_a;
+    size_t input_b, offset_b;
+  };
+  // One generalized edge in composite-offset space. Removability runs
+  // a fixpoint over ALL of these (the chained purge strategy is
+  // existential: any instantiated alternative may close an input).
+  struct RuntimeEdge {
+    size_t target_input = 0;
+    std::vector<size_t> target_offsets;  // punctuatable attrs (composite)
+    // Per target offset: where the required values come from.
+    struct Source {
+      size_t input;
+      size_t offset;
+    };
+    std::vector<Source> sources;
+    std::vector<size_t> source_inputs;  // sorted, deduplicated
+  };
+  struct PendingPropagation {
+    size_t input;
+    Punctuation punctuation;  // in the input's composite space
+  };
+
+  MJoinOperator() = default;
+
+  size_t OffsetOf(size_t input, size_t stream, size_t attr) const;
+  /// Extends each partial assignment through input v's state,
+  /// index-probing one predicate to the covered inputs and verifying
+  /// the rest (cross product when no predicate applies).
+  std::vector<std::vector<const Tuple*>> Expand(
+      size_t v,
+      const std::vector<std::vector<const Tuple*>>& assignments) const;
+  bool Removable(size_t input, const Tuple& tuple, int64_t now);
+  void ProduceResults(size_t input, const Tuple& tuple, int64_t ts);
+  /// Re-checks pending propagations for the inputs whose punctuation
+  /// store or join state changed.
+  void TryPropagate(int64_t now, const std::vector<bool>& changed_inputs);
+  /// Section 5.1 punctuation purgeability pass (see MJoinConfig).
+  void PurgeObsoletePunctuations(int64_t now);
+  Punctuation RebaseToOutput(size_t input, const Punctuation& p) const;
+
+  std::vector<LocalInput> inputs_;
+  MJoinConfig config_;
+  std::vector<size_t> output_streams_;
+  size_t output_width_ = 0;
+
+  // Per input: composite width and (stream, attr) -> offset map.
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::pair<size_t, size_t>>> offset_keys_;  // parallel
+  std::vector<std::vector<size_t>> offset_values_;
+
+  // Output assembly: for each input, where its composite lands in the
+  // output row (per covered stream segment).
+  struct CopySegment {
+    size_t input, from, len, to;
+  };
+  std::vector<CopySegment> copy_plan_;
+
+  std::vector<LocalPredicate> predicates_;
+  // predicate indices touching each input.
+  std::vector<std::vector<size_t>> predicates_of_input_;
+  uint64_t punctuations_purged_ = 0;
+
+  std::vector<std::unique_ptr<TupleStore>> states_;
+  std::vector<std::unique_ptr<PunctuationStore>> punct_stores_;
+  std::vector<RuntimeEdge> runtime_edges_;
+  std::vector<bool> input_purgeable_;
+
+  // Schemes propagatable on the output, per input, as composite
+  // constrained-offset signatures.
+  std::vector<std::vector<std::vector<size_t>>> propagatable_signatures_;
+  std::vector<PendingPropagation> pending_propagations_;
+
+  size_t punctuations_since_sweep_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_MJOIN_H_

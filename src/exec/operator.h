@@ -1,0 +1,64 @@
+// Push-based operator interface. Operators consume tuples and
+// punctuations per input and emit output elements (join results and
+// propagated punctuations) through an emitter callback, so they
+// compose into arbitrary plan trees (paper Section 2.2's plan space:
+// binary trees, MJoin trees, mixed).
+
+#ifndef PUNCTSAFE_EXEC_OPERATOR_H_
+#define PUNCTSAFE_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "exec/metrics.h"
+#include "stream/element.h"
+
+namespace punctsafe {
+
+/// \brief How a join operator reacts to punctuations (paper Section
+/// 5.2, Plan Parameter II, after [Ding et al. 2004]).
+enum class PurgePolicy {
+  kEager,  ///< purge sweep on every new punctuation
+  kLazy,   ///< purge sweep every `lazy_batch` punctuations
+  kNone,   ///< never purge (the unbounded baseline)
+};
+
+class JoinOperator {
+ public:
+  using Emitter = std::function<void(const StreamElement&)>;
+
+  virtual ~JoinOperator() = default;
+
+  virtual size_t num_inputs() const = 0;
+
+  /// \brief Consumes one data tuple on `input` at logical time `ts`.
+  virtual void PushTuple(size_t input, const Tuple& tuple, int64_t ts) = 0;
+
+  /// \brief Consumes one punctuation on `input` at logical time `ts`.
+  virtual void PushPunctuation(size_t input, const Punctuation& punctuation,
+                               int64_t ts) = 0;
+
+  /// \brief Tuples currently held across all join states.
+  virtual size_t TotalLiveTuples() const = 0;
+
+  /// \brief Punctuations currently held across all inputs.
+  virtual size_t TotalLivePunctuations() const = 0;
+
+  void SetEmitter(Emitter emitter) { emitter_ = std::move(emitter); }
+
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  void Emit(const StreamElement& element) {
+    if (element.is_tuple()) ++metrics_.results_emitted;
+    if (emitter_) emitter_(element);
+  }
+
+  Emitter emitter_;
+  OperatorMetrics metrics_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_OPERATOR_H_

@@ -1,0 +1,168 @@
+#include "exec/plan_executor.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+// Bottom-up construction result for one plan-shape node.
+struct BuiltNode {
+  LocalInput info;           // streams + schemes visible on this edge
+  MJoinOperator* op = nullptr;  // nullptr for leaves
+};
+
+BuiltNode BuildNode(const ContinuousJoinQuery& query,
+                    const SchemeSet& schemes, const PlanShape& shape,
+                    const ExecutorConfig& config,
+                    std::vector<std::unique_ptr<MJoinOperator>>* operators,
+                    std::vector<std::pair<MJoinOperator*, size_t>>* routes,
+                    Status* status) {
+  if (!status->ok()) return {};
+  if (shape.IsLeaf()) {
+    BuiltNode node;
+    node.info.streams = {shape.stream()};
+    node.info.schemes = RawAvailableSchemes(query, schemes, shape.stream());
+    return node;
+  }
+
+  std::vector<BuiltNode> children;
+  children.reserve(shape.children().size());
+  for (const PlanShape& child : shape.children()) {
+    children.push_back(BuildNode(query, schemes, child, config, operators,
+                                 routes, status));
+    if (!status->ok()) return {};
+  }
+
+  std::vector<LocalInput> inputs;
+  inputs.reserve(children.size());
+  for (const BuiltNode& c : children) inputs.push_back(c.info);
+
+  auto op_or = MJoinOperator::Create(query, inputs, config.mjoin);
+  if (!op_or.ok()) {
+    *status = op_or.status();
+    return {};
+  }
+  operators->push_back(std::move(op_or).ValueOrDie());
+  MJoinOperator* op = operators->back().get();
+
+  // Wire children into this operator and record leaf routes.
+  for (size_t k = 0; k < children.size(); ++k) {
+    if (children[k].op != nullptr) {
+      MJoinOperator* child_op = children[k].op;
+      child_op->SetEmitter([op, k](const StreamElement& e) {
+        if (e.is_tuple()) {
+          op->PushTuple(k, e.tuple, e.timestamp);
+        } else {
+          op->PushPunctuation(k, e.punctuation, e.timestamp);
+        }
+      });
+    } else {
+      (*routes)[children[k].info.streams[0]] = {op, k};
+    }
+  }
+
+  BuiltNode node;
+  node.op = op;
+  node.info.streams.clear();
+  for (const BuiltNode& c : children) {
+    node.info.streams.insert(node.info.streams.end(), c.info.streams.begin(),
+                             c.info.streams.end());
+  }
+  std::sort(node.info.streams.begin(), node.info.streams.end());
+  // Propagate schemes of purgeable inputs (matches plan_safety.cc and
+  // the operator's own propagatable signatures).
+  for (size_t k = 0; k < children.size(); ++k) {
+    if (op->InputPurgeable(k)) {
+      node.info.schemes.insert(node.info.schemes.end(),
+                               children[k].info.schemes.begin(),
+                               children[k].info.schemes.end());
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes,
+    const PlanShape& shape, ExecutorConfig config) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
+                             CheckPlanSafety(query, schemes, shape));
+
+  auto exec = std::unique_ptr<PlanExecutor>(new PlanExecutor());
+  exec->query_ = query;
+  exec->shape_ = shape;
+  exec->config_ = config;
+  exec->safety_ = std::move(safety);
+  exec->leaf_route_.assign(query.num_streams(), {nullptr, 0});
+
+  Status status = Status::OK();
+  BuiltNode root =
+      BuildNode(exec->query_, schemes, shape, config, &exec->operators_,
+                &exec->leaf_route_, &status);
+  PUNCTSAFE_RETURN_IF_ERROR(status);
+
+  PlanExecutor* raw = exec.get();
+  root.op->SetEmitter([raw](const StreamElement& e) {
+    if (!e.is_tuple()) return;  // root punctuations reach the consumer app
+    ++raw->num_results_;
+    if (raw->config_.keep_results) raw->kept_results_.push_back(e.tuple);
+  });
+  return exec;
+}
+
+Status PlanExecutor::Push(const TraceEvent& event) {
+  auto idx = query_.StreamIndex(event.stream);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("stream '", event.stream, "' not part of ", query_.ToString()));
+  }
+  if (event.element.is_tuple()) {
+    PushTuple(*idx, event.element.tuple, event.element.timestamp);
+  } else {
+    PushPunctuation(*idx, event.element.punctuation,
+                    event.element.timestamp);
+  }
+  return Status::OK();
+}
+
+void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
+  auto [op, input] = leaf_route_[stream];
+  op->PushTuple(input, tuple, ts);
+  RecordHighWater();
+}
+
+void PlanExecutor::PushPunctuation(size_t stream,
+                                   const Punctuation& punctuation,
+                                   int64_t ts) {
+  auto [op, input] = leaf_route_[stream];
+  op->PushPunctuation(input, punctuation, ts);
+  RecordHighWater();
+}
+
+void PlanExecutor::SweepAll(int64_t now) {
+  for (auto& op : operators_) op->Sweep(now);
+  RecordHighWater();
+}
+
+size_t PlanExecutor::TotalLiveTuples() const {
+  size_t total = 0;
+  for (const auto& op : operators_) total += op->TotalLiveTuples();
+  return total;
+}
+
+size_t PlanExecutor::TotalLivePunctuations() const {
+  size_t total = 0;
+  for (const auto& op : operators_) total += op->TotalLivePunctuations();
+  return total;
+}
+
+void PlanExecutor::RecordHighWater() {
+  tuple_high_water_ = std::max(tuple_high_water_, TotalLiveTuples());
+  punct_high_water_ = std::max(punct_high_water_, TotalLivePunctuations());
+}
+
+}  // namespace punctsafe

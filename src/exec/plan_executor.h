@@ -1,0 +1,90 @@
+// PlanExecutor: instantiates an execution plan shape as a tree of
+// MJoin operators, wires punctuation/result propagation between them,
+// and routes raw stream elements to the right leaf inputs. This is
+// the "query processor" box of the paper's Figure 2.
+
+#ifndef PUNCTSAFE_EXEC_PLAN_EXECUTOR_H_
+#define PUNCTSAFE_EXEC_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_safety.h"
+#include "exec/mjoin.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/element.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+struct ExecutorConfig {
+  MJoinConfig mjoin;
+  /// Retain emitted result tuples (tests/examples; benchmarks count
+  /// only).
+  bool keep_results = false;
+};
+
+class PlanExecutor {
+ public:
+  /// \brief Builds the operator tree for `shape` over `query`.
+  /// Unsafe shapes are built too (their states simply grow); callers
+  /// that must not run unsafe plans go through QueryRegister.
+  static Result<std::unique_ptr<PlanExecutor>> Create(
+      const ContinuousJoinQuery& query, const SchemeSet& schemes,
+      const PlanShape& shape, ExecutorConfig config = {});
+
+  /// \brief Routes one trace event by stream name.
+  Status Push(const TraceEvent& event);
+
+  /// \brief Routes by query stream index.
+  void PushTuple(size_t stream, const Tuple& tuple, int64_t ts);
+  void PushPunctuation(size_t stream, const Punctuation& punctuation,
+                       int64_t ts);
+
+  /// \brief Flushes lazy purge batches across all operators.
+  void SweepAll(int64_t now);
+
+  size_t TotalLiveTuples() const;
+  size_t TotalLivePunctuations() const;
+  /// \brief Max of TotalLiveTuples observed after any push — the
+  /// quantity the safety guarantee bounds.
+  size_t tuple_high_water() const { return tuple_high_water_; }
+  size_t punctuation_high_water() const { return punct_high_water_; }
+
+  uint64_t num_results() const { return num_results_; }
+  const std::vector<Tuple>& kept_results() const { return kept_results_; }
+
+  const PlanSafetyReport& safety() const { return safety_; }
+  const ContinuousJoinQuery& query() const { return query_; }
+  const PlanShape& shape() const { return shape_; }
+  const std::vector<std::unique_ptr<MJoinOperator>>& operators() const {
+    return operators_;
+  }
+
+ private:
+  PlanExecutor() = default;
+
+  void RecordHighWater();
+
+  ContinuousJoinQuery query_;
+  PlanShape shape_;
+  ExecutorConfig config_;
+  PlanSafetyReport safety_;
+
+  std::vector<std::unique_ptr<MJoinOperator>> operators_;  // post-order
+  // Per query stream: the operator and input index consuming it.
+  std::vector<std::pair<MJoinOperator*, size_t>> leaf_route_;
+
+  uint64_t num_results_ = 0;
+  std::vector<Tuple> kept_results_;
+  size_t tuple_high_water_ = 0;
+  size_t punct_high_water_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_PLAN_EXECUTOR_H_

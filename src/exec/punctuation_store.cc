@@ -1,0 +1,132 @@
+#include "exec/punctuation_store.h"
+
+#include <algorithm>
+
+namespace punctsafe {
+
+namespace {
+
+// Projects the constants of a punctuation, in its constrained-attr
+// order, into a Tuple usable as a hash key.
+Tuple ConstantsOf(const Punctuation& p, const std::vector<size_t>& attrs) {
+  std::vector<Value> values;
+  values.reserve(attrs.size());
+  for (size_t a : attrs) values.push_back(p.pattern(a).constant());
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+bool PunctuationStore::Add(const Punctuation& punctuation, int64_t now) {
+  std::vector<size_t> attrs = punctuation.ConstrainedAttrs();
+  Group* group = nullptr;
+  for (auto& g : groups_) {
+    if (g.attrs == attrs) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    groups_.push_back({attrs, {}});
+    group = &groups_.back();
+  }
+  Tuple key = ConstantsOf(punctuation, attrs);
+  auto [it, inserted] = group->by_values.try_emplace(
+      std::move(key), Entry{punctuation, now});
+  if (!inserted) {
+    it->second.arrival = now;  // refresh lifespan of a duplicate
+    return false;
+  }
+  ++size_;
+  high_water_ = std::max(high_water_, size_);
+  return true;
+}
+
+bool PunctuationStore::CoversSubspace(const std::vector<size_t>& attrs,
+                                      const std::vector<Value>& values,
+                                      int64_t now) const {
+  for (const Group& group : groups_) {
+    // Group applies iff its constrained attrs are a subset of `attrs`.
+    std::vector<Value> projected;
+    projected.reserve(group.attrs.size());
+    bool subset = true;
+    for (size_t a : group.attrs) {
+      auto it = std::find(attrs.begin(), attrs.end(), a);
+      if (it == attrs.end()) {
+        subset = false;
+        break;
+      }
+      projected.push_back(values[it - attrs.begin()]);
+    }
+    if (!subset) continue;
+    auto it = group.by_values.find(Tuple(std::move(projected)));
+    if (it != group.by_values.end() && !Expired(it->second, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PunctuationStore::ExcludesTuple(const Tuple& tuple, int64_t now) const {
+  for (const Group& group : groups_) {
+    std::vector<Value> projected;
+    projected.reserve(group.attrs.size());
+    bool ok = true;
+    for (size_t a : group.attrs) {
+      if (a >= tuple.size()) {
+        ok = false;
+        break;
+      }
+      projected.push_back(tuple.at(a));
+    }
+    if (!ok) continue;
+    auto it = group.by_values.find(Tuple(std::move(projected)));
+    if (it != group.by_values.end() && !Expired(it->second, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t PunctuationStore::ExpireBefore(int64_t now) {
+  if (!lifespan_.has_value()) return 0;
+  size_t dropped = 0;
+  for (Group& group : groups_) {
+    for (auto it = group.by_values.begin(); it != group.by_values.end();) {
+      if (Expired(it->second, now)) {
+        it = group.by_values.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  size_ -= dropped;
+  return dropped;
+}
+
+size_t PunctuationStore::RemoveIf(
+    const std::function<bool(const Punctuation&)>& pred) {
+  size_t removed = 0;
+  for (Group& group : groups_) {
+    for (auto it = group.by_values.begin(); it != group.by_values.end();) {
+      if (pred(it->second.punctuation)) {
+        it = group.by_values.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  size_ -= removed;
+  return removed;
+}
+
+void PunctuationStore::ForEach(
+    const std::function<void(const Punctuation&)>& fn) const {
+  for (const Group& group : groups_) {
+    for (const auto& [key, entry] : group.by_values) fn(entry.punctuation);
+  }
+}
+
+}  // namespace punctsafe

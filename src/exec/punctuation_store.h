@@ -1,0 +1,90 @@
+// The punctuation store of one operator input.
+//
+// Punctuations must be retained after use: they purge not only the
+// tuples currently stored but also matching *future* tuples (paper
+// Section 5.1). Retaining them forever is itself an unbounded-memory
+// hazard, so the store supports the paper's two practical remedies:
+//  * lifespans — a punctuation expires `lifespan` time units after its
+//    arrival timestamp (the TCP sequence-number example);
+//  * explicit purging by punctuations from partner streams
+//    (punctuation purgeability), driven by the owning operator.
+//
+// Lookup is organized by constrained-attribute signature: the chained
+// purge test "is subspace {attrs = values} closed?" probes each
+// signature that is a subset of `attrs` with the projected values —
+// O(#signatures) hash lookups.
+
+#ifndef PUNCTSAFE_EXEC_PUNCTUATION_STORE_H_
+#define PUNCTSAFE_EXEC_PUNCTUATION_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/punctuation.h"
+#include "stream/tuple.h"
+
+namespace punctsafe {
+
+class PunctuationStore {
+ public:
+  /// \param lifespan expiry horizon in timestamp units; nullopt keeps
+  ///        punctuations forever.
+  explicit PunctuationStore(std::optional<int64_t> lifespan = std::nullopt)
+      : lifespan_(lifespan) {}
+
+  /// \brief Stores a punctuation observed at `now`; returns false for
+  /// duplicates (which refresh the timestamp instead).
+  bool Add(const Punctuation& punctuation, int64_t now);
+
+  /// \brief True iff some stored, unexpired punctuation excludes every
+  /// future tuple of the subspace {attrs[i] = values[i], rest = *}.
+  bool CoversSubspace(const std::vector<size_t>& attrs,
+                      const std::vector<Value>& values, int64_t now) const;
+
+  /// \brief True iff a stored, unexpired punctuation matches the tuple
+  /// (i.e. the tuple was promised never to arrive — contract
+  /// violation, or a late arrival the operator may drop).
+  bool ExcludesTuple(const Tuple& tuple, int64_t now) const;
+
+  /// \brief Drops punctuations whose lifespan ended before `now`;
+  /// returns how many were dropped. No-op without a lifespan.
+  size_t ExpireBefore(int64_t now);
+
+  /// \brief Removes stored punctuations selected by the predicate
+  /// (punctuation purgeability, Section 5.1); returns count removed.
+  size_t RemoveIf(const std::function<bool(const Punctuation&)>& pred);
+
+  size_t size() const { return size_; }
+  size_t high_water() const { return high_water_; }
+
+  /// \brief Calls fn for every stored punctuation (expired included).
+  void ForEach(const std::function<void(const Punctuation&)>& fn) const;
+
+ private:
+  struct Entry {
+    Punctuation punctuation;
+    int64_t arrival = 0;
+  };
+  // Signature = sorted constrained-attr offsets; per signature, a map
+  // from the constant projection (as a Tuple) to the entry.
+  struct Group {
+    std::vector<size_t> attrs;
+    std::unordered_map<Tuple, Entry, TupleHash> by_values;
+  };
+
+  bool Expired(const Entry& e, int64_t now) const {
+    return lifespan_.has_value() && e.arrival + *lifespan_ <= now;
+  }
+
+  std::optional<int64_t> lifespan_;
+  std::vector<Group> groups_;
+  size_t size_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_PUNCTUATION_STORE_H_

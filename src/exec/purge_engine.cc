@@ -1,0 +1,170 @@
+#include "exec/purge_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/plan_safety.h"
+#include "util/logging.h"
+
+namespace punctsafe {
+
+namespace {
+using Assignment = std::vector<const Tuple*>;
+}  // namespace
+
+Result<std::unique_ptr<PurgeEngine>> PurgeEngine::Create(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes,
+    PurgeEngineConfig config) {
+  auto engine = std::unique_ptr<PurgeEngine>(new PurgeEngine());
+  engine->query_ = query;
+  engine->config_ = config;
+
+  // Query-level graph: one "input" per raw stream.
+  std::vector<LocalInput> inputs;
+  for (size_t s = 0; s < query.num_streams(); ++s) {
+    inputs.push_back({{s}, RawAvailableSchemes(query, schemes, s)});
+  }
+  engine->edges_ = BuildLocalEdges(engine->query_, inputs);
+  for (size_t s = 0; s < query.num_streams(); ++s) {
+    engine->stream_purgeable_.push_back(
+        LocalInputPurgeable(s, query.num_streams(), engine->edges_));
+    engine->states_.push_back(
+        std::make_unique<TupleStore>(engine->query_.JoinAttrsOf(s)));
+    engine->punct_stores_.push_back(
+        std::make_unique<PunctuationStore>(config.punctuation_lifespan));
+  }
+  return engine;
+}
+
+size_t PurgeEngine::AddTuple(size_t stream, const Tuple& tuple,
+                             int64_t /*ts*/) {
+  PUNCTSAFE_CHECK(stream < states_.size());
+  return states_[stream]->Insert(tuple);
+}
+
+void PurgeEngine::AddPunctuation(size_t stream,
+                                 const Punctuation& punctuation,
+                                 int64_t ts) {
+  PUNCTSAFE_CHECK(stream < punct_stores_.size());
+  if (config_.punctuation_lifespan.has_value()) {
+    for (auto& store : punct_stores_) store->ExpireBefore(ts);
+  }
+  punct_stores_[stream]->Add(punctuation, ts);
+}
+
+std::vector<std::vector<const Tuple*>> PurgeEngine::Expand(
+    size_t v, const std::vector<Assignment>& assignments) const {
+  std::vector<Assignment> out;
+  for (const Assignment& a : assignments) {
+    // Probe one predicate to a covered stream, verify the rest.
+    long probe_pred = -1;
+    std::vector<size_t> verify;
+    for (size_t pi = 0; pi < query_.predicates().size(); ++pi) {
+      const ResolvedPredicate& p = query_.predicates()[pi];
+      if (!p.Involves(v)) continue;
+      if (a[p.OtherStream(v)] == nullptr) continue;
+      if (probe_pred < 0) {
+        probe_pred = static_cast<long>(pi);
+      } else {
+        verify.push_back(pi);
+      }
+    }
+    auto matches = [&](const Tuple& candidate) {
+      for (size_t pi : verify) {
+        const ResolvedPredicate& p = query_.predicates()[pi];
+        size_t other = p.OtherStream(v);
+        if (!(candidate.at(p.AttrOn(v)) == a[other]->at(p.AttrOn(other)))) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (probe_pred < 0) continue;  // chained edges always imply one
+    const ResolvedPredicate& p = query_.predicates()[probe_pred];
+    size_t other = p.OtherStream(v);
+    for (size_t slot :
+         states_[v]->Probe(p.AttrOn(v), a[other]->at(p.AttrOn(other)))) {
+      const Tuple& candidate = states_[v]->At(slot);
+      if (!matches(candidate)) continue;
+      Assignment next = a;
+      next[v] = &candidate;
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
+                            int64_t now) const {
+  if (!stream_purgeable_[stream]) return false;
+  const size_t n = query_.num_streams();
+
+  std::vector<Assignment> joinable;
+  Assignment start(n, nullptr);
+  start[stream] = &tuple;
+  joinable.push_back(std::move(start));
+
+  std::vector<bool> covered(n, false);
+  covered[stream] = true;
+  size_t covered_count = 1;
+  bool progress = true;
+  while (progress && covered_count < n) {
+    progress = false;
+    for (const LocalGpgEdge& edge : edges_) {
+      if (covered[edge.target_input]) continue;
+      bool ready =
+          std::all_of(edge.source_inputs.begin(), edge.source_inputs.end(),
+                      [&](size_t s) { return covered[s]; });
+      if (!ready) continue;
+      std::unordered_set<Tuple, TupleHash> combos;
+      std::vector<size_t> target_attrs;
+      for (const LocalGpgEdge::Binding& b : edge.bindings) {
+        target_attrs.push_back(b.target_attr);
+      }
+      for (const Assignment& a : joinable) {
+        std::vector<Value> combo;
+        for (const LocalGpgEdge::Binding& b : edge.bindings) {
+          combo.push_back(a[b.source_input]->at(b.source_attr));
+        }
+        combos.insert(Tuple(std::move(combo)));
+      }
+      bool all_excluded = true;
+      for (const Tuple& combo : combos) {
+        if (!punct_stores_[edge.target_input]->CoversSubspace(
+                target_attrs, combo.values(), now)) {
+          all_excluded = false;
+          break;
+        }
+      }
+      if (!all_excluded) continue;
+      joinable = Expand(edge.target_input, joinable);
+      if (joinable.size() > config_.max_joinable_set) return false;
+      covered[edge.target_input] = true;
+      ++covered_count;
+      progress = true;
+    }
+  }
+  return covered_count == n;
+}
+
+std::vector<std::pair<size_t, size_t>> PurgeEngine::Sweep(int64_t now) {
+  std::vector<std::pair<size_t, size_t>> released;
+  for (size_t s = 0; s < states_.size(); ++s) {
+    if (!stream_purgeable_[s]) continue;
+    std::vector<size_t> removable;
+    states_[s]->ForEachLive([&](size_t slot, const Tuple& t) {
+      if (Removable(s, t, now)) removable.push_back(slot);
+    });
+    for (size_t slot : removable) released.emplace_back(s, slot);
+    states_[s]->PurgeSlots(removable);
+  }
+  return released;
+}
+
+size_t PurgeEngine::TotalLiveTuples() const {
+  size_t total = 0;
+  for (const auto& s : states_) total += s->live_count();
+  return total;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,87 @@
+#include "exec/query_register.h"
+
+#include "core/plan_safety.h"
+#include "plan/chooser.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Status QueryRegister::RegisterScheme(const PunctuationScheme& scheme) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(const Schema* schema,
+                             catalog_.Get(scheme.stream()));
+  if (scheme.arity() != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        StrCat("scheme ", scheme.ToString(), " arity ", scheme.arity(),
+               " != stream arity ", schema->num_attributes()));
+  }
+  if (scheme.NumPunctuatable() == 0) {
+    return Status::InvalidArgument(
+        "a punctuation scheme needs at least one punctuatable attribute");
+  }
+  return schemes_.Add(scheme);
+}
+
+Status QueryRegister::RegisterScheme(
+    const std::string& stream, const std::vector<std::string>& attributes) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(const Schema* schema, catalog_.Get(stream));
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      PunctuationScheme scheme,
+      PunctuationScheme::OnAttributes(stream, *schema, attributes));
+  return schemes_.Add(std::move(scheme));
+}
+
+Result<RegisteredQuery> QueryRegister::RegisterWithChooser(
+    const std::vector<std::string>& streams,
+    const std::vector<JoinPredicateSpec>& predicates,
+    const WorkloadStats& stats, CostObjective objective,
+    ExecutorConfig config) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      ContinuousJoinQuery query,
+      ContinuousJoinQuery::Create(catalog_, streams, predicates));
+  PlanChooser chooser(query, schemes_, stats);
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      RankedPlan best, chooser.Choose(objective, config.mjoin.purge_policy,
+                                      /*limit=*/256));
+  return Register(streams, predicates, config, std::move(best.shape));
+}
+
+Result<RegisteredQuery> QueryRegister::Register(
+    const std::vector<std::string>& streams,
+    const std::vector<JoinPredicateSpec>& predicates, ExecutorConfig config,
+    std::optional<PlanShape> shape) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      ContinuousJoinQuery query,
+      ContinuousJoinQuery::Create(catalog_, streams, predicates));
+
+  SafetyChecker checker(schemes_);
+  PUNCTSAFE_ASSIGN_OR_RETURN(SafetyReport report, checker.CheckQuery(query));
+  if (!report.safe) {
+    return Status::FailedPrecondition(report.explanation);
+  }
+
+  PlanShape chosen =
+      shape.value_or(PlanShape::SingleMJoin(query.num_streams()));
+  PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport plan_report,
+                             CheckPlanSafety(query, schemes_, chosen));
+  if (!plan_report.safe) {
+    return Status::FailedPrecondition(
+        StrCat("execution plan ", chosen.ToString(query),
+               " is not safe under ", schemes_.ToString(),
+               " although the query is (choose another plan, e.g. the "
+               "single MJoin): ",
+               plan_report.ToString(query)));
+  }
+
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanExecutor> executor,
+      PlanExecutor::Create(query, schemes_, chosen, config));
+
+  RegisteredQuery out;
+  out.query = std::move(query);
+  out.safety = std::move(report);
+  out.shape = std::move(chosen);
+  out.executor = std::move(executor);
+  return out;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,157 @@
+#include "exec/symmetric_hash_join.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace punctsafe {
+
+Result<std::unique_ptr<SymmetricHashJoinOperator>>
+SymmetricHashJoinOperator::Create(const ContinuousJoinQuery& query,
+                                  const SchemeSet& schemes,
+                                  SymmetricHashJoinConfig config) {
+  if (query.num_streams() != 2) {
+    return Status::InvalidArgument(
+        "SymmetricHashJoinOperator handles exactly two streams");
+  }
+  auto op = std::unique_ptr<SymmetricHashJoinOperator>(
+      new SymmetricHashJoinOperator());
+  op->config_ = config;
+
+  // Align predicate attribute lists per side.
+  for (const ResolvedPredicate& p : query.predicates()) {
+    op->my_attrs_[0].push_back(p.AttrOn(0));
+    op->partner_attrs_[0].push_back(p.AttrOn(1));
+    op->my_attrs_[1].push_back(p.AttrOn(1));
+    op->partner_attrs_[1].push_back(p.AttrOn(0));
+  }
+
+  for (size_t side = 0; side < 2; ++side) {
+    size_t other = 1 - side;
+    // Section 3.1 (generalized to multi-attribute schemes): the state
+    // of `side` is purgeable iff the other stream has a scheme whose
+    // punctuatable attributes all are join attributes.
+    for (const PunctuationScheme* s :
+         schemes.SchemesFor(query.stream(other))) {
+      if (s->arity() != query.schema(other).num_attributes()) continue;
+      std::vector<size_t> pa = s->PunctuatableAttrs();
+      bool usable = std::all_of(pa.begin(), pa.end(), [&](size_t a) {
+        return std::find(op->my_attrs_[other].begin(),
+                         op->my_attrs_[other].end(),
+                         a) != op->my_attrs_[other].end();
+      });
+      if (usable) {
+        op->purgeable_[side] = true;
+        break;
+      }
+    }
+    std::vector<size_t> indexed = op->my_attrs_[side];
+    std::sort(indexed.begin(), indexed.end());
+    indexed.erase(std::unique(indexed.begin(), indexed.end()), indexed.end());
+    op->states_[side] = std::make_unique<TupleStore>(indexed);
+    op->punct_stores_[side] =
+        std::make_unique<PunctuationStore>(config.punctuation_lifespan);
+  }
+  return op;
+}
+
+bool SymmetricHashJoinOperator::Removable(size_t input, const Tuple& t,
+                                          int64_t now) const {
+  if (!purgeable_[input]) return false;
+  size_t other = 1 - input;
+  std::vector<Value> waiting;
+  waiting.reserve(my_attrs_[input].size());
+  for (size_t a : my_attrs_[input]) waiting.push_back(t.at(a));
+  return punct_stores_[other]->CoversSubspace(partner_attrs_[input], waiting,
+                                              now);
+}
+
+void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
+                                          int64_t ts) {
+  PUNCTSAFE_CHECK(input < 2);
+  if (config_.drop_excluded_arrivals &&
+      punct_stores_[input]->ExcludesTuple(tuple, ts)) {
+    states_[input]->CountDroppedArrival();
+    return;
+  }
+
+  // Probe the partner state: index lookup on the first predicate,
+  // verification of the rest.
+  size_t other = 1 - input;
+  std::vector<size_t> matches = states_[other]->Probe(
+      my_attrs_[other][0], tuple.at(my_attrs_[input][0]));
+  for (size_t slot : matches) {
+    const Tuple& partner = states_[other]->At(slot);
+    bool ok = true;
+    for (size_t i = 1; i < my_attrs_[input].size(); ++i) {
+      if (!(partner.at(my_attrs_[other][i]) ==
+            tuple.at(my_attrs_[input][i]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    const Tuple& left = (input == 0) ? tuple : partner;
+    const Tuple& right = (input == 0) ? partner : tuple;
+    Emit(StreamElement::OfTuple(ConcatTuples({&left, &right}), ts));
+  }
+
+  if (config_.purge_policy == PurgePolicy::kEager &&
+      Removable(input, tuple, ts)) {
+    states_[input]->CountDroppedArrival();
+    return;
+  }
+  states_[input]->Insert(tuple);
+}
+
+void SymmetricHashJoinOperator::PushPunctuation(
+    size_t input, const Punctuation& punctuation, int64_t ts) {
+  PUNCTSAFE_CHECK(input < 2);
+  ++metrics_.punctuations_received;
+  if (config_.punctuation_lifespan.has_value()) {
+    for (auto& store : punct_stores_) {
+      metrics_.punctuations_expired += store->ExpireBefore(ts);
+    }
+  }
+  if (punct_stores_[input]->Add(punctuation, ts)) {
+    ++metrics_.punctuations_stored;
+  }
+  metrics_.punctuations_live = TotalLivePunctuations();
+  metrics_.punctuations_high_water =
+      std::max(metrics_.punctuations_high_water, metrics_.punctuations_live);
+
+  switch (config_.purge_policy) {
+    case PurgePolicy::kEager:
+      Sweep(ts);
+      break;
+    case PurgePolicy::kLazy:
+      if (++punctuations_since_sweep_ >= config_.lazy_batch) Sweep(ts);
+      break;
+    case PurgePolicy::kNone:
+      break;
+  }
+}
+
+void SymmetricHashJoinOperator::Sweep(int64_t now) {
+  ++metrics_.purge_sweeps;
+  punctuations_since_sweep_ = 0;
+  for (size_t side = 0; side < 2; ++side) {
+    if (!purgeable_[side]) continue;
+    std::vector<size_t> removable;
+    states_[side]->ForEachLive([&](size_t slot, const Tuple& t) {
+      ++metrics_.removability_checks;
+      if (Removable(side, t, now)) removable.push_back(slot);
+    });
+    states_[side]->PurgeSlots(removable);
+  }
+}
+
+size_t SymmetricHashJoinOperator::TotalLiveTuples() const {
+  return states_[0]->live_count() + states_[1]->live_count();
+}
+
+size_t SymmetricHashJoinOperator::TotalLivePunctuations() const {
+  return punct_stores_[0]->size() + punct_stores_[1]->size();
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,80 @@
+// A standalone symmetric binary hash join [Wilschut & Apers 1991]
+// over two *raw* streams, with the Section 3.1 purge rule: a tuple t
+// stored for S_1 is purged once the S_2 punctuation store excludes the
+// partner-value subspace t is waiting on (and symmetrically).
+//
+// This is the paper's binary base case implemented independently of
+// the general MJoin machinery; the test suite runs the two against
+// each other differentially. Plan trees always instantiate
+// MJoinOperator (which subsumes n = 2); this operator exists for
+// fidelity to Section 3.1, for the quickstart example, and as a
+// PJoin-style [Ding et al. 2004] single-operator benchmark subject.
+
+#ifndef PUNCTSAFE_EXEC_SYMMETRIC_HASH_JOIN_H_
+#define PUNCTSAFE_EXEC_SYMMETRIC_HASH_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/punctuation_store.h"
+#include "exec/tuple_store.h"
+#include "query/cjq.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+struct SymmetricHashJoinConfig {
+  PurgePolicy purge_policy = PurgePolicy::kEager;
+  size_t lazy_batch = 64;
+  std::optional<int64_t> punctuation_lifespan;
+  bool drop_excluded_arrivals = true;
+};
+
+class SymmetricHashJoinOperator : public JoinOperator {
+ public:
+  /// \brief Builds the operator for a two-stream CJQ (conjunctive
+  /// equi-join predicates). Input 0/1 are query streams 0/1.
+  static Result<std::unique_ptr<SymmetricHashJoinOperator>> Create(
+      const ContinuousJoinQuery& query, const SchemeSet& schemes,
+      SymmetricHashJoinConfig config = {});
+
+  size_t num_inputs() const override { return 2; }
+  void PushTuple(size_t input, const Tuple& tuple, int64_t ts) override;
+  void PushPunctuation(size_t input, const Punctuation& punctuation,
+                       int64_t ts) override;
+  size_t TotalLiveTuples() const override;
+  size_t TotalLivePunctuations() const override;
+
+  const StateMetrics& state_metrics(size_t input) const {
+    return states_[input]->metrics();
+  }
+
+  /// \brief Section 3.1: the state of `input` is purgeable iff some
+  /// simple scheme exists on a partner join attribute of the *other*
+  /// stream.
+  bool InputPurgeable(size_t input) const { return purgeable_[input]; }
+
+  void Sweep(int64_t now);
+
+ private:
+  SymmetricHashJoinOperator() = default;
+
+  // Is tuple `t` of `input` waiting only on partner values the other
+  // store's punctuations already exclude?
+  bool Removable(size_t input, const Tuple& t, int64_t now) const;
+
+  SymmetricHashJoinConfig config_;
+  // Per input: this side's predicate attrs and the partner's, aligned.
+  std::vector<size_t> my_attrs_[2];
+  std::vector<size_t> partner_attrs_[2];
+  bool purgeable_[2] = {false, false};
+  std::unique_ptr<TupleStore> states_[2];
+  std::unique_ptr<PunctuationStore> punct_stores_[2];
+  size_t punctuations_since_sweep_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_SYMMETRIC_HASH_JOIN_H_

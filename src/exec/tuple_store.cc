@@ -1,0 +1,111 @@
+#include "exec/tuple_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace punctsafe {
+
+TupleStore::TupleStore(std::vector<size_t> indexed_offsets)
+    : indexed_offsets_(std::move(indexed_offsets)) {
+  indexes_.resize(indexed_offsets_.size());
+}
+
+size_t TupleStore::Insert(Tuple tuple) {
+  size_t slot = tuples_.size();
+  for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
+    PUNCTSAFE_CHECK(indexed_offsets_[i] < tuple.size())
+        << "indexed offset beyond tuple arity";
+    indexes_[i][tuple.at(indexed_offsets_[i])].push_back(slot);
+  }
+  tuples_.push_back(std::move(tuple));
+  live_.push_back(true);
+  pos_in_live_.push_back(live_slots_.size());
+  live_slots_.push_back(slot);
+  ++live_count_;
+  metrics_.OnInsert();
+  return slot;
+}
+
+void TupleStore::Remove(size_t slot) {
+  PUNCTSAFE_CHECK(slot < live_.size());
+  if (!live_[slot]) return;
+  live_[slot] = false;
+  // Swap-remove from the dense live list.
+  size_t pos = pos_in_live_[slot];
+  size_t last = live_slots_.back();
+  live_slots_[pos] = last;
+  pos_in_live_[last] = pos;
+  live_slots_.pop_back();
+  --live_count_;
+  ++dead_count_;
+  MaybeCompactIndexes();
+}
+
+void TupleStore::ForEachLive(
+    const std::function<void(size_t, const Tuple&)>& fn) const {
+  for (size_t slot : live_slots_) fn(slot, tuples_[slot]);
+}
+
+bool TupleStore::AnyLive(
+    const std::function<bool(const Tuple&)>& pred) const {
+  for (size_t slot : live_slots_) {
+    if (pred(tuples_[slot])) return true;
+  }
+  return false;
+}
+
+bool TupleStore::HasIndexOn(size_t offset) const {
+  return std::find(indexed_offsets_.begin(), indexed_offsets_.end(),
+                   offset) != indexed_offsets_.end();
+}
+
+std::vector<size_t> TupleStore::Probe(size_t offset,
+                                      const Value& value) const {
+  auto pos = std::find(indexed_offsets_.begin(), indexed_offsets_.end(),
+                       offset);
+  PUNCTSAFE_CHECK(pos != indexed_offsets_.end())
+      << "probe on non-indexed offset " << offset;
+  const auto& index = indexes_[pos - indexed_offsets_.begin()];
+  std::vector<size_t> out;
+  auto it = index.find(value);
+  if (it == index.end()) return out;
+  for (size_t slot : it->second) {
+    if (live_[slot]) out.push_back(slot);
+  }
+  return out;
+}
+
+void TupleStore::PurgeSlots(const std::vector<size_t>& slots) {
+  size_t removed = 0;
+  for (size_t slot : slots) {
+    if (IsLive(slot)) {
+      Remove(slot);
+      ++removed;
+    }
+  }
+  metrics_.OnPurge(removed);
+}
+
+void TupleStore::MaybeCompactIndexes() {
+  // Rebuild indexes once dead slots dominate, keeping probe cost
+  // proportional to live data. Dead tuples stay in `tuples_` (slot
+  // ids must remain stable); only index buckets are cleaned.
+  if (dead_count_ < 64 || dead_count_ < live_count_ * 2) return;
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    for (auto it = indexes_[i].begin(); it != indexes_[i].end();) {
+      auto& slots = it->second;
+      slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                 [this](size_t s) { return !live_[s]; }),
+                  slots.end());
+      if (slots.empty()) {
+        it = indexes_[i].erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  dead_count_ = 0;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,84 @@
+// The join state Υ of one operator input: a tuple store with
+// hash indexes on the attributes used for probing and purging.
+//
+// Storage is a slot vector with tombstoned removal; per-attribute
+// indexes map values to slots and are filtered/rebuilt lazily, the
+// standard symmetric-hash-join bookkeeping [Wilschut & Apers 1991].
+
+#ifndef PUNCTSAFE_EXEC_TUPLE_STORE_H_
+#define PUNCTSAFE_EXEC_TUPLE_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/metrics.h"
+#include "stream/tuple.h"
+
+namespace punctsafe {
+
+class TupleStore {
+ public:
+  /// \param indexed_offsets attribute positions to maintain hash
+  ///        indexes on (the input's join attributes).
+  explicit TupleStore(std::vector<size_t> indexed_offsets);
+
+  /// \brief Stores a tuple; returns its slot id.
+  size_t Insert(Tuple tuple);
+
+  /// \brief Tombstones a slot (idempotent).
+  void Remove(size_t slot);
+
+  bool IsLive(size_t slot) const {
+    return slot < live_.size() && live_[slot];
+  }
+  const Tuple& At(size_t slot) const { return tuples_[slot]; }
+
+  size_t live_count() const { return live_count_; }
+  const StateMetrics& metrics() const { return metrics_; }
+
+  /// \brief Counts an arriving tuple that was never stored because its
+  /// removability already held ("purging future tuples", Sec 5.1).
+  void CountDroppedArrival() { ++metrics_.dropped_on_arrival; }
+
+  /// \brief Calls fn(slot, tuple) for every live tuple. The callback
+  /// must not mutate the store.
+  void ForEachLive(const std::function<void(size_t, const Tuple&)>& fn) const;
+
+  /// \brief True iff some live tuple satisfies the predicate (early
+  /// exit on the first hit).
+  bool AnyLive(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// \brief Whether a hash index exists on the given offset.
+  bool HasIndexOn(size_t offset) const;
+
+  /// \brief Live slots whose `offset` attribute equals `value`, via
+  /// the hash index. `offset` must be one of the indexed offsets.
+  std::vector<size_t> Probe(size_t offset, const Value& value) const;
+
+  /// \brief Marks `slots` purged and updates metrics.
+  void PurgeSlots(const std::vector<size_t>& slots);
+
+ private:
+  void MaybeCompactIndexes();
+
+  std::vector<size_t> indexed_offsets_;
+  std::vector<Tuple> tuples_;
+  std::vector<bool> live_;
+  // Dense list of live slots (swap-remove maintained) so iteration
+  // costs O(live), not O(ever inserted).
+  std::vector<size_t> live_slots_;
+  std::vector<size_t> pos_in_live_;
+  size_t live_count_ = 0;
+  size_t dead_count_ = 0;
+  // One index per indexed offset: value -> slots (may contain dead
+  // slots until compaction).
+  std::vector<std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+      indexes_;
+  StateMetrics metrics_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_TUPLE_STORE_H_

@@ -1,0 +1,74 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+void Digraph::AddEdge(size_t u, size_t v) {
+  PUNCTSAFE_CHECK(u < num_nodes() && v < num_nodes())
+      << "edge (" << u << "," << v << ") out of range";
+  if (HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  ++num_edges_;
+}
+
+bool Digraph::HasEdge(size_t u, size_t v) const {
+  PUNCTSAFE_CHECK(u < num_nodes() && v < num_nodes());
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph rev(num_nodes());
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (size_t v : adj_[u]) rev.AddEdge(v, u);
+  }
+  return rev;
+}
+
+std::vector<bool> Digraph::ReachableFrom(size_t start) const {
+  PUNCTSAFE_CHECK(start < num_nodes());
+  std::vector<bool> seen(num_nodes(), false);
+  std::deque<size_t> queue{start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (size_t v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Digraph::ReachesAll(size_t start) const {
+  auto seen = ReachableFrom(start);
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+bool Digraph::IsStronglyConnected() const {
+  if (num_nodes() <= 1) return true;
+  if (!ReachesAll(0)) return false;
+  return Reversed().ReachesAll(0);
+}
+
+std::string Digraph::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (size_t v : adj_[u]) {
+      if (!first) out << ", ";
+      first = false;
+      out << u << "->" << v;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,55 @@
+// A small dense directed-graph representation with the reachability
+// primitives the punctuation-graph machinery needs. Nodes are
+// 0..n-1; callers keep their own node-id <-> stream-name mapping.
+
+#ifndef PUNCTSAFE_GRAPH_DIGRAPH_H_
+#define PUNCTSAFE_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace punctsafe {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(size_t num_nodes) : adj_(num_nodes) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// \brief Adds edge u -> v; parallel edges are deduplicated.
+  /// Requires u, v < num_nodes().
+  void AddEdge(size_t u, size_t v);
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  const std::vector<size_t>& OutEdges(size_t u) const { return adj_[u]; }
+
+  /// \brief Edge-reversed copy.
+  Digraph Reversed() const;
+
+  /// \brief BFS reachability from `start` (start itself included).
+  std::vector<bool> ReachableFrom(size_t start) const;
+
+  /// \brief True iff `start` reaches every node (Theorem 1's
+  /// per-stream condition when applied to a punctuation graph).
+  bool ReachesAll(size_t start) const;
+
+  /// \brief True iff the graph is strongly connected (Corollary 1).
+  /// Implemented as forward + backward reachability from node 0;
+  /// O(V + E). The empty graph and singleton are strongly connected.
+  bool IsStronglyConnected() const;
+
+  /// \brief "0->1, 2->0" style rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<size_t>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_GRAPH_DIGRAPH_H_

@@ -1,0 +1,99 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace punctsafe {
+
+std::vector<std::vector<size_t>> SccResult::Members() const {
+  std::vector<std::vector<size_t>> members(num_components);
+  for (size_t v = 0; v < component_of.size(); ++v) {
+    members[component_of[v]].push_back(v);
+  }
+  return members;
+}
+
+bool SccResult::HasNontrivialComponent() const {
+  std::vector<size_t> counts(num_components, 0);
+  for (size_t c : component_of) {
+    if (++counts[c] > 1) return true;
+  }
+  return false;
+}
+
+SccResult FindSccs(const Digraph& graph) {
+  const size_t n = graph.num_nodes();
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+
+  std::vector<size_t> index(n, kUnvisited);
+  std::vector<size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 0;
+
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+
+  // Explicit DFS frame: node + position in its adjacency list.
+  struct Frame {
+    size_t node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      size_t u = frame.node;
+      const auto& out = graph.OutEdges(u);
+      if (frame.edge_pos < out.size()) {
+        size_t v = out[frame.edge_pos++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          size_t parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          // u is the root of an SCC; pop it off the stack.
+          for (;;) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = result.num_components;
+            if (w == u) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Digraph Condense(const Digraph& graph, const SccResult& sccs) {
+  Digraph out(sccs.num_components);
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    for (size_t v : graph.OutEdges(u)) {
+      size_t cu = sccs.component_of[u];
+      size_t cv = sccs.component_of[v];
+      if (cu != cv) out.AddEdge(cu, cv);
+    }
+  }
+  return out;
+}
+
+}  // namespace punctsafe

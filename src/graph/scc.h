@@ -1,0 +1,41 @@
+// Strongly connected components (iterative Tarjan) and condensation.
+// The transformed punctuation graph (paper Def 11) repeatedly finds
+// SCCs and merges them into virtual nodes; this module supplies that
+// primitive.
+
+#ifndef PUNCTSAFE_GRAPH_SCC_H_
+#define PUNCTSAFE_GRAPH_SCC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace punctsafe {
+
+/// \brief Result of an SCC decomposition.
+struct SccResult {
+  /// Component id per node; ids are dense in [0, num_components) and
+  /// in *reverse topological order of the condensation* (Tarjan's
+  /// property: a component is numbered after everything it reaches).
+  std::vector<size_t> component_of;
+  size_t num_components = 0;
+
+  /// \brief Nodes grouped by component id.
+  std::vector<std::vector<size_t>> Members() const;
+
+  /// \brief True iff some component has more than one node.
+  bool HasNontrivialComponent() const;
+};
+
+/// \brief Tarjan's algorithm, iterative (no recursion depth limit).
+/// O(V + E).
+SccResult FindSccs(const Digraph& graph);
+
+/// \brief Builds the condensation DAG: one node per component,
+/// deduplicated edges between distinct components.
+Digraph Condense(const Digraph& graph, const SccResult& sccs);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_GRAPH_SCC_H_

@@ -1,0 +1,44 @@
+#include "plan/chooser.h"
+
+#include <algorithm>
+
+namespace punctsafe {
+
+Result<std::vector<RankedPlan>> PlanChooser::Rank(CostObjective objective,
+                                                  PurgePolicy policy,
+                                                  size_t limit) const {
+  SafePlanEnumerator enumerator(query_, schemes_);
+  PUNCTSAFE_ASSIGN_OR_RETURN(std::vector<PlanShape> plans,
+                             enumerator.EnumerateSafePlans(limit));
+  if (plans.empty()) {
+    return Status::FailedPrecondition(
+        "query has no safe execution plan under the registered schemes");
+  }
+  CostModel model(query_, stats_);
+  std::vector<RankedPlan> ranked;
+  ranked.reserve(plans.size());
+  for (PlanShape& shape : plans) {
+    PUNCTSAFE_ASSIGN_OR_RETURN(PlanCost cost,
+                               model.Estimate(shape, schemes_, policy));
+    RankedPlan rp;
+    rp.shape = std::move(shape);
+    rp.cost = cost;
+    rp.score = CostModel::Score(cost, objective);
+    ranked.push_back(std::move(rp));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedPlan& a, const RankedPlan& b) {
+                     return a.score < b.score;
+                   });
+  return ranked;
+}
+
+Result<RankedPlan> PlanChooser::Choose(CostObjective objective,
+                                       PurgePolicy policy,
+                                       size_t limit) const {
+  PUNCTSAFE_ASSIGN_OR_RETURN(std::vector<RankedPlan> ranked,
+                             Rank(objective, policy, limit));
+  return std::move(ranked.front());
+}
+
+}  // namespace punctsafe

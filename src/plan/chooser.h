@@ -1,0 +1,56 @@
+// PlanChooser: picks the best safe execution plan under a cost
+// objective (paper Section 5.2), combining the enumerator and the
+// cost model.
+
+#ifndef PUNCTSAFE_PLAN_CHOOSER_H_
+#define PUNCTSAFE_PLAN_CHOOSER_H_
+
+#include <vector>
+
+#include "plan/cost_model.h"
+#include "plan/enumerator.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief One evaluated candidate.
+struct RankedPlan {
+  PlanShape shape;
+  PlanCost cost;
+  double score = 0;
+};
+
+class PlanChooser {
+ public:
+  /// All arguments are copied: the chooser outlives temporaries
+  /// passed at construction.
+  PlanChooser(ContinuousJoinQuery query, SchemeSet schemes,
+              WorkloadStats stats)
+      : query_(std::move(query)),
+        schemes_(std::move(schemes)),
+        stats_(std::move(stats)) {}
+
+  /// \brief Enumerates safe plans (up to `limit`), costs each, and
+  /// returns them sorted ascending by score (best first).
+  /// FailedPrecondition if the query has no safe plan.
+  Result<std::vector<RankedPlan>> Rank(
+      CostObjective objective = CostObjective::kBalanced,
+      PurgePolicy policy = PurgePolicy::kEager, size_t limit = 256) const;
+
+  /// \brief Convenience: the best plan only.
+  Result<RankedPlan> Choose(
+      CostObjective objective = CostObjective::kBalanced,
+      PurgePolicy policy = PurgePolicy::kEager, size_t limit = 256) const;
+
+ private:
+  ContinuousJoinQuery query_;
+  SchemeSet schemes_;
+  WorkloadStats stats_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_PLAN_CHOOSER_H_

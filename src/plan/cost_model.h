@@ -1,0 +1,98 @@
+// Cost/benefit estimation for safe execution plans (paper Section 5.2,
+// "Cost Estimation").
+//
+// The paper names the governing parameters — data arrival rates,
+// punctuation arrival rates, join selectivities — and notes that
+// memory and throughput goals can conflict. This model is the
+// deliberately simple steady-state analysis those parameters admit:
+//
+//  * a purgeable join state holds about (arrival rate x purge delay)
+//    tuples, with purge delay = 1 / punctuation rate; an unpurgeable
+//    state holds (arrival rate x horizon), i.e. it grows with the run;
+//  * an operator's output rate is the symmetric-join estimate
+//    sum_i lambda_i * prod_{j != i} (sigma * state_j), with sigma the
+//    product of the crossing predicates' selectivities;
+//  * punctuation overhead charges each punctuation the sweep work of
+//    its operator (eager) or 1/batch of it (lazy).
+//
+// Absolute numbers are heuristic; *rankings* between plans are what
+// the chooser consumes, and the E8/E12 benchmarks sanity-check those
+// rankings against measured state sizes.
+
+#ifndef PUNCTSAFE_PLAN_COST_MODEL_H_
+#define PUNCTSAFE_PLAN_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief Workload parameters, per query stream / predicate.
+struct WorkloadStats {
+  /// Tuples per time unit per stream (size = num_streams).
+  std::vector<double> arrival_rate;
+  /// Punctuations per time unit per stream (0 = never punctuated).
+  std::vector<double> punctuation_rate;
+  /// Match probability per predicate (size = num_predicates); the
+  /// expected partner fan-out per stored tuple is selectivity x state.
+  std::vector<double> selectivity;
+  /// Run horizon (time units) used to cost unpurgeable states.
+  double horizon = 1e6;
+  /// Time units a stored punctuation stays useful (its lifespan, or a
+  /// retention estimate when punctuations are kept indefinitely);
+  /// charges memory for punctuation stores.
+  double punctuation_retention = 100;
+};
+
+struct PlanCost {
+  /// Steady-state expected tuples across all join states.
+  double expected_state = 0;
+  /// Stored punctuations across all operators.
+  double expected_punctuations = 0;
+  /// Probe + sweep work per time unit (throughput proxy; lower is
+  /// faster).
+  double work_per_time = 0;
+  /// Final output rate (same for every correct plan; reported for
+  /// inspection).
+  double output_rate = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Optimization objectives (Section 5.2's conflicting goals).
+enum class CostObjective {
+  kMemory,      ///< minimize expected_state + expected_punctuations
+  kThroughput,  ///< minimize work_per_time
+  kBalanced,    ///< normalized sum of both
+};
+
+class CostModel {
+ public:
+  /// The query is copied: the model outlives temporaries passed at
+  /// construction.
+  CostModel(ContinuousJoinQuery query, WorkloadStats stats)
+      : query_(std::move(query)), stats_(std::move(stats)) {}
+
+  /// \brief Estimates the cost of executing `shape` under `schemes`
+  /// with the given purge policy.
+  Result<PlanCost> Estimate(const PlanShape& shape, const SchemeSet& schemes,
+                            PurgePolicy policy = PurgePolicy::kEager,
+                            size_t lazy_batch = 64) const;
+
+  /// \brief Scalar score of a cost under an objective.
+  static double Score(const PlanCost& cost, CostObjective objective);
+
+ private:
+  ContinuousJoinQuery query_;
+  WorkloadStats stats_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_PLAN_COST_MODEL_H_

@@ -1,0 +1,68 @@
+// Safe-plan enumeration (paper Section 5.2, "Plan Enumeration").
+//
+// Rather than enumerating all operator trees and filtering (the
+// exponential naive route), the enumerator builds *only* safe plans
+// bottom-up, System-R style: dynamic programming over stream subsets
+// where an operator over child subsets is admitted only if every
+// child's join state is purgeable on the operator-local generalized
+// punctuation graph — i.e. each building block is a strongly connected
+// sub-graph of the query's punctuation graph, exactly the paper's
+// observation.
+//
+// DP entries carry the punctuation schemes the sub-plan's output can
+// deliver (two shapes over the same subset may propagate different
+// scheme sets, so entries are (shape, schemes) pairs).
+
+#ifndef PUNCTSAFE_PLAN_ENUMERATOR_H_
+#define PUNCTSAFE_PLAN_ENUMERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/local_graph.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+class SafePlanEnumerator {
+ public:
+  /// Both arguments are copied: the enumerator outlives temporaries
+  /// passed at construction.
+  SafePlanEnumerator(ContinuousJoinQuery query, SchemeSet schemes)
+      : query_(std::move(query)), schemes_(std::move(schemes)) {}
+
+  /// \brief All safe execution plans of the query, up to `limit`
+  /// (guards combinatorial blowup; a hit is reported via
+  /// limit_reached()). Empty iff the query is unsafe (Theorem 2/4).
+  ///
+  /// InvalidArgument beyond 16 streams (subset DP uses bitmasks and
+  /// the plan space is astronomically large anyway).
+  Result<std::vector<PlanShape>> EnumerateSafePlans(size_t limit = 256);
+
+  /// \brief True when the last enumeration stopped at the limit (the
+  /// returned set is then a prefix, not the full safe-plan space).
+  bool limit_reached() const { return limit_reached_; }
+
+ private:
+  struct Entry {
+    PlanShape shape;
+    std::vector<AvailableScheme> schemes;
+  };
+
+  // Computes (memoized) the safe sub-plans for the subset `mask`.
+  const std::vector<Entry>& SafePlansFor(uint32_t mask, size_t limit);
+
+  ContinuousJoinQuery query_;
+  SchemeSet schemes_;
+  std::vector<std::vector<Entry>> memo_;
+  std::vector<bool> memo_valid_;
+  bool limit_reached_ = false;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_PLAN_ENUMERATOR_H_

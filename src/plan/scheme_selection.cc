@@ -1,0 +1,92 @@
+#include "plan/scheme_selection.h"
+
+#include "core/generalized_punctuation_graph.h"
+#include "core/transformed_punctuation_graph.h"
+
+namespace punctsafe {
+
+namespace {
+
+bool Safe(const ContinuousJoinQuery& query, const SchemeSet& schemes) {
+  return TransformedPunctuationGraph::Build(query, schemes)
+      .CollapsedToSingleNode();
+}
+
+// Per-stream purgeability fingerprint under a scheme set.
+std::vector<bool> PurgeabilityVector(const ContinuousJoinQuery& query,
+                                     const SchemeSet& schemes) {
+  GeneralizedPunctuationGraph gpg =
+      GeneralizedPunctuationGraph::Build(query, schemes);
+  std::vector<bool> out(query.num_streams());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = gpg.StatePurgeable(i);
+  return out;
+}
+
+}  // namespace
+
+Result<SchemeSet> MinimalSafeSchemeSubset(const ContinuousJoinQuery& query,
+                                          const SchemeSet& schemes) {
+  SchemeSet current = schemes.Restrict(query.streams());
+  if (!Safe(query, current)) {
+    return Status::FailedPrecondition(
+        "query is unsafe even with every registered scheme");
+  }
+  // Greedy elimination: drop schemes one at a time while safety holds.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const std::vector<PunctuationScheme>& all = current.schemes();
+    for (size_t drop = 0; drop < all.size(); ++drop) {
+      std::vector<PunctuationScheme> kept;
+      kept.reserve(all.size() - 1);
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (i != drop) kept.push_back(all[i]);
+      }
+      SchemeSet candidate(std::move(kept));
+      if (Safe(query, candidate)) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<PunctuationScheme> IrrelevantSchemes(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes) {
+  SchemeSet relevant_pool = schemes.Restrict(query.streams());
+  std::vector<bool> baseline = PurgeabilityVector(query, relevant_pool);
+
+  std::vector<PunctuationScheme> irrelevant;
+  // Schemes on streams outside the query are trivially irrelevant.
+  for (const PunctuationScheme& s : schemes.schemes()) {
+    if (!query.StreamIndex(s.stream()).has_value()) {
+      irrelevant.push_back(s);
+    }
+  }
+  // A scheme inside the query is irrelevant if dropping it (together
+  // with previously found irrelevant ones) leaves the purgeability
+  // fingerprint unchanged.
+  std::vector<PunctuationScheme> pool = relevant_pool.schemes();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::vector<PunctuationScheme> kept;
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (j == i) continue;
+      bool dropped = false;
+      for (const PunctuationScheme& irr : irrelevant) {
+        if (pool[j] == irr) {
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) kept.push_back(pool[j]);
+    }
+    if (PurgeabilityVector(query, SchemeSet(std::move(kept))) == baseline) {
+      irrelevant.push_back(pool[i]);
+    }
+  }
+  return irrelevant;
+}
+
+}  // namespace punctsafe

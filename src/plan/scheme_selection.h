@@ -1,0 +1,37 @@
+// Punctuation-scheme subset selection (paper Section 5.2, Plan
+// Parameter I): between "use every available scheme" and "use the
+// minimum set that keeps the punctuation graph strongly connected"
+// lies a memory-for-punctuation-overhead trade-off. This module
+// computes minimal safe subsets so plans (and the E8 benchmark) can
+// compare the two extremes.
+
+#ifndef PUNCTSAFE_PLAN_SCHEME_SELECTION_H_
+#define PUNCTSAFE_PLAN_SCHEME_SELECTION_H_
+
+#include <vector>
+
+#include "query/cjq.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief A minimal scheme subset keeping the query safe: removing any
+/// single scheme from it breaks safety. Computed greedily (try to
+/// drop each scheme in turn, keep the drop if the query stays safe),
+/// so it is *a* minimal subset, not necessarily the minimum one.
+///
+/// FailedPrecondition when the query is unsafe even with all schemes.
+Result<SchemeSet> MinimalSafeSchemeSubset(const ContinuousJoinQuery& query,
+                                          const SchemeSet& schemes);
+
+/// \brief All schemes in `schemes` that are irrelevant to the query:
+/// dropping them (individually and jointly) leaves every stream's
+/// purgeability verdict unchanged. These are the punctuations the
+/// paper says the engine should not waste processing on.
+std::vector<PunctuationScheme> IrrelevantSchemes(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_PLAN_SCHEME_SELECTION_H_

@@ -1,0 +1,168 @@
+#include "query/cjq.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+// Resolves one side of a predicate spec against the query streams.
+Result<std::pair<size_t, size_t>> ResolveSide(
+    const AttrRef& ref, const std::vector<std::string>& streams,
+    const std::vector<Schema>& schemas) {
+  auto it = std::find(streams.begin(), streams.end(), ref.stream);
+  if (it == streams.end()) {
+    return Status::NotFound(
+        StrCat("predicate references stream '", ref.stream,
+               "' which is not part of the query"));
+  }
+  size_t stream_idx = static_cast<size_t>(it - streams.begin());
+  auto attr_idx = schemas[stream_idx].IndexOf(ref.attribute);
+  if (!attr_idx.has_value()) {
+    return Status::NotFound(StrCat("attribute '", ref.ToString(),
+                                   "' not found in schema ",
+                                   schemas[stream_idx].ToString()));
+  }
+  return std::make_pair(stream_idx, *attr_idx);
+}
+
+}  // namespace
+
+Result<ContinuousJoinQuery> ContinuousJoinQuery::Create(
+    const StreamCatalog& catalog, std::vector<std::string> streams,
+    const std::vector<JoinPredicateSpec>& predicates) {
+  if (streams.size() < 2) {
+    return Status::InvalidArgument("a CJQ joins at least two streams");
+  }
+  std::unordered_set<std::string> seen;
+  ContinuousJoinQuery query;
+  for (auto& name : streams) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument(
+          StrCat("stream '", name, "' appears twice in the query"));
+    }
+    PUNCTSAFE_ASSIGN_OR_RETURN(const Schema* schema, catalog.Get(name));
+    query.schemas_.push_back(*schema);
+    query.streams_.push_back(std::move(name));
+  }
+
+  for (const auto& spec : predicates) {
+    PUNCTSAFE_ASSIGN_OR_RETURN(
+        auto left, ResolveSide(spec.left, query.streams_, query.schemas_));
+    PUNCTSAFE_ASSIGN_OR_RETURN(
+        auto right, ResolveSide(spec.right, query.streams_, query.schemas_));
+    if (left.first == right.first) {
+      return Status::InvalidArgument(
+          StrCat("predicate ", spec.ToString(),
+                 " joins a stream with itself; only predicates between two "
+                 "distinct streams are supported"));
+    }
+    ValueType lt = query.schemas_[left.first].attribute(left.second).type;
+    ValueType rt = query.schemas_[right.first].attribute(right.second).type;
+    if (lt != rt) {
+      return Status::InvalidArgument(
+          StrCat("predicate ", spec.ToString(), " compares ",
+                 ValueTypeToString(lt), " with ", ValueTypeToString(rt)));
+    }
+    ResolvedPredicate p;
+    if (left.first < right.first) {
+      p = {left.first, left.second, right.first, right.second};
+    } else {
+      p = {right.first, right.second, left.first, left.second};
+    }
+    if (std::find(query.predicates_.begin(), query.predicates_.end(), p) ==
+        query.predicates_.end()) {
+      query.predicates_.push_back(p);
+    }
+  }
+
+  if (query.predicates_.empty()) {
+    return Status::InvalidArgument("a CJQ needs at least one join predicate");
+  }
+
+  // Connectivity of the join graph (BFS over predicate adjacency).
+  std::vector<bool> reached(query.streams_.size(), false);
+  std::deque<size_t> queue{0};
+  reached[0] = true;
+  size_t count = 1;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (const auto& p : query.predicates_) {
+      if (!p.Involves(u)) continue;
+      size_t v = p.OtherStream(u);
+      if (!reached[v]) {
+        reached[v] = true;
+        ++count;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (count != query.streams_.size()) {
+    return Status::InvalidArgument(
+        "join graph is disconnected: the query contains a cross product, "
+        "which cannot be made safe by any punctuation scheme");
+  }
+  return query;
+}
+
+std::optional<size_t> ContinuousJoinQuery::StreamIndex(
+    const std::string& name) const {
+  auto it = std::find(streams_.begin(), streams_.end(), name);
+  if (it == streams_.end()) return std::nullopt;
+  return static_cast<size_t>(it - streams_.begin());
+}
+
+std::vector<size_t> ContinuousJoinQuery::PredicatesBetween(size_t i,
+                                                           size_t j) const {
+  std::vector<size_t> out;
+  for (size_t k = 0; k < predicates_.size(); ++k) {
+    const auto& p = predicates_[k];
+    if ((p.left_stream == i && p.right_stream == j) ||
+        (p.left_stream == j && p.right_stream == i)) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ContinuousJoinQuery::JoinAttrsOf(size_t i) const {
+  std::vector<size_t> out;
+  for (const auto& p : predicates_) {
+    if (!p.Involves(i)) continue;
+    size_t a = p.AttrOn(i);
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<size_t> ContinuousJoinQuery::NeighborsOf(size_t i) const {
+  std::vector<size_t> out;
+  for (const auto& p : predicates_) {
+    if (!p.Involves(i)) continue;
+    size_t other = p.OtherStream(i);
+    if (std::find(out.begin(), out.end(), other) == out.end()) {
+      out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ContinuousJoinQuery::ToString() const {
+  auto pred_str = [this](const ResolvedPredicate& p) {
+    return StrCat(streams_[p.left_stream], ".",
+                  schemas_[p.left_stream].attribute(p.left_attr).name, " = ",
+                  streams_[p.right_stream], ".",
+                  schemas_[p.right_stream].attribute(p.right_attr).name);
+  };
+  return StrCat("CJQ(", Join(streams_, ","), " | ",
+                JoinMapped(predicates_, " AND ", pred_str), ")");
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,66 @@
+// ContinuousJoinQuery: CJQ(ℑ, ℘) of paper Section 2.2 — a set of data
+// streams ℑ and conjunctive equi-join predicates ℘ between them.
+
+#ifndef PUNCTSAFE_QUERY_CJQ_H_
+#define PUNCTSAFE_QUERY_CJQ_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "stream/catalog.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+class ContinuousJoinQuery {
+ public:
+  /// \brief Builds and validates a CJQ.
+  ///
+  /// Validation enforces the paper's query class:
+  ///  - at least two distinct registered streams;
+  ///  - every predicate is an equi-join between attributes of two
+  ///    *different* query streams, with matching attribute types;
+  ///  - the join graph is connected (a disconnected CJQ contains a
+  ///    cross product, which no punctuation can ever purge).
+  static Result<ContinuousJoinQuery> Create(
+      const StreamCatalog& catalog, std::vector<std::string> streams,
+      const std::vector<JoinPredicateSpec>& predicates);
+
+  size_t num_streams() const { return streams_.size(); }
+  const std::vector<std::string>& streams() const { return streams_; }
+  const std::string& stream(size_t i) const { return streams_[i]; }
+  const Schema& schema(size_t i) const { return schemas_[i]; }
+
+  /// \brief Index of the named stream within the query.
+  std::optional<size_t> StreamIndex(const std::string& name) const;
+
+  const std::vector<ResolvedPredicate>& predicates() const {
+    return predicates_;
+  }
+
+  /// \brief Indices (into predicates()) of predicates between streams
+  /// i and j, in canonical order.
+  std::vector<size_t> PredicatesBetween(size_t i, size_t j) const;
+
+  /// \brief Attribute indices of stream i that participate in some
+  /// join predicate (with any other stream), deduplicated ascending.
+  std::vector<size_t> JoinAttrsOf(size_t i) const;
+
+  /// \brief Streams j != i directly joined with i, ascending.
+  std::vector<size_t> NeighborsOf(size_t i) const;
+
+  /// \brief "CJQ(S1,S2,S3 | S1.B=S2.B AND S2.C=S3.C)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> streams_;
+  std::vector<Schema> schemas_;
+  std::vector<ResolvedPredicate> predicates_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_QUERY_CJQ_H_

@@ -1,0 +1,72 @@
+#include "query/join_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+JoinGraph::JoinGraph(const ContinuousJoinQuery& query) {
+  adjacency_.resize(query.num_streams());
+  for (size_t i = 0; i < query.num_streams(); ++i) {
+    adjacency_[i] = query.NeighborsOf(i);
+  }
+}
+
+bool JoinGraph::HasEdge(size_t u, size_t v) const {
+  PUNCTSAFE_CHECK(u < num_nodes() && v < num_nodes());
+  return std::binary_search(adjacency_[u].begin(), adjacency_[u].end(), v);
+}
+
+bool JoinGraph::IsConnected() const {
+  if (num_nodes() == 0) return true;
+  auto tree = SpanningTreeFrom(0);
+  return tree.bfs_order.size() == num_nodes();
+}
+
+bool JoinGraph::IsCyclic() const {
+  // An undirected connected graph is acyclic iff |E| == |V| - 1.
+  size_t twice_edges = 0;
+  for (const auto& adj : adjacency_) twice_edges += adj.size();
+  return twice_edges / 2 >= num_nodes();
+}
+
+SpanningTree JoinGraph::SpanningTreeFrom(size_t root) const {
+  PUNCTSAFE_CHECK(root < num_nodes());
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(num_nodes(), static_cast<size_t>(-1));
+  tree.parent[root] = root;
+  std::deque<size_t> queue{root};
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    tree.bfs_order.push_back(u);
+    for (size_t v : adjacency_[u]) {
+      if (tree.parent[v] == static_cast<size_t>(-1)) {
+        tree.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::string JoinGraph::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (size_t u = 0; u < num_nodes(); ++u) {
+    for (size_t v : adjacency_[u]) {
+      if (u < v) {
+        if (!first) out << ", ";
+        first = false;
+        out << u << "--" << v;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,58 @@
+// The join graph (paper Definition 6): an undirected labeled graph
+// with one vertex per input stream and an edge wherever a join
+// predicate links two streams. Spanning trees of this graph drive the
+// chained purge strategy (Section 3.2.1).
+
+#ifndef PUNCTSAFE_QUERY_JOIN_GRAPH_H_
+#define PUNCTSAFE_QUERY_JOIN_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/cjq.h"
+
+namespace punctsafe {
+
+/// \brief A rooted spanning tree of the join graph in BFS order.
+struct SpanningTree {
+  size_t root = 0;
+  /// parent[v] for non-root v; parent[root] == root.
+  std::vector<size_t> parent;
+  /// Nodes in BFS visit order, starting with the root.
+  std::vector<size_t> bfs_order;
+};
+
+class JoinGraph {
+ public:
+  explicit JoinGraph(const ContinuousJoinQuery& query);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+
+  /// \brief Neighbors of node v (ascending, deduplicated).
+  const std::vector<size_t>& NeighborsOf(size_t v) const {
+    return adjacency_[v];
+  }
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  /// \brief True iff every stream is reachable from every other
+  /// (guaranteed for validated CJQs).
+  bool IsConnected() const;
+
+  /// \brief True iff the graph contains a cycle (Section 3.2: cyclic
+  /// join graphs admit multiple purge chains per state).
+  bool IsCyclic() const;
+
+  /// \brief BFS spanning tree rooted at `root`.
+  SpanningTree SpanningTreeFrom(size_t root) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_QUERY_JOIN_GRAPH_H_

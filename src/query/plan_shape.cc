@@ -1,0 +1,76 @@
+#include "query/plan_shape.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+PlanShape PlanShape::Join(std::vector<PlanShape> children) {
+  PUNCTSAFE_CHECK(children.size() >= 2)
+      << "a join operator needs at least two inputs";
+  PlanShape s;
+  s.children_ = std::move(children);
+  return s;
+}
+
+PlanShape PlanShape::SingleMJoin(size_t num_streams) {
+  PUNCTSAFE_CHECK(num_streams >= 2);
+  std::vector<PlanShape> children;
+  children.reserve(num_streams);
+  for (size_t i = 0; i < num_streams; ++i) children.push_back(Leaf(i));
+  return Join(std::move(children));
+}
+
+PlanShape PlanShape::LeftDeepBinary(const std::vector<size_t>& order) {
+  PUNCTSAFE_CHECK(order.size() >= 2);
+  PlanShape acc = Leaf(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    std::vector<PlanShape> pair;
+    pair.push_back(std::move(acc));
+    pair.push_back(Leaf(order[i]));
+    acc = Join(std::move(pair));
+  }
+  return acc;
+}
+
+std::vector<size_t> PlanShape::Leaves() const {
+  std::vector<size_t> out;
+  if (IsLeaf()) {
+    out.push_back(stream());
+    return out;
+  }
+  for (const auto& child : children_) {
+    auto sub = child.Leaves();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PlanShape::NumOperators() const {
+  if (IsLeaf()) return 0;
+  size_t count = 1;
+  for (const auto& child : children_) count += child.NumOperators();
+  return count;
+}
+
+bool PlanShape::IsBinaryTree() const {
+  if (IsLeaf()) return true;
+  if (children_.size() != 2) return false;
+  return std::all_of(children_.begin(), children_.end(),
+                     [](const PlanShape& c) { return c.IsBinaryTree(); });
+}
+
+std::string PlanShape::ToString(const ContinuousJoinQuery& query) const {
+  if (IsLeaf()) return query.stream(stream());
+  auto render = [&query](const PlanShape& c) { return c.ToString(query); };
+  if (children_.size() == 2) {
+    return StrCat("(", render(children_[0]), " JOIN ", render(children_[1]),
+                  ")");
+  }
+  return StrCat("[", JoinMapped(children_, " ", render), "]");
+}
+
+}  // namespace punctsafe

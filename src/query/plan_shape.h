@@ -1,0 +1,63 @@
+// Execution-plan shapes (paper Section 2.2 / 4.1.2): a CJQ can run as
+// a single MJoin, a tree of binary joins, a tree of MJoins, or any
+// mix. A PlanShape is that operator tree, independent of physical
+// operator choice; leaves are query stream indices and every internal
+// node is a join operator over >= 2 children.
+
+#ifndef PUNCTSAFE_QUERY_PLAN_SHAPE_H_
+#define PUNCTSAFE_QUERY_PLAN_SHAPE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/cjq.h"
+
+namespace punctsafe {
+
+class PlanShape {
+ public:
+  static PlanShape Leaf(size_t stream) {
+    PlanShape s;
+    s.stream_ = static_cast<long>(stream);
+    return s;
+  }
+  static PlanShape Join(std::vector<PlanShape> children);
+
+  /// \brief Single n-way MJoin over all streams of the query,
+  /// 0..n-1.
+  static PlanShape SingleMJoin(size_t num_streams);
+
+  /// \brief Left-deep binary tree over the streams in the given
+  /// order: ((s0 ⋈ s1) ⋈ s2) ⋈ ...
+  static PlanShape LeftDeepBinary(const std::vector<size_t>& order);
+
+  bool IsLeaf() const { return stream_ >= 0; }
+  size_t stream() const { return static_cast<size_t>(stream_); }
+  const std::vector<PlanShape>& children() const { return children_; }
+
+  /// \brief Stream indices of the leaves, sorted ascending.
+  std::vector<size_t> Leaves() const;
+
+  /// \brief Number of internal (join) nodes.
+  size_t NumOperators() const;
+
+  /// \brief True iff every internal node has exactly two children.
+  bool IsBinaryTree() const;
+
+  /// \brief "((S1 ⨝ S2) ⨝ S3)" / "[S1 S2 S3]" rendering; MJoin nodes
+  /// with > 2 children render as bracketed lists.
+  std::string ToString(const ContinuousJoinQuery& query) const;
+
+  bool operator==(const PlanShape& other) const {
+    return stream_ == other.stream_ && children_ == other.children_;
+  }
+
+ private:
+  long stream_ = -1;  // >= 0 for leaves
+  std::vector<PlanShape> children_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_QUERY_PLAN_SHAPE_H_

@@ -1,0 +1,73 @@
+// Attribute references and equi-join predicates (paper Section 2.2).
+// Only conjunctive equi-joins between pairs of streams are supported,
+// exactly the class the paper's theory covers; other predicate kinds
+// are rejected at query validation.
+
+#ifndef PUNCTSAFE_QUERY_PREDICATE_H_
+#define PUNCTSAFE_QUERY_PREDICATE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace punctsafe {
+
+/// \brief A "Stream.Attribute" reference by name (pre-resolution).
+struct AttrRef {
+  std::string stream;
+  std::string attribute;
+
+  bool operator==(const AttrRef& other) const {
+    return stream == other.stream && attribute == other.attribute;
+  }
+  std::string ToString() const { return stream + "." + attribute; }
+};
+
+/// \brief An equi-join predicate `left = right` by name. Resolution
+/// against the query's streams happens in ContinuousJoinQuery.
+struct JoinPredicateSpec {
+  AttrRef left;
+  AttrRef right;
+
+  std::string ToString() const {
+    return left.ToString() + " = " + right.ToString();
+  }
+};
+
+/// \brief Convenience factory: Eq({"S1","B"}, {"S2","B"}).
+inline JoinPredicateSpec Eq(AttrRef left, AttrRef right) {
+  return JoinPredicateSpec{std::move(left), std::move(right)};
+}
+
+/// \brief A resolved equi-join predicate: stream and attribute
+/// positions within a particular query. Always stored with
+/// left_stream < right_stream for canonical form.
+struct ResolvedPredicate {
+  size_t left_stream = 0;
+  size_t left_attr = 0;
+  size_t right_stream = 0;
+  size_t right_attr = 0;
+
+  /// \brief True iff the predicate touches stream `s`.
+  bool Involves(size_t s) const {
+    return left_stream == s || right_stream == s;
+  }
+  /// \brief For a predicate touching `s`, the other stream.
+  size_t OtherStream(size_t s) const {
+    return left_stream == s ? right_stream : left_stream;
+  }
+  /// \brief For a predicate touching `s`, the attribute index on s's
+  /// side.
+  size_t AttrOn(size_t s) const {
+    return left_stream == s ? left_attr : right_attr;
+  }
+
+  bool operator==(const ResolvedPredicate& other) const {
+    return left_stream == other.left_stream && left_attr == other.left_attr &&
+           right_stream == other.right_stream &&
+           right_attr == other.right_attr;
+  }
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_QUERY_PREDICATE_H_

@@ -1,0 +1,130 @@
+#include "query/spec_parser.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+// Whitespace-splits a line, dropping empties.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+Status ParseError(size_t line_no, const std::string& message) {
+  return Status::InvalidArgument(
+      StrCat("spec line ", line_no, ": ", message));
+}
+
+Result<ValueType> ParseType(const std::string& name, size_t line_no) {
+  if (name == "int" || name == "int64") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return ParseError(line_no, StrCat("unknown type '", name,
+                                    "' (expected int, double or string)"));
+}
+
+// Parses "stream.attr" into an AttrRef.
+Result<AttrRef> ParseAttrRef(const std::string& token, size_t line_no) {
+  size_t dot = token.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == token.size()) {
+    return ParseError(line_no,
+                      StrCat("expected stream.attr, got '", token, "'"));
+  }
+  return AttrRef{token.substr(0, dot), token.substr(dot + 1)};
+}
+
+}  // namespace
+
+Result<ParsedSpec> ParseSpec(const std::string& text) {
+  ParsedSpec spec;
+  std::vector<std::string> lines = Split(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t line_no = i + 1;
+    std::string line = lines[i];
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "stream") {
+      if (tokens.size() < 3) {
+        return ParseError(line_no,
+                          "stream needs a name and at least one attr:type");
+      }
+      std::vector<Attribute> attrs;
+      for (size_t t = 2; t < tokens.size(); ++t) {
+        size_t colon = tokens[t].find(':');
+        if (colon == std::string::npos) {
+          return ParseError(line_no, StrCat("expected attr:type, got '",
+                                            tokens[t], "'"));
+        }
+        PUNCTSAFE_ASSIGN_OR_RETURN(
+            ValueType type, ParseType(tokens[t].substr(colon + 1), line_no));
+        attrs.push_back({tokens[t].substr(0, colon), type});
+      }
+      PUNCTSAFE_RETURN_IF_ERROR(
+          spec.catalog.Register(tokens[1], Schema(std::move(attrs))));
+    } else if (keyword == "scheme") {
+      if (tokens.size() < 3) {
+        return ParseError(line_no,
+                          "scheme needs a stream and at least one attribute");
+      }
+      PUNCTSAFE_ASSIGN_OR_RETURN(const Schema* schema,
+                                 spec.catalog.Get(tokens[1]));
+      PUNCTSAFE_ASSIGN_OR_RETURN(
+          PunctuationScheme scheme,
+          PunctuationScheme::OnAttributes(
+              tokens[1], *schema,
+              std::vector<std::string>(tokens.begin() + 2, tokens.end())));
+      PUNCTSAFE_RETURN_IF_ERROR(spec.schemes.Add(std::move(scheme)));
+    } else if (keyword == "query") {
+      if (!spec.query_streams.empty()) {
+        return ParseError(line_no, "only one query line is allowed");
+      }
+      if (tokens.size() < 3) {
+        return ParseError(line_no, "query needs at least two streams");
+      }
+      spec.query_streams.assign(tokens.begin() + 1, tokens.end());
+    } else if (keyword == "join") {
+      // join a.x = b.y   (the '=' may be fused with either side)
+      std::vector<std::string> parts(tokens.begin() + 1, tokens.end());
+      std::string joined = Join(parts, "");
+      size_t eq = joined.find('=');
+      if (eq == std::string::npos) {
+        return ParseError(line_no, "join needs the form s1.a = s2.b");
+      }
+      PUNCTSAFE_ASSIGN_OR_RETURN(
+          AttrRef left, ParseAttrRef(joined.substr(0, eq), line_no));
+      PUNCTSAFE_ASSIGN_OR_RETURN(
+          AttrRef right, ParseAttrRef(joined.substr(eq + 1), line_no));
+      spec.predicates.push_back(Eq(std::move(left), std::move(right)));
+    } else {
+      return ParseError(line_no, StrCat("unknown keyword '", keyword, "'"));
+    }
+  }
+
+  if (spec.query_streams.empty()) {
+    return Status::InvalidArgument("spec has no query line");
+  }
+  if (spec.predicates.empty()) {
+    return Status::InvalidArgument("spec has no join lines");
+  }
+  return spec;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,48 @@
+// A tiny text format for describing streams, punctuation schemes and
+// a continuous join query — the input of the `punctsafe_check` CLI
+// tool and a convenient fixture format for tests:
+//
+//   # online auction (paper Example 1)
+//   stream item sellerid:int itemid:int name:string initialprice:int
+//   stream bid  bidderid:int itemid:int increase:int
+//   scheme item itemid
+//   scheme bid  itemid
+//   query  item bid
+//   join   item.itemid = bid.itemid
+//
+// Lines: `stream <name> <attr>:<type>...` (types: int, double,
+// string), `scheme <stream> <attr>...` (several attrs = one
+// multi-attribute scheme), `query <stream>...`, `join <s>.<a> =
+// <s>.<a>`. `#` starts a comment; blank lines are ignored.
+
+#ifndef PUNCTSAFE_QUERY_SPEC_PARSER_H_
+#define PUNCTSAFE_QUERY_SPEC_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cjq.h"
+#include "stream/catalog.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+struct ParsedSpec {
+  StreamCatalog catalog;
+  SchemeSet schemes;
+  std::vector<std::string> query_streams;
+  std::vector<JoinPredicateSpec> predicates;
+
+  /// \brief Builds the validated query from the spec.
+  Result<ContinuousJoinQuery> MakeQuery() const {
+    return ContinuousJoinQuery::Create(catalog, query_streams, predicates);
+  }
+};
+
+/// \brief Parses the spec text; error messages carry line numbers.
+Result<ParsedSpec> ParseSpec(const std::string& text);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_QUERY_SPEC_PARSER_H_

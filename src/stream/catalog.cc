@@ -1,0 +1,28 @@
+#include "stream/catalog.h"
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Status StreamCatalog::Register(const std::string& name, Schema schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream name must be non-empty");
+  }
+  if (Contains(name)) {
+    return Status::AlreadyExists(StrCat("stream '", name, "' already exists"));
+  }
+  PUNCTSAFE_RETURN_IF_ERROR(schema.Validate());
+  names_.push_back(name);
+  index_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+Result<const Schema*> StreamCatalog::Get(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrCat("stream '", name, "' not registered"));
+  }
+  return &it->second;
+}
+
+}  // namespace punctsafe

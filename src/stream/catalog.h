@@ -1,0 +1,41 @@
+// Stream catalog: the registry of stream names and schemas known to
+// the DSMS (part of the query register in the paper's Figure 2
+// architecture).
+
+#ifndef PUNCTSAFE_STREAM_CATALOG_H_
+#define PUNCTSAFE_STREAM_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+class StreamCatalog {
+ public:
+  /// \brief Registers a stream; the schema is validated and the name
+  /// must be fresh.
+  Status Register(const std::string& name, Schema schema);
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// \brief Schema lookup; NotFound for unknown streams.
+  Result<const Schema*> Get(const std::string& name) const;
+
+  /// \brief Stream names in registration order.
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Schema> index_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_CATALOG_H_

@@ -1,0 +1,65 @@
+#include "stream/punctuation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Punctuation Punctuation::OfConstants(
+    size_t arity, const std::vector<std::pair<size_t, Value>>& constants) {
+  std::vector<Pattern> patterns(arity);
+  for (const auto& [idx, value] : constants) {
+    PUNCTSAFE_CHECK(idx < arity) << "pattern index out of range";
+    patterns[idx] = Pattern(value);
+  }
+  return Punctuation(std::move(patterns));
+}
+
+std::vector<size_t> Punctuation::ConstrainedAttrs() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (!patterns_[i].is_wildcard()) out.push_back(i);
+  }
+  return out;
+}
+
+bool Punctuation::Matches(const Tuple& t) const {
+  if (t.size() != patterns_.size()) return false;
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (!patterns_[i].Matches(t.at(i))) return false;
+  }
+  return true;
+}
+
+bool Punctuation::ExcludesSubspace(const std::vector<size_t>& attrs,
+                                   const std::vector<Value>& values) const {
+  PUNCTSAFE_CHECK(attrs.size() == values.size());
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].is_wildcard()) continue;
+    auto it = std::find(attrs.begin(), attrs.end(), i);
+    if (it == attrs.end()) return false;  // constrains an attr outside subspace
+    size_t pos = static_cast<size_t>(it - attrs.begin());
+    if (!(patterns_[i].constant() == values[pos])) return false;
+  }
+  return true;
+}
+
+size_t Punctuation::Hash() const {
+  size_t seed = 0xA5A5A5A55A5A5A5AULL;
+  for (const auto& p : patterns_) {
+    size_t h = p.is_wildcard() ? 0x123456789ULL : p.constant().Hash();
+    seed ^= h + 0x9E3779B9u + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string Punctuation::ToString() const {
+  return StrCat(
+      "(",
+      JoinMapped(patterns_, ", ", [](const Pattern& p) { return p.ToString(); }),
+      ")");
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,111 @@
+// Punctuations (paper Section 2.3): a punctuation for stream
+// S(A_1,...,A_n) is a list of n patterns, each either the wildcard '*'
+// or a constant. It asserts that every *future* tuple of S fails to
+// match it, i.e. no future tuple agrees with all the constant patterns
+// simultaneously.
+
+#ifndef PUNCTSAFE_STREAM_PUNCTUATION_H_
+#define PUNCTSAFE_STREAM_PUNCTUATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/tuple.h"
+#include "stream/value.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief One pattern slot of a punctuation: wildcard or a constant.
+class Pattern {
+ public:
+  Pattern() = default;  // wildcard
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Pattern(Value constant) : constant_(std::move(constant)) {}
+
+  static Pattern Wildcard() { return Pattern(); }
+
+  bool is_wildcard() const { return !constant_.has_value(); }
+  const Value& constant() const { return *constant_; }
+
+  /// \brief Wildcards match everything; constants match equal values.
+  bool Matches(const Value& v) const {
+    return is_wildcard() || *constant_ == v;
+  }
+
+  bool operator==(const Pattern& other) const {
+    return constant_ == other.constant_;
+  }
+
+  std::string ToString() const {
+    return is_wildcard() ? "*" : constant_->ToString();
+  }
+
+ private:
+  std::optional<Value> constant_;
+};
+
+/// \brief A punctuation: one pattern per attribute of its stream.
+class Punctuation {
+ public:
+  Punctuation() = default;
+  explicit Punctuation(std::vector<Pattern> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  /// \brief All-wildcard punctuation of the given arity (matches every
+  /// tuple; asserting it means the stream is finished).
+  static Punctuation AllWildcard(size_t arity) {
+    return Punctuation(std::vector<Pattern>(arity));
+  }
+
+  /// \brief Builds a punctuation with constants at the given attribute
+  /// indices and wildcards elsewhere.
+  static Punctuation OfConstants(
+      size_t arity, const std::vector<std::pair<size_t, Value>>& constants);
+
+  size_t arity() const { return patterns_.size(); }
+  const Pattern& pattern(size_t i) const { return patterns_[i]; }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  /// \brief Indices of non-wildcard patterns, ascending.
+  std::vector<size_t> ConstrainedAttrs() const;
+
+  /// \brief True iff the tuple agrees with every constant pattern.
+  /// Such tuples are promised never to arrive again after this
+  /// punctuation.
+  bool Matches(const Tuple& t) const;
+
+  /// \brief True iff this punctuation excludes *all* future tuples of
+  /// the subspace {attrs[i] = values[i], everything else = *}.
+  ///
+  /// This holds iff every constrained attribute of the punctuation is
+  /// one of `attrs` and its constant equals the corresponding value: a
+  /// punctuation constraining additional attributes only excludes a
+  /// slice of the subspace, not all of it. This is the primitive the
+  /// chained purge strategy (paper Sec 3.2) is built on.
+  bool ExcludesSubspace(const std::vector<size_t>& attrs,
+                        const std::vector<Value>& values) const;
+
+  bool operator==(const Punctuation& other) const {
+    return patterns_ == other.patterns_;
+  }
+
+  size_t Hash() const;
+
+  /// \brief "(*, 1, *)" rendering as in the paper.
+  std::string ToString() const;
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+struct PunctuationHash {
+  size_t operator()(const Punctuation& p) const { return p.Hash(); }
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_PUNCTUATION_H_

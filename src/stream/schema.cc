@@ -1,0 +1,53 @@
+#include "stream/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Schema Schema::OfInts(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, ValueType::kInt64});
+  return Schema(std::move(attrs));
+}
+
+Status Schema::Validate() const {
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& a : attributes_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("schema has an unnamed attribute");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate attribute name '", a.name, "'"));
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  return StrCat("(",
+                JoinMapped(attributes_, ", ",
+                           [](const Attribute& a) {
+                             return StrCat(a.name, ":",
+                                           ValueTypeToString(a.type));
+                           }),
+                ")");
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,58 @@
+// Relational schemas for data streams (paper Section 2.2): each stream
+// S_i has a schema (A_1^i, ..., A_{n_i}^i).
+
+#ifndef PUNCTSAFE_STREAM_SCHEMA_H_
+#define PUNCTSAFE_STREAM_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/value.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief A named, typed attribute of a stream schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// \brief Convenience: all-int64 schema from attribute names.
+  static Schema OfInts(const std::vector<std::string>& names);
+
+  /// \brief Validates attribute-name uniqueness and non-emptiness.
+  Status Validate() const;
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// \brief Index of the attribute with the given name, if any.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// \brief "(A:int64, B:string)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_SCHEMA_H_

@@ -1,0 +1,132 @@
+#include "stream/scheme.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Result<PunctuationScheme> PunctuationScheme::OnAttributes(
+    const std::string& stream, const Schema& schema,
+    const std::vector<std::string>& attribute_names) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument(
+        "a punctuation scheme needs at least one punctuatable attribute");
+  }
+  std::vector<bool> flags(schema.num_attributes(), false);
+  for (const auto& name : attribute_names) {
+    auto idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(
+          StrCat("attribute '", name, "' not in schema ", schema.ToString()));
+    }
+    if (flags[*idx]) {
+      return Status::InvalidArgument(
+          StrCat("attribute '", name, "' listed twice"));
+    }
+    flags[*idx] = true;
+  }
+  return PunctuationScheme(stream, std::move(flags));
+}
+
+std::vector<size_t> PunctuationScheme::PunctuatableAttrs() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < punctuatable_.size(); ++i) {
+    if (punctuatable_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+size_t PunctuationScheme::NumPunctuatable() const {
+  return static_cast<size_t>(
+      std::count(punctuatable_.begin(), punctuatable_.end(), true));
+}
+
+Result<Punctuation> PunctuationScheme::Instantiate(
+    const std::vector<Value>& values) const {
+  std::vector<size_t> attrs = PunctuatableAttrs();
+  if (values.size() != attrs.size()) {
+    return Status::InvalidArgument(
+        StrCat("scheme ", ToString(), " has ", attrs.size(),
+               " punctuatable attributes, got ", values.size(), " values"));
+  }
+  std::vector<std::pair<size_t, Value>> constants;
+  constants.reserve(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    constants.emplace_back(attrs[i], values[i]);
+  }
+  return Punctuation::OfConstants(arity(), constants);
+}
+
+bool PunctuationScheme::IsInstantiation(const Punctuation& p) const {
+  if (p.arity() != arity()) return false;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (p.pattern(i).is_wildcard() == punctuatable_[i]) return false;
+  }
+  return true;
+}
+
+std::string PunctuationScheme::ToString() const {
+  return StrCat(stream_, "(",
+                JoinMapped(punctuatable_, ", ",
+                           [](bool b) { return b ? "+" : "_"; }),
+                ")");
+}
+
+Status SchemeSet::Add(PunctuationScheme scheme) {
+  for (const auto& existing : schemes_) {
+    if (existing == scheme) {
+      return Status::AlreadyExists(
+          StrCat("scheme ", scheme.ToString(), " already registered"));
+    }
+  }
+  schemes_.push_back(std::move(scheme));
+  return Status::OK();
+}
+
+std::vector<const PunctuationScheme*> SchemeSet::SchemesFor(
+    const std::string& stream) const {
+  std::vector<const PunctuationScheme*> out;
+  for (const auto& s : schemes_) {
+    if (s.stream() == stream) out.push_back(&s);
+  }
+  return out;
+}
+
+bool SchemeSet::HasSimpleSchemeOn(const std::string& stream,
+                                  size_t attr) const {
+  for (const auto& s : schemes_) {
+    if (s.stream() == stream && s.IsSimple() && attr < s.arity() &&
+        s.punctuatable(attr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SchemeSet::AllSimple() const {
+  return std::all_of(schemes_.begin(), schemes_.end(),
+                     [](const PunctuationScheme& s) { return s.IsSimple(); });
+}
+
+SchemeSet SchemeSet::Restrict(const std::vector<std::string>& streams) const {
+  SchemeSet out;
+  for (const auto& s : schemes_) {
+    if (std::find(streams.begin(), streams.end(), s.stream()) !=
+        streams.end()) {
+      out.schemes_.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::string SchemeSet::ToString() const {
+  return StrCat("{",
+                JoinMapped(schemes_, ", ",
+                           [](const PunctuationScheme& s) {
+                             return s.ToString();
+                           }),
+                "}");
+}
+
+}  // namespace punctsafe

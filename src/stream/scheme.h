@@ -1,0 +1,114 @@
+// Punctuation schemes (paper Section 2.3): compile-time knowledge,
+// derived from application semantics, of which attribute combinations
+// of a stream may carry constant punctuation patterns at runtime.
+//
+// A scheme P^S = (P_1, ..., P_n) marks each attribute '+'
+// (punctuatable) or '_' (wildcard only). An actual punctuation
+// *instantiates* a scheme by assigning constants to exactly the
+// punctuatable attributes. A stream may have several schemes; the
+// system-wide collection is the scheme set ℜ held by the query
+// register.
+
+#ifndef PUNCTSAFE_STREAM_SCHEME_H_
+#define PUNCTSAFE_STREAM_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/punctuation.h"
+#include "stream/schema.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief One punctuation scheme on one stream.
+class PunctuationScheme {
+ public:
+  PunctuationScheme() = default;
+
+  /// \param stream stream name the scheme applies to
+  /// \param punctuatable per-attribute '+' flags (size = stream arity)
+  PunctuationScheme(std::string stream, std::vector<bool> punctuatable)
+      : stream_(std::move(stream)), punctuatable_(std::move(punctuatable)) {}
+
+  /// \brief Builds a scheme from punctuatable attribute *names*,
+  /// resolved against the schema.
+  static Result<PunctuationScheme> OnAttributes(
+      const std::string& stream, const Schema& schema,
+      const std::vector<std::string>& attribute_names);
+
+  const std::string& stream() const { return stream_; }
+  size_t arity() const { return punctuatable_.size(); }
+  bool punctuatable(size_t i) const { return punctuatable_[i]; }
+
+  /// \brief Indices of '+' attributes, ascending.
+  std::vector<size_t> PunctuatableAttrs() const;
+  size_t NumPunctuatable() const;
+
+  /// \brief True iff exactly one attribute is punctuatable — the
+  /// "simple scheme" case of paper Section 4.1.
+  bool IsSimple() const { return NumPunctuatable() == 1; }
+
+  /// \brief Instantiates the scheme into an actual punctuation by
+  /// binding `values` (in ascending attribute-index order) to the
+  /// punctuatable attributes.
+  Result<Punctuation> Instantiate(const std::vector<Value>& values) const;
+
+  /// \brief True iff `p` is an instantiation of this scheme: constants
+  /// on exactly the punctuatable attributes.
+  bool IsInstantiation(const Punctuation& p) const;
+
+  bool operator==(const PunctuationScheme& other) const {
+    return stream_ == other.stream_ && punctuatable_ == other.punctuatable_;
+  }
+
+  /// \brief "S2(_, +, _)" rendering as in the paper.
+  std::string ToString() const;
+
+ private:
+  std::string stream_;
+  std::vector<bool> punctuatable_;
+};
+
+/// \brief The punctuation scheme set ℜ recorded by the query register.
+class SchemeSet {
+ public:
+  SchemeSet() = default;
+  explicit SchemeSet(std::vector<PunctuationScheme> schemes)
+      : schemes_(std::move(schemes)) {}
+
+  /// \brief Adds a scheme; duplicates are rejected.
+  Status Add(PunctuationScheme scheme);
+
+  const std::vector<PunctuationScheme>& schemes() const { return schemes_; }
+  size_t size() const { return schemes_.size(); }
+
+  /// \brief All schemes declared on the named stream.
+  std::vector<const PunctuationScheme*> SchemesFor(
+      const std::string& stream) const;
+
+  /// \brief True iff some *simple* scheme on `stream` marks attribute
+  /// index `attr` punctuatable. Used by the simple punctuation graph
+  /// (Def 7): a multi-attribute scheme cannot close a single attribute
+  /// with finitely many instantiations, so only simple schemes produce
+  /// plain directed edges; multi-attribute schemes are handled by the
+  /// generalized punctuation graph (Def 8).
+  bool HasSimpleSchemeOn(const std::string& stream, size_t attr) const;
+
+  /// \brief True iff every scheme in the set is simple (single
+  /// punctuatable attribute), i.e. the linear-time Section 4.1
+  /// machinery is exact.
+  bool AllSimple() const;
+
+  /// \brief Restricts to schemes whose stream is in `streams`.
+  SchemeSet Restrict(const std::vector<std::string>& streams) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PunctuationScheme> schemes_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_SCHEME_H_

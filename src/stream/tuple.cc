@@ -1,0 +1,50 @@
+#include "stream/tuple.h"
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+Status Tuple::MatchesSchema(const Schema& schema) const {
+  if (values_.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", values_.size(), " != schema arity ",
+               schema.num_attributes()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].is_null()) continue;
+    if (values_[i].type() != schema.attribute(i).type) {
+      return Status::InvalidArgument(
+          StrCat("attribute '", schema.attribute(i).name, "' expects ",
+                 ValueTypeToString(schema.attribute(i).type), ", got ",
+                 ValueTypeToString(values_[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0x51ED270B0B2C5A1BULL;
+  for (const auto& v : values_) {
+    seed ^= v.Hash() + 0x9E3779B9u + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  return StrCat(
+      "(", JoinMapped(values_, ", ", [](const Value& v) { return v.ToString(); }),
+      ")");
+}
+
+Tuple ConcatTuples(const std::vector<const Tuple*>& parts) {
+  std::vector<Value> values;
+  size_t total = 0;
+  for (const Tuple* p : parts) total += p->size();
+  values.reserve(total);
+  for (const Tuple* p : parts) {
+    for (const auto& v : p->values()) values.push_back(v);
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,59 @@
+// Stream tuples: positional value lists matching a stream's schema.
+
+#ifndef PUNCTSAFE_STREAM_TUPLE_H_
+#define PUNCTSAFE_STREAM_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "stream/schema.h"
+#include "stream/value.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief A positional row. Tuples are schema-agnostic containers;
+/// conformance is checked via MatchesSchema where it matters
+/// (operator input boundaries, workload generators).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// \brief Arity and per-position type conformance (null allowed
+  /// anywhere; the paper's model has no null semantics so workloads do
+  /// not produce them, but operators tolerate them).
+  Status MatchesSchema(const Schema& schema) const;
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator<(const Tuple& other) const {
+    return values_ < other.values_;
+  }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+/// \brief Concatenates tuples in argument order (used for join output
+/// rows, whose schema is the concatenation of input schemas).
+Tuple ConcatTuples(const std::vector<const Tuple*>& parts);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_TUPLE_H_

@@ -1,0 +1,81 @@
+#include "stream/value.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace punctsafe {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  PUNCTSAFE_CHECK(type() == ValueType::kInt64)
+      << "AsInt64 on " << ValueTypeToString(type());
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  PUNCTSAFE_CHECK(type() == ValueType::kDouble)
+      << "AsDouble on " << ValueTypeToString(type());
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  PUNCTSAFE_CHECK(type() == ValueType::kString)
+      << "AsString on " << ValueTypeToString(type());
+  return std::get<std::string>(repr_);
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9E3779B97F4A7C15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      seed ^= std::hash<int64_t>{}(std::get<int64_t>(repr_)) +
+              0x9E3779B9u + (seed << 6) + (seed >> 2);
+      break;
+    case ValueType::kDouble:
+      seed ^= std::hash<double>{}(std::get<double>(repr_)) + 0x9E3779B9u +
+              (seed << 6) + (seed >> 2);
+      break;
+    case ValueType::kString:
+      seed ^= std::hash<std::string>{}(std::get<std::string>(repr_)) +
+              0x9E3779B9u + (seed << 6) + (seed >> 2);
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream out;
+  switch (type()) {
+    case ValueType::kNull:
+      out << "null";
+      break;
+    case ValueType::kInt64:
+      out << std::get<int64_t>(repr_);
+      break;
+    case ValueType::kDouble:
+      out << std::get<double>(repr_);
+      break;
+    case ValueType::kString:
+      out << '"' << std::get<std::string>(repr_) << '"';
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace punctsafe

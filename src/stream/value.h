@@ -1,0 +1,72 @@
+// Typed scalar values carried by stream tuples and punctuation
+// patterns. The paper's model only needs equality comparison on join
+// attributes, but we keep a small typed variant (int64 / double /
+// string / null) so workloads can carry realistic payloads.
+
+#ifndef PUNCTSAFE_STREAM_VALUE_H_
+#define PUNCTSAFE_STREAM_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace punctsafe {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A dynamically-typed scalar. Equality is type-strict: an
+/// int64 never equals a double, which keeps equi-join semantics
+/// unambiguous.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  // NOLINTBEGIN(google-explicit-constructor): literal-friendly by design.
+  Value(int64_t v) : repr_(v) {}
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}
+  Value(double v) : repr_(v) {}
+  Value(std::string v) : repr_(std::move(v)) {}
+  Value(const char* v) : repr_(std::string(v)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// \brief Typed accessors; calling the wrong one is a programming
+  /// error (checked).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// \brief Total order (by type index, then value) so values can key
+  /// ordered containers and be sorted deterministically.
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_STREAM_VALUE_H_

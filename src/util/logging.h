@@ -1,0 +1,72 @@
+// Minimal leveled logging plus CHECK macros, in the Arrow/RocksDB style.
+//
+// Logging is for diagnostics only; the library reports recoverable
+// errors through Status. CHECK failures denote programming errors and
+// abort the process.
+
+#ifndef PUNCTSAFE_UTIL_LOGGING_H_
+#define PUNCTSAFE_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace punctsafe {
+
+enum class LogLevel : int8_t {
+  kDebug = -1,
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+/// \brief Process-wide minimum severity that is actually emitted.
+/// Defaults to kWarning so library internals stay quiet in tests.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& t) {
+    if (enabled_) stream_ << t;
+    return *this;
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PUNCTSAFE_LOG(level)                                            \
+  ::punctsafe::internal::LogMessage(::punctsafe::LogLevel::k##level,    \
+                                    __FILE__, __LINE__)
+
+#define PUNCTSAFE_CHECK(condition)                                   \
+  if (!(condition))                                                  \
+  PUNCTSAFE_LOG(Fatal) << "Check failed: " #condition " "
+
+#define PUNCTSAFE_CHECK_OK(expr)                                 \
+  do {                                                           \
+    ::punctsafe::Status _ps_check_status = (expr);               \
+    PUNCTSAFE_CHECK(_ps_check_status.ok())                       \
+        << _ps_check_status.ToString();                          \
+  } while (false)
+
+#define PUNCTSAFE_DCHECK(condition) PUNCTSAFE_CHECK(condition)
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_UTIL_LOGGING_H_

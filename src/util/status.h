@@ -1,0 +1,183 @@
+// Status / Result error-handling primitives in the Arrow / RocksDB idiom.
+//
+// Library code never throws across the public API boundary: fallible
+// operations return `Status` (or `Result<T>` when they also produce a
+// value). `PUNCTSAFE_RETURN_IF_ERROR` / `PUNCTSAFE_ASSIGN_OR_RETURN`
+// provide the usual early-return plumbing.
+
+#ifndef PUNCTSAFE_UTIL_STATUS_H_
+#define PUNCTSAFE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace punctsafe {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kResourceExhausted = 7,
+  kFailedPrecondition = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus, for errors, a
+/// human-readable message.
+///
+/// OK statuses carry no allocation; error statuses own a small heap
+/// state. `Status` is cheap to move and to test.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// \brief Error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result`. Accessing the value of an errored result
+/// aborts the process (programming error), matching CHECK semantics.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so `return value;` / `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    AbortIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// \brief Alias for ValueOrDie, matching the arrow::Result spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void AbortIfError() const;
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(status());
+}
+
+#define PUNCTSAFE_CONCAT_IMPL(a, b) a##b
+#define PUNCTSAFE_CONCAT(a, b) PUNCTSAFE_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define PUNCTSAFE_RETURN_IF_ERROR(expr)                    \
+  do {                                                     \
+    ::punctsafe::Status _ps_status = (expr);               \
+    if (!_ps_status.ok()) return _ps_status;               \
+  } while (false)
+
+/// Evaluates a Result expression; on success binds the value, on error
+/// propagates the Status.
+#define PUNCTSAFE_ASSIGN_OR_RETURN(lhs, expr)                        \
+  PUNCTSAFE_ASSIGN_OR_RETURN_IMPL(                                   \
+      PUNCTSAFE_CONCAT(_ps_result_, __LINE__), lhs, expr)
+
+#define PUNCTSAFE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                                    \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_UTIL_STATUS_H_

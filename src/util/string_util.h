@@ -1,0 +1,47 @@
+// Small string helpers shared across modules (join/split/format).
+
+#ifndef PUNCTSAFE_UTIL_STRING_UTIL_H_
+#define PUNCTSAFE_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace punctsafe {
+
+/// \brief Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (void)(out << ... << args);
+  return out.str();
+}
+
+/// \brief Joins container elements with a separator, applying a
+/// formatter to each element.
+template <typename Container, typename Formatter>
+std::string JoinMapped(const Container& items, std::string_view sep,
+                       Formatter fmt) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    first = false;
+    out << fmt(item);
+  }
+  return out.str();
+}
+
+/// \brief Joins streamable container elements with a separator.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  return JoinMapped(items, sep, [](const auto& x) { return x; });
+}
+
+/// \brief Splits on a single character; empty fields preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_UTIL_STRING_UTIL_H_

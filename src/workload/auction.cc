@@ -1,0 +1,109 @@
+#include "workload/auction.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace punctsafe {
+
+Schema AuctionWorkload::ItemSchema() {
+  return Schema({{"sellerid", ValueType::kInt64},
+                 {"itemid", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"initialprice", ValueType::kInt64}});
+}
+
+Schema AuctionWorkload::BidSchema() {
+  return Schema({{"bidderid", ValueType::kInt64},
+                 {"itemid", ValueType::kInt64},
+                 {"increase", ValueType::kInt64}});
+}
+
+Status AuctionWorkload::Setup(QueryRegister* reg) {
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterStream(kItemStream, ItemSchema()));
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterStream(kBidStream, BidSchema()));
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterScheme(kItemStream, {"itemid"}));
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterScheme(kBidStream, {"itemid"}));
+  return Status::OK();
+}
+
+std::vector<std::string> AuctionWorkload::QueryStreams() {
+  return {kItemStream, kBidStream};
+}
+
+std::vector<JoinPredicateSpec> AuctionWorkload::QueryPredicates() {
+  return {Eq({kItemStream, "itemid"}, {kBidStream, "itemid"})};
+}
+
+Trace AuctionWorkload::Generate(const AuctionConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.num_items * (config.bids_per_item + 3));
+
+  struct OpenAuction {
+    int64_t itemid;
+    size_t bids_remaining;
+  };
+  std::vector<OpenAuction> open;
+  int64_t next_itemid = 1;
+  int64_t now = 0;
+  size_t items_emitted = 0;
+
+  auto emit_item = [&]() {
+    int64_t itemid = next_itemid++;
+    Tuple item({Value(rng.NextInRange(1, 100)), Value(itemid),
+                Value(std::string("item-") + std::to_string(itemid)),
+                Value(rng.NextInRange(1, 500))});
+    trace.push_back({kItemStream, StreamElement::OfTuple(std::move(item),
+                                                         ++now)});
+    if (config.punctuate_items &&
+        !rng.NextBool(config.punctuation_drop_rate)) {
+      // itemid is unique: close it on the item stream immediately.
+      trace.push_back(
+          {kItemStream,
+           StreamElement::OfPunctuation(
+               Punctuation::OfConstants(4, {{1, Value(itemid)}}), ++now)});
+    }
+    open.push_back({itemid, config.bids_per_item});
+    ++items_emitted;
+  };
+
+  auto close_auction = [&](size_t idx) {
+    int64_t itemid = open[idx].itemid;
+    open.erase(open.begin() + static_cast<long>(idx));
+    if (config.punctuate_close &&
+        !rng.NextBool(config.punctuation_drop_rate)) {
+      trace.push_back(
+          {kBidStream,
+           StreamElement::OfPunctuation(
+               Punctuation::OfConstants(3, {{1, Value(itemid)}}), ++now)});
+    }
+  };
+
+  while (items_emitted < config.num_items || !open.empty()) {
+    // Keep the market full while items remain.
+    while (open.size() < config.max_open &&
+           items_emitted < config.num_items) {
+      emit_item();
+    }
+    if (open.empty()) break;
+
+    // Place a bid on an open auction (skewed toward the oldest/most
+    // popular ones under Zipf).
+    size_t idx;
+    if (config.zipf_theta > 0) {
+      ZipfSampler zipf(open.size(), config.zipf_theta);
+      idx = zipf.Sample(&rng);
+    } else {
+      idx = static_cast<size_t>(rng.NextBelow(open.size()));
+    }
+    Tuple bid({Value(rng.NextInRange(1, 10000)), Value(open[idx].itemid),
+               Value(rng.NextInRange(1, 50))});
+    trace.push_back({kBidStream, StreamElement::OfTuple(std::move(bid),
+                                                        ++now)});
+    if (--open[idx].bids_remaining == 0) close_auction(idx);
+  }
+  return trace;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,74 @@
+// The paper's running example (Example 1, Figure 1): an online
+// auction with an `item` stream (sellerid, itemid, name,
+// initialprice) and a `bid` stream (bidderid, itemid, increase),
+// joined on itemid.
+//
+// Punctuation sources, as in the paper:
+//  * itemid is unique in the item stream, so each item tuple is
+//    followed by an item-stream punctuation (*, itemid, *, *) — a bid
+//    can join at most one item;
+//  * when an auction closes, a bid-stream punctuation (*, itemid, *)
+//    announces that no further bids for it will arrive.
+//
+// The generator runs a rolling market: a bounded number of auctions is
+// open at any time, bids target open auctions (optionally Zipf-skewed
+// toward popular items), and auctions close after their bids are in.
+// With both punctuation kinds enabled, a safe join's state stays
+// proportional to the number of open auctions; with them disabled the
+// same trace forces state linear in the input — Experiment E1.
+
+#ifndef PUNCTSAFE_WORKLOAD_AUCTION_H_
+#define PUNCTSAFE_WORKLOAD_AUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/query_register.h"
+#include "query/predicate.h"
+#include "stream/catalog.h"
+#include "stream/element.h"
+#include "stream/scheme.h"
+
+namespace punctsafe {
+
+struct AuctionConfig {
+  size_t num_items = 1000;
+  /// Bids posted per auction (exactly; arrival order interleaved).
+  size_t bids_per_item = 8;
+  /// Concurrently open auctions.
+  size_t max_open = 32;
+  /// Zipf skew of bid placement across open auctions (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Emit (*, itemid, *, *) on the item stream after each item.
+  bool punctuate_items = true;
+  /// Emit (*, itemid, *) on the bid stream at auction close.
+  bool punctuate_close = true;
+  /// Failure injection: probability a due punctuation is silently
+  /// dropped (paper Section 5.1, "punctuations can be missed").
+  double punctuation_drop_rate = 0.0;
+  uint64_t seed = 42;
+};
+
+class AuctionWorkload {
+ public:
+  static constexpr const char* kItemStream = "item";
+  static constexpr const char* kBidStream = "bid";
+
+  static Schema ItemSchema();
+  static Schema BidSchema();
+
+  /// \brief Registers both streams plus the paper's punctuation
+  /// schemes: item(_, +, _, _) and bid(_, +, _).
+  static Status Setup(QueryRegister* reg);
+
+  /// \brief Stream/predicate spec of the Example 1 join.
+  static std::vector<std::string> QueryStreams();
+  static std::vector<JoinPredicateSpec> QueryPredicates();
+
+  /// \brief Generates the merged, timestamp-ordered trace.
+  static Trace Generate(const AuctionConfig& config);
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_WORKLOAD_AUCTION_H_

@@ -1,0 +1,116 @@
+#include "workload/sensor.h"
+
+#include "util/rng.h"
+
+namespace punctsafe {
+
+Schema SensorWorkload::SensorSchema() {
+  return Schema({{"sensor_id", ValueType::kInt64},
+                 {"epoch", ValueType::kInt64},
+                 {"region", ValueType::kInt64}});
+}
+
+Schema SensorWorkload::ReadingSchema() {
+  return Schema({{"sensor_id", ValueType::kInt64},
+                 {"epoch", ValueType::kInt64},
+                 {"value", ValueType::kInt64}});
+}
+
+Schema SensorWorkload::CalibrationSchema() {
+  return Schema({{"sensor_id", ValueType::kInt64},
+                 {"epoch", ValueType::kInt64},
+                 {"offset", ValueType::kInt64}});
+}
+
+Status SensorWorkload::Setup(QueryRegister* reg) {
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterStream(kSensors, SensorSchema()));
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterStream(kReadings, ReadingSchema()));
+  PUNCTSAFE_RETURN_IF_ERROR(
+      reg->RegisterStream(kCalibrations, CalibrationSchema()));
+  PUNCTSAFE_RETURN_IF_ERROR(
+      reg->RegisterScheme(kSensors, {"sensor_id", "epoch"}));
+  PUNCTSAFE_RETURN_IF_ERROR(reg->RegisterScheme(kReadings, {"sensor_id"}));
+  PUNCTSAFE_RETURN_IF_ERROR(
+      reg->RegisterScheme(kReadings, {"sensor_id", "epoch"}));
+  PUNCTSAFE_RETURN_IF_ERROR(
+      reg->RegisterScheme(kCalibrations, {"sensor_id", "epoch"}));
+  return Status::OK();
+}
+
+std::vector<std::string> SensorWorkload::QueryStreams() {
+  return {kSensors, kReadings, kCalibrations};
+}
+
+std::vector<JoinPredicateSpec> SensorWorkload::QueryPredicates() {
+  return {Eq({kReadings, "sensor_id"}, {kSensors, "sensor_id"}),
+          Eq({kReadings, "epoch"}, {kSensors, "epoch"}),
+          Eq({kReadings, "sensor_id"}, {kCalibrations, "sensor_id"}),
+          Eq({kReadings, "epoch"}, {kCalibrations, "epoch"})};
+}
+
+Trace SensorWorkload::Generate(const SensorConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  int64_t now = 0;
+
+  for (size_t epoch = 0; epoch < config.num_epochs; ++epoch) {
+    int64_t e = static_cast<int64_t>(epoch);
+    // Epoch leases: each sensor renews its registration.
+    for (size_t s = 0; s < config.num_sensors; ++s) {
+      trace.push_back(
+          {kSensors,
+           StreamElement::OfTuple(Tuple({Value(static_cast<int64_t>(s)),
+                                         Value(e),
+                                         Value(rng.NextInRange(0, 3))}),
+                                  ++now)});
+    }
+    for (size_t s = 0; s < config.num_sensors; ++s) {
+      int64_t sid = static_cast<int64_t>(s);
+      for (size_t r = 0; r < config.readings_per_sensor_epoch; ++r) {
+        trace.push_back(
+            {kReadings, StreamElement::OfTuple(
+                            Tuple({Value(sid), Value(e),
+                                   Value(rng.NextInRange(0, 1000))}),
+                            ++now)});
+      }
+      if (rng.NextBool(config.calibration_rate)) {
+        trace.push_back(
+            {kCalibrations, StreamElement::OfTuple(
+                                Tuple({Value(sid), Value(e),
+                                       Value(rng.NextInRange(-10, 10))}),
+                                ++now)});
+      }
+    }
+    // Epoch boundary: close every (sensor_id, epoch) pair on all
+    // three streams — instantiations of the two-attribute schemes.
+    for (size_t s = 0; s < config.num_sensors; ++s) {
+      int64_t sid = static_cast<int64_t>(s);
+      trace.push_back({kSensors, StreamElement::OfPunctuation(
+                                     Punctuation::OfConstants(
+                                         3, {{0, Value(sid)}, {1, Value(e)}}),
+                                     ++now)});
+      trace.push_back({kReadings, StreamElement::OfPunctuation(
+                                      Punctuation::OfConstants(
+                                          3, {{0, Value(sid)}, {1, Value(e)}}),
+                                      ++now)});
+      trace.push_back(
+          {kCalibrations, StreamElement::OfPunctuation(
+                              Punctuation::OfConstants(
+                                  3, {{0, Value(sid)}, {1, Value(e)}}),
+                              ++now)});
+    }
+  }
+
+  // Decommissioning: each sensor retires — no more readings from it,
+  // ever (the simple readings scheme on sensor_id).
+  for (size_t s = 0; s < config.num_sensors; ++s) {
+    int64_t sid = static_cast<int64_t>(s);
+    trace.push_back({kReadings, StreamElement::OfPunctuation(
+                                    Punctuation::OfConstants(
+                                        3, {{0, Value(sid)}}),
+                                    ++now)});
+  }
+  return trace;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,51 @@
+#include "stream/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace punctsafe {
+namespace {
+
+TEST(CatalogTest, RegisterAndGet) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("s", Schema::OfInts({"a"})).ok());
+  EXPECT_TRUE(catalog.Contains("s"));
+  auto schema = catalog.Get("s");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_attributes(), 1u);
+}
+
+TEST(CatalogTest, GetUnknownIsNotFound) {
+  StreamCatalog catalog;
+  EXPECT_TRUE(catalog.Get("missing").status().IsNotFound());
+  EXPECT_FALSE(catalog.Contains("missing"));
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("s", Schema::OfInts({"a"})).ok());
+  EXPECT_TRUE(
+      catalog.Register("s", Schema::OfInts({"b"})).IsAlreadyExists());
+}
+
+TEST(CatalogTest, EmptyNameRejected) {
+  StreamCatalog catalog;
+  EXPECT_TRUE(
+      catalog.Register("", Schema::OfInts({"a"})).IsInvalidArgument());
+}
+
+TEST(CatalogTest, InvalidSchemaRejected) {
+  StreamCatalog catalog;
+  EXPECT_TRUE(catalog.Register("s", Schema()).IsInvalidArgument());
+  EXPECT_FALSE(catalog.Contains("s"));
+}
+
+TEST(CatalogTest, NamesPreserveOrder) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("b", Schema::OfInts({"x"})).ok());
+  ASSERT_TRUE(catalog.Register("a", Schema::OfInts({"x"})).ok());
+  EXPECT_EQ(catalog.names(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,122 @@
+#include "core/chained_purge.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::SchemeOn;
+using testing_util::TriangleQuery;
+
+// Section 3.2's motivating chain: to purge a tuple of S1, first close
+// S2 on B (values from t itself), then S3 on C (values from the
+// joinable tuples in S2).
+TEST(ChainedPurgeTest, Fig5ChainFromS1) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto plan = DeriveChainedPurgePlan(q, Fig5Schemes(catalog), 0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->root_stream, 0u);
+  ASSERT_EQ(plan->steps.size(), 2u);
+
+  // Every step's sources must already be covered.
+  std::set<size_t> covered{0};
+  for (const PurgeStep& step : plan->steps) {
+    for (const auto& b : step.bindings) {
+      EXPECT_TRUE(covered.count(b.source_stream))
+          << "step for " << step.target_stream << " uses uncovered source";
+    }
+    EXPECT_FALSE(covered.count(step.target_stream));
+    covered.insert(step.target_stream);
+  }
+  EXPECT_EQ(covered.size(), 3u);
+  EXPECT_FALSE(plan->ToString(q).empty());
+}
+
+TEST(ChainedPurgeTest, PlanExistsForEveryStreamWhenStronglyConnected) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  for (size_t s = 0; s < 3; ++s) {
+    auto plan = DeriveChainedPurgePlan(q, schemes, s);
+    EXPECT_TRUE(plan.ok()) << "stream " << s;
+    EXPECT_EQ(plan->steps.size(), 2u);
+  }
+}
+
+TEST(ChainedPurgeTest, Fig8GeneralizedStepUsesBothSources) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto plan = DeriveChainedPurgePlan(q, Fig8Schemes(catalog), 0);
+  ASSERT_TRUE(plan.ok());
+  // The step closing S3 must use the pair scheme with sources S1, S2.
+  bool found = false;
+  for (const PurgeStep& step : plan->steps) {
+    if (step.target_stream != 2) continue;
+    found = true;
+    EXPECT_EQ(step.bindings.size(), 2u);
+    std::set<size_t> sources;
+    for (const auto& b : step.bindings) sources.insert(b.source_stream);
+    EXPECT_EQ(sources, (std::set<size_t>{0, 1}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChainedPurgeTest, FailsWithWitnessWhenUnpurgeable) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes;
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S2", {"B"})).ok());
+  // From S1: reach S2 (edge S1->S2); S3 unreachable.
+  auto plan = DeriveChainedPurgePlan(q, schemes, 0);
+  EXPECT_TRUE(plan.status().IsFailedPrecondition());
+  EXPECT_NE(plan.status().message().find("S3"), std::string::npos);
+}
+
+TEST(ChainedPurgeTest, OutOfRangeStream) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto plan = DeriveChainedPurgePlan(q, Fig5Schemes(catalog), 9);
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+}
+
+// Property: a plan exists iff Theorem 3 says purgeable, and plans are
+// always well-ordered (sources covered before use, no duplicate
+// targets, all streams covered).
+TEST(ChainedPurgeTest, PlansWellFormedOnRandomInstances) {
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    RandomQueryConfig config;
+    config.num_streams = 2 + seed % 5;
+    config.multi_attr_prob = 0.4;
+    config.seed = seed * 31 + 3;
+    auto inst = MakeRandomQuery(config);
+    ASSERT_TRUE(inst.ok());
+    GeneralizedPunctuationGraph gpg =
+        GeneralizedPunctuationGraph::Build(inst->query, inst->schemes);
+    for (size_t s = 0; s < inst->query.num_streams(); ++s) {
+      auto plan = DeriveChainedPurgePlan(inst->query, gpg, s);
+      EXPECT_EQ(plan.ok(), gpg.StatePurgeable(s))
+          << "seed=" << seed << " stream=" << s;
+      if (!plan.ok()) continue;
+      std::set<size_t> covered{s};
+      for (const PurgeStep& step : plan->steps) {
+        for (const auto& b : step.bindings) {
+          EXPECT_TRUE(covered.count(b.source_stream));
+        }
+        EXPECT_TRUE(covered.insert(step.target_stream).second);
+      }
+      EXPECT_EQ(covered.size(), inst->query.num_streams());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace punctsafe

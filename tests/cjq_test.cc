@@ -1,0 +1,148 @@
+#include "query/cjq.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(CjqTest, CreateResolvesPredicates) {
+  StreamCatalog catalog = PaperCatalog();
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"S1", "S2"}, {Eq({"S1", "B"}, {"S2", "B"})});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_streams(), 2u);
+  ASSERT_EQ(q->predicates().size(), 1u);
+  const ResolvedPredicate& p = q->predicates()[0];
+  EXPECT_EQ(p.left_stream, 0u);
+  EXPECT_EQ(p.left_attr, 1u);  // S1.B
+  EXPECT_EQ(p.right_stream, 1u);
+  EXPECT_EQ(p.right_attr, 0u);  // S2.B
+}
+
+TEST(CjqTest, PredicateSidesCanonicalized) {
+  StreamCatalog catalog = PaperCatalog();
+  // Written right-to-left; stored with left_stream < right_stream.
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"S1", "S2"}, {Eq({"S2", "B"}, {"S1", "B"})});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates()[0].left_stream, 0u);
+}
+
+TEST(CjqTest, DuplicatePredicatesCollapse) {
+  StreamCatalog catalog = PaperCatalog();
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"S1", "S2"},
+      {Eq({"S1", "B"}, {"S2", "B"}), Eq({"S2", "B"}, {"S1", "B"})});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates().size(), 1u);
+}
+
+TEST(CjqTest, RejectsSingleStream) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1"}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CjqTest, RejectsDuplicateStream) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1", "S1"},
+                                          {Eq({"S1", "A"}, {"S1", "B"})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CjqTest, RejectsUnknownStream) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1", "ZZ"},
+                                          {Eq({"S1", "B"}, {"ZZ", "B"})})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CjqTest, RejectsUnknownAttribute) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1", "S2"},
+                                          {Eq({"S1", "Q"}, {"S2", "B"})})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CjqTest, RejectsPredicateOutsideQuery) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1", "S2"},
+                                          {Eq({"S1", "A"}, {"S3", "A"})})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CjqTest, RejectsSelfJoinPredicate) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(
+                  catalog, {"S1", "S2"},
+                  {Eq({"S1", "A"}, {"S1", "B"}), Eq({"S1", "B"}, {"S2", "B"})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CjqTest, RejectsTypeMismatch) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register("num", Schema({{"k", ValueType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Register("str", Schema({{"k", ValueType::kString}}))
+                  .ok());
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"num", "str"},
+                                          {Eq({"num", "k"}, {"str", "k"})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CjqTest, RejectsNoPredicates) {
+  StreamCatalog catalog = PaperCatalog();
+  EXPECT_TRUE(ContinuousJoinQuery::Create(catalog, {"S1", "S2"}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CjqTest, RejectsDisconnectedJoinGraph) {
+  StreamCatalog catalog;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(catalog.Register(name, Schema::OfInts({"x"})).ok());
+  }
+  // a-b and c-d: two components -> cross product -> rejected.
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"a", "b", "c", "d"},
+      {Eq({"a", "x"}, {"b", "x"}), Eq({"c", "x"}, {"d", "x"})});
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(CjqTest, Accessors) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = testing_util::TriangleQuery(catalog);
+  EXPECT_EQ(q.StreamIndex("S2"), 1u);
+  EXPECT_FALSE(q.StreamIndex("ZZ").has_value());
+
+  EXPECT_EQ(q.PredicatesBetween(0, 1).size(), 1u);
+  EXPECT_EQ(q.PredicatesBetween(1, 0).size(), 1u);
+  EXPECT_EQ(q.PredicatesBetween(0, 0).size(), 0u);
+
+  // S1(A,B): both attributes join.
+  EXPECT_EQ(q.JoinAttrsOf(0), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(q.NeighborsOf(0), (std::vector<size_t>{1, 2}));
+}
+
+TEST(CjqTest, ToStringReadable) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = testing_util::Fig3Query(catalog);
+  EXPECT_EQ(q.ToString(),
+            "CJQ(S1,S2,S3 | S1.B = S2.B AND S2.C = S3.C)");
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,106 @@
+#include "plan/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/chooser.h"
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::TriangleQuery;
+
+WorkloadStats UniformStats(size_t n, size_t preds) {
+  WorkloadStats stats;
+  stats.arrival_rate.assign(n, 100.0);
+  stats.punctuation_rate.assign(n, 10.0);
+  stats.selectivity.assign(preds, 0.01);
+  return stats;
+}
+
+TEST(CostModelTest, ValidatesStats) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  CostModel model(q, WorkloadStats{});
+  auto cost = model.Estimate(PlanShape::SingleMJoin(3), Fig5Schemes(catalog));
+  EXPECT_TRUE(cost.status().IsInvalidArgument());
+}
+
+TEST(CostModelTest, PurgeableStateIsBounded) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  WorkloadStats stats = UniformStats(3, 3);
+  CostModel model(q, stats);
+  auto cost = model.Estimate(PlanShape::SingleMJoin(3), Fig5Schemes(catalog));
+  ASSERT_TRUE(cost.ok());
+  // state ~ rate / punct-rate per stream = 3 * 100/10 = 30, far below
+  // the horizon-scaled unbounded estimate.
+  EXPECT_LT(cost->expected_state, 100.0);
+  EXPECT_GT(cost->expected_state, 0.0);
+}
+
+TEST(CostModelTest, UnpurgeableStateScalesWithHorizon) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  WorkloadStats stats = UniformStats(3, 3);
+  stats.horizon = 1e5;
+  CostModel model(q, stats);
+  auto safe = model.Estimate(PlanShape::SingleMJoin(3), Fig5Schemes(catalog));
+  auto unsafe = model.Estimate(PlanShape::SingleMJoin(3), SchemeSet());
+  ASSERT_TRUE(safe.ok());
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_GT(unsafe->expected_state, 1000 * safe->expected_state);
+}
+
+TEST(CostModelTest, LazyPolicyTradesMemoryForSweepWork) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  CostModel model(q, UniformStats(3, 3));
+  auto eager = model.Estimate(PlanShape::SingleMJoin(3),
+                              Fig5Schemes(catalog), PurgePolicy::kEager);
+  auto lazy = model.Estimate(PlanShape::SingleMJoin(3), Fig5Schemes(catalog),
+                             PurgePolicy::kLazy, /*lazy_batch=*/64);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_GT(lazy->expected_state, eager->expected_state);
+  EXPECT_LT(lazy->work_per_time, eager->work_per_time);
+}
+
+TEST(CostModelTest, ScoreObjectives) {
+  PlanCost cheap_mem{10, 5, 1000, 1};
+  PlanCost cheap_work{1000, 500, 10, 1};
+  EXPECT_LT(CostModel::Score(cheap_mem, CostObjective::kMemory),
+            CostModel::Score(cheap_work, CostObjective::kMemory));
+  EXPECT_GT(CostModel::Score(cheap_mem, CostObjective::kThroughput),
+            CostModel::Score(cheap_work, CostObjective::kThroughput));
+  EXPECT_FALSE(cheap_mem.ToString().empty());
+}
+
+TEST(ChooserTest, ChoosesAmongSafePlans) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PlanChooser chooser(q, Fig8Schemes(catalog), UniformStats(3, 3));
+  auto ranked = chooser.Rank(CostObjective::kMemory);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_GE(ranked->size(), 2u);
+  // Scores ascending.
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_LE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+  auto best = chooser.Choose(CostObjective::kMemory);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->shape, (*ranked)[0].shape);
+}
+
+TEST(ChooserTest, UnsafeQueryFailsPrecondition) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PlanChooser chooser(q, SchemeSet(), UniformStats(3, 3));
+  EXPECT_TRUE(chooser.Choose().status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace punctsafe

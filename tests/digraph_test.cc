@@ -1,0 +1,96 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace punctsafe {
+namespace {
+
+TEST(DigraphTest, EmptyAndSingletonAreStronglyConnected) {
+  EXPECT_TRUE(Digraph(0).IsStronglyConnected());
+  EXPECT_TRUE(Digraph(1).IsStronglyConnected());
+}
+
+TEST(DigraphTest, AddEdgeDeduplicates) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, ReachableFromFollowsDirection) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  auto r = g.ReachableFrom(0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_FALSE(r[3]);
+  auto r2 = g.ReachableFrom(2);
+  EXPECT_FALSE(r2[0]);
+  EXPECT_TRUE(r2[2]);
+}
+
+TEST(DigraphTest, ReachesAll) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.ReachesAll(0));
+  EXPECT_FALSE(g.ReachesAll(2));
+}
+
+TEST(DigraphTest, CycleIsStronglyConnected) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_TRUE(g.IsStronglyConnected());
+}
+
+TEST(DigraphTest, PathIsNotStronglyConnected) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(g.IsStronglyConnected());
+}
+
+TEST(DigraphTest, BidirectionalEdgesAreStronglyConnected) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_TRUE(g.IsStronglyConnected());
+}
+
+TEST(DigraphTest, DisconnectedIsNotStronglyConnected) {
+  Digraph g(2);
+  EXPECT_FALSE(g.IsStronglyConnected());
+}
+
+TEST(DigraphTest, Reversed) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.num_edges(), 2u);
+}
+
+TEST(DigraphTest, SelfLoopAllowed) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.IsStronglyConnected());
+}
+
+TEST(DigraphTest, ToString) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.ToString(), "0->1");
+}
+
+}  // namespace
+}  // namespace punctsafe

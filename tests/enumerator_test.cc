@@ -1,0 +1,122 @@
+#include "plan/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_checker.h"
+#include "core/plan_safety.h"
+#include "test_util.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::TriangleQuery;
+
+TEST(EnumeratorTest, Fig5OnlyTheMJoinPlanIsSafe) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  SafePlanEnumerator en(q, schemes);
+  auto plans = en.EnumerateSafePlans();
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+  EXPECT_EQ((*plans)[0], PlanShape::SingleMJoin(3));
+  EXPECT_FALSE(en.limit_reached());
+}
+
+TEST(EnumeratorTest, Fig8HasMorePlans) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SafePlanEnumerator en(q, Fig8Schemes(catalog));
+  auto plans = en.EnumerateSafePlans();
+  ASSERT_TRUE(plans.ok());
+  // At least the MJoin and the ((S1 S2) S3) tree.
+  EXPECT_GE(plans->size(), 2u);
+  bool has_mjoin = false, has_left_deep = false;
+  for (const PlanShape& p : *plans) {
+    has_mjoin |= (p == PlanShape::SingleMJoin(3));
+    has_left_deep |= (p == PlanShape::LeftDeepBinary({0, 1, 2}));
+  }
+  EXPECT_TRUE(has_mjoin);
+  EXPECT_TRUE(has_left_deep);
+}
+
+TEST(EnumeratorTest, UnsafeQueryYieldsNoPlans) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SafePlanEnumerator en(q, SchemeSet());
+  auto plans = en.EnumerateSafePlans();
+  ASSERT_TRUE(plans.ok());
+  EXPECT_TRUE(plans->empty());
+}
+
+TEST(EnumeratorTest, LimitStopsEnumeration) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SafePlanEnumerator en(q, Fig8Schemes(catalog));
+  auto plans = en.EnumerateSafePlans(/*limit=*/1);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 1u);
+}
+
+TEST(EnumeratorTest, RefusesHugeQueries) {
+  StreamCatalog catalog;
+  std::vector<std::string> streams;
+  std::vector<JoinPredicateSpec> preds;
+  for (int i = 0; i < 17; ++i) {
+    std::string name = "T" + std::to_string(i);
+    ASSERT_TRUE(catalog.Register(name, Schema::OfInts({"k"})).ok());
+    if (i > 0) preds.push_back(Eq({streams.back(), "k"}, {name, "k"}));
+    streams.push_back(name);
+  }
+  auto q = ContinuousJoinQuery::Create(catalog, streams, preds);
+  ASSERT_TRUE(q.ok());
+  SchemeSet schemes;
+  SafePlanEnumerator en(*q, schemes);
+  EXPECT_TRUE(en.EnumerateSafePlans().status().IsInvalidArgument());
+}
+
+// The DP enumerator must agree with brute force: same set of safe
+// shapes as filtering EnumerateAllShapes through CheckPlanSafety.
+TEST(EnumeratorTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    RandomQueryConfig config;
+    config.num_streams = 2 + seed % 3;  // up to 4 streams
+    config.multi_attr_prob = 0.3;
+    config.seed = seed * 977 + 5;
+    auto inst = MakeRandomQuery(config);
+    ASSERT_TRUE(inst.ok());
+
+    SafePlanEnumerator en(inst->query, inst->schemes);
+    auto dp_plans = en.EnumerateSafePlans(/*limit=*/100000);
+    ASSERT_TRUE(dp_plans.ok());
+
+    std::vector<size_t> streams(inst->query.num_streams());
+    for (size_t i = 0; i < streams.size(); ++i) streams[i] = i;
+    size_t brute_count = 0;
+    for (const PlanShape& shape : EnumerateAllShapes(streams)) {
+      auto report = CheckPlanSafety(inst->query, inst->schemes, shape);
+      ASSERT_TRUE(report.ok());
+      if (report->safe) {
+        ++brute_count;
+        // Every brute-force safe shape appears in the DP output.
+        bool found = false;
+        for (const PlanShape& dp : *dp_plans) {
+          if (dp == shape) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "seed=" << seed << " missing "
+                           << shape.ToString(inst->query);
+      }
+    }
+    EXPECT_EQ(dp_plans->size(), brute_count) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace punctsafe

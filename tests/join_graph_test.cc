@@ -1,0 +1,68 @@
+#include "query/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(JoinGraphTest, Fig3ChainStructure) {
+  StreamCatalog catalog = PaperCatalog();
+  JoinGraph g(testing_util::Fig3Query(catalog));
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_FALSE(g.IsCyclic());
+}
+
+TEST(JoinGraphTest, TriangleIsCyclic) {
+  StreamCatalog catalog = PaperCatalog();
+  JoinGraph g(testing_util::TriangleQuery(catalog));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.IsCyclic());
+}
+
+TEST(JoinGraphTest, SpanningTreeCoversAllNodes) {
+  StreamCatalog catalog = PaperCatalog();
+  JoinGraph g(testing_util::TriangleQuery(catalog));
+  for (size_t root = 0; root < 3; ++root) {
+    SpanningTree t = g.SpanningTreeFrom(root);
+    EXPECT_EQ(t.root, root);
+    EXPECT_EQ(t.bfs_order.size(), 3u);
+    EXPECT_EQ(t.bfs_order[0], root);
+    EXPECT_EQ(t.parent[root], root);
+    for (size_t v = 0; v < 3; ++v) {
+      if (v == root) continue;
+      // Parent chain terminates at root.
+      size_t cur = v;
+      int hops = 0;
+      while (cur != root && hops++ < 10) cur = t.parent[cur];
+      EXPECT_EQ(cur, root);
+      // Tree edges are join-graph edges.
+      EXPECT_TRUE(g.HasEdge(v, t.parent[v]));
+    }
+  }
+}
+
+TEST(JoinGraphTest, ChainSpanningTreeFromMiddle) {
+  StreamCatalog catalog = PaperCatalog();
+  JoinGraph g(testing_util::Fig3Query(catalog));
+  SpanningTree t = g.SpanningTreeFrom(1);
+  EXPECT_EQ(t.parent[0], 1u);
+  EXPECT_EQ(t.parent[2], 1u);
+}
+
+TEST(JoinGraphTest, ToString) {
+  StreamCatalog catalog = PaperCatalog();
+  JoinGraph g(testing_util::Fig3Query(catalog));
+  EXPECT_EQ(g.ToString(), "0--1, 1--2");
+}
+
+}  // namespace
+}  // namespace punctsafe

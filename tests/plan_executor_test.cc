@@ -1,0 +1,163 @@
+#include "exec/plan_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::TriangleQuery;
+
+TEST(PlanExecutorTest, SingleMJoinEndToEnd) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  ExecutorConfig config;
+  config.keep_results = true;
+  auto exec = PlanExecutor::Create(q, Fig5Schemes(catalog),
+                                   PlanShape::SingleMJoin(3), config);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_TRUE((*exec)->safety().safe);
+
+  (*exec)->PushTuple(0, Tuple({Value(1), Value(2)}), 1);
+  (*exec)->PushTuple(1, Tuple({Value(2), Value(3)}), 2);
+  (*exec)->PushTuple(2, Tuple({Value(3), Value(1)}), 3);
+  EXPECT_EQ((*exec)->num_results(), 1u);
+  ASSERT_EQ((*exec)->kept_results().size(), 1u);
+  EXPECT_EQ((*exec)->kept_results()[0],
+            Tuple({Value(1), Value(2), Value(2), Value(3), Value(3),
+                   Value(1)}));
+  EXPECT_EQ((*exec)->TotalLiveTuples(), 3u);
+  EXPECT_EQ((*exec)->tuple_high_water(), 3u);
+}
+
+TEST(PlanExecutorTest, PushRoutesByStreamName) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto exec = PlanExecutor::Create(q, Fig5Schemes(catalog),
+                                   PlanShape::SingleMJoin(3));
+  ASSERT_TRUE(exec.ok());
+  TraceEvent good{"S2", StreamElement::OfTuple(Tuple({Value(1), Value(2)}),
+                                               1)};
+  EXPECT_TRUE((*exec)->Push(good).ok());
+  EXPECT_EQ((*exec)->TotalLiveTuples(), 1u);
+
+  TraceEvent bad{"nope", StreamElement::OfTuple(Tuple({Value(1)}), 2)};
+  EXPECT_TRUE((*exec)->Push(bad).IsNotFound());
+}
+
+// Figure 7 at runtime: the unsafe left-deep plan executes but its
+// lower join state never shrinks, even under the full punctuation
+// load that keeps the MJoin plan bounded.
+TEST(PlanExecutorTest, UnsafeShapeRunsButLeaks) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  auto exec = PlanExecutor::Create(q, schemes,
+                                   PlanShape::LeftDeepBinary({0, 1, 2}));
+  ASSERT_TRUE(exec.ok());
+  EXPECT_FALSE((*exec)->safety().safe);
+
+  for (int i = 0; i < 20; ++i) {
+    (*exec)->PushTuple(0, Tuple({Value(i), Value(i)}), i);
+    // Every punctuation the schemes allow.
+    (*exec)->PushPunctuation(
+        0, Punctuation::OfConstants(2, {{1, Value(i)}}), i);
+    (*exec)->PushPunctuation(
+        1, Punctuation::OfConstants(2, {{1, Value(i)}}), i);
+    (*exec)->PushPunctuation(
+        2, Punctuation::OfConstants(2, {{1, Value(i)}}), i);
+  }
+  // The S1 tuples are stuck in the lower operator forever.
+  EXPECT_GE((*exec)->TotalLiveTuples(), 20u);
+}
+
+// The Figure 8 safe tree plan: punctuation propagation lets the upper
+// operator purge everything — end state is completely empty.
+TEST(PlanExecutorTest, SafeTreePlanPropagatesAndDrains) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig8Schemes(catalog);
+  ExecutorConfig config;
+  config.keep_results = true;
+  auto exec_or = PlanExecutor::Create(
+      q, schemes, PlanShape::LeftDeepBinary({0, 1, 2}), config);
+  ASSERT_TRUE(exec_or.ok());
+  auto& exec = *exec_or;
+  ASSERT_TRUE(exec->safety().safe);
+
+  exec->PushTuple(0, Tuple({Value(1), Value(2)}), 1);  // S1(A=1,B=2)
+  exec->PushTuple(1, Tuple({Value(2), Value(3)}), 2);  // S2(B=2,C=3)
+  exec->PushTuple(2, Tuple({Value(3), Value(1)}), 3);  // S3(C=3,A=1)
+  EXPECT_EQ(exec->num_results(), 1u);
+  EXPECT_EQ(exec->kept_results()[0],
+            Tuple({Value(1), Value(2), Value(2), Value(3), Value(3),
+                   Value(1)}));
+
+  // Close everything via raw-stream punctuations.
+  exec->PushPunctuation(0, Punctuation::OfConstants(2, {{1, Value(2)}}),
+                        4);  // S1: no more B=2
+  exec->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(2)}}),
+                        5);  // S2: no more B=2
+  exec->PushPunctuation(1, Punctuation::OfConstants(2, {{1, Value(3)}}),
+                        6);  // S2: no more C=3
+  exec->PushPunctuation(
+      2, Punctuation::OfConstants(2, {{0, Value(3)}, {1, Value(1)}}),
+      7);  // S3: no more (C=3, A=1)
+  EXPECT_EQ(exec->TotalLiveTuples(), 0u)
+      << "propagated punctuations should drain both operators";
+  // The lower operator must have propagated punctuations upward.
+  bool propagated = false;
+  for (const auto& op : exec->operators()) {
+    propagated |= op->metrics().punctuations_propagated > 0;
+  }
+  EXPECT_TRUE(propagated);
+  // No results were lost relative to the single-MJoin plan.
+  EXPECT_EQ(exec->num_results(), 1u);
+}
+
+TEST(PlanExecutorTest, SweepAllFlushesLazyOperators) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  ExecutorConfig config;
+  config.mjoin.purge_policy = PurgePolicy::kLazy;
+  config.mjoin.lazy_batch = 1000;
+  auto exec = PlanExecutor::Create(q, Fig5Schemes(catalog),
+                                   PlanShape::SingleMJoin(3), config);
+  ASSERT_TRUE(exec.ok());
+  (*exec)->PushTuple(0, Tuple({Value(1), Value(2)}), 1);
+  (*exec)->PushPunctuation(2, Punctuation::OfConstants(2, {{1, Value(1)}}),
+                           2);
+  (*exec)->PushPunctuation(1, Punctuation::OfConstants(2, {{1, Value(9)}}),
+                           3);
+  EXPECT_EQ((*exec)->TotalLiveTuples(), 1u);
+  (*exec)->SweepAll(4);
+  EXPECT_EQ((*exec)->TotalLiveTuples(), 0u);
+}
+
+TEST(PlanExecutorTest, HighWaterIsMonotone) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto exec = PlanExecutor::Create(q, Fig5Schemes(catalog),
+                                   PlanShape::SingleMJoin(3));
+  ASSERT_TRUE(exec.ok());
+  for (int i = 0; i < 5; ++i) {
+    (*exec)->PushTuple(0, Tuple({Value(i), Value(i)}), i);
+  }
+  size_t hw = (*exec)->tuple_high_water();
+  EXPECT_EQ(hw, 5u);
+  // Purge everything: high water must not decrease.
+  for (int i = 0; i < 5; ++i) {
+    (*exec)->PushPunctuation(
+        2, Punctuation::OfConstants(2, {{1, Value(i)}}), 10 + i);
+  }
+  EXPECT_EQ((*exec)->TotalLiveTuples(), 0u);
+  EXPECT_EQ((*exec)->tuple_high_water(), hw);
+  EXPECT_GT((*exec)->punctuation_high_water(), 0u);
+}
+
+}  // namespace
+}  // namespace punctsafe

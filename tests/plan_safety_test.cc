@@ -1,0 +1,149 @@
+#include "core/plan_safety.h"
+
+#include <gtest/gtest.h>
+
+#include "core/generalized_punctuation_graph.h"
+#include "core/naive_checker.h"
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::SchemeOn;
+using testing_util::TriangleQuery;
+
+// Figure 5 vs Figure 7: the single MJoin is safe, and NO binary tree
+// over the same query is.
+TEST(PlanSafetyTest, Fig5MJoinSafe) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto report =
+      CheckPlanSafety(q, Fig5Schemes(catalog), PlanShape::SingleMJoin(3));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe);
+  ASSERT_EQ(report->operators.size(), 1u);
+  EXPECT_TRUE(report->operators[0].purgeable);
+  // Every stream's schemes propagate to the root.
+  EXPECT_EQ(report->root_schemes.size(), 3u);
+}
+
+TEST(PlanSafetyTest, Fig7EveryBinaryTreeUnsafe) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  // All 3 left-deep orders x the upper-level symmetry = all binary
+  // shapes over 3 leaves.
+  size_t binary_checked = 0;
+  for (PlanShape& shape : EnumerateAllShapes({0, 1, 2})) {
+    if (!shape.IsBinaryTree()) continue;
+    ++binary_checked;
+    auto report = CheckPlanSafety(q, schemes, shape);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->safe) << shape.ToString(q);
+  }
+  EXPECT_EQ(binary_checked, 3u);  // ((12)3), ((13)2), ((23)1)
+}
+
+// The paper's Figure 7 diagnosis: in (S1 ⨝ S2) the lower operator
+// cannot purge S1 — there is no punctuation from S2 on B.
+TEST(PlanSafetyTest, Fig7LowerOperatorDiagnosis) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PlanShape shape = PlanShape::LeftDeepBinary({0, 1, 2});
+  auto report = CheckPlanSafety(q, Fig5Schemes(catalog), shape);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->safe);
+  // Post-order: operators[0] is the lower join (S1, S2).
+  const OperatorVerdict& lower = report->operators[0];
+  EXPECT_EQ(lower.child_streams[0], (std::vector<size_t>{0}));
+  EXPECT_FALSE(lower.child_purgeable[0]);  // S1 stuck
+  EXPECT_TRUE(lower.child_purgeable[1]);   // S2 purgeable via S1(B)
+  EXPECT_FALSE(report->ToString(q).empty());
+}
+
+// Under Figure 8 schemes, S2(+,_) gives the lower binary operator both
+// directions... S1's state needs a scheme on S2.B — present! So the
+// left-deep tree ((S1 S2) S3) becomes safe: verify propagation makes
+// the upper operator work.
+TEST(PlanSafetyTest, Fig8LeftDeepBecomesSafe) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PlanShape shape = PlanShape::LeftDeepBinary({0, 1, 2});
+  auto report = CheckPlanSafety(q, Fig8Schemes(catalog), shape);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe) << report->ToString(q);
+}
+
+TEST(PlanSafetyTest, LeavesMustMatchQuery) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  // Missing S3.
+  auto r1 = CheckPlanSafety(
+      q, schemes, PlanShape::Join({PlanShape::Leaf(0), PlanShape::Leaf(1)}));
+  EXPECT_TRUE(r1.status().IsInvalidArgument());
+  // Duplicate S1.
+  auto r2 = CheckPlanSafety(
+      q, schemes,
+      PlanShape::Join(
+          {PlanShape::Leaf(0), PlanShape::Leaf(0), PlanShape::Leaf(1)}));
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+}
+
+// An unpurgeable child blocks scheme propagation: build a 4-stream
+// chain where the inner pair purges fine but loses one side's schemes.
+TEST(PlanSafetyTest, PropagationBlockedByUnpurgeableChild) {
+  StreamCatalog catalog;
+  for (const char* name : {"A", "B", "C"}) {
+    ASSERT_TRUE(catalog.Register(name, Schema::OfInts({"x", "y"})).ok());
+  }
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"A", "B", "C"},
+      {Eq({"A", "x"}, {"B", "x"}), Eq({"B", "y"}, {"C", "y"})});
+  ASSERT_TRUE(q.ok());
+  SchemeSet schemes;
+  // A(x): purges B's waiters at the lower join; B has no scheme, so A
+  // is stuck at the lower join and nothing propagates from A...
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "A", {"x"})).ok());
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "C", {"y"})).ok());
+
+  PlanShape lower_ab = PlanShape::LeftDeepBinary({0, 1, 2});
+  auto report = CheckPlanSafety(*q, schemes, lower_ab);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->safe);
+  const OperatorVerdict& lower = report->operators[0];
+  EXPECT_FALSE(lower.child_purgeable[0]);  // A waits on B forever
+  EXPECT_TRUE(lower.child_purgeable[1]);   // B purged via A(x)
+}
+
+// MJoin shape safety must coincide with Theorem 4's verdict (the GPG
+// over raw streams IS the single MJoin's local graph).
+TEST(PlanSafetyTest, SingleMJoinMatchesGpgVerdict) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  for (const SchemeSet& schemes :
+       {Fig5Schemes(catalog), Fig8Schemes(catalog), SchemeSet()}) {
+    GeneralizedPunctuationGraph gpg =
+        GeneralizedPunctuationGraph::Build(q, schemes);
+    auto report = CheckPlanSafety(q, schemes, PlanShape::SingleMJoin(3));
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->safe, gpg.IsStronglyConnected());
+  }
+}
+
+TEST(PlanSafetyTest, RawAvailableSchemesFiltersArity) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes;
+  ASSERT_TRUE(schemes.Add(PunctuationScheme("S1", {true})).ok());  // arity 1
+  ASSERT_TRUE(schemes.Add(PunctuationScheme("S1", {false, true})).ok());
+  auto avail = RawAvailableSchemes(q, schemes, 0);
+  ASSERT_EQ(avail.size(), 1u);
+  EXPECT_EQ(avail[0].attrs, (std::vector<size_t>{1}));
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,60 @@
+#include "query/plan_shape.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+TEST(PlanShapeTest, LeafBasics) {
+  PlanShape leaf = PlanShape::Leaf(2);
+  EXPECT_TRUE(leaf.IsLeaf());
+  EXPECT_EQ(leaf.stream(), 2u);
+  EXPECT_EQ(leaf.NumOperators(), 0u);
+  EXPECT_EQ(leaf.Leaves(), (std::vector<size_t>{2}));
+  EXPECT_TRUE(leaf.IsBinaryTree());
+}
+
+TEST(PlanShapeTest, SingleMJoin) {
+  PlanShape shape = PlanShape::SingleMJoin(3);
+  EXPECT_FALSE(shape.IsLeaf());
+  EXPECT_EQ(shape.children().size(), 3u);
+  EXPECT_EQ(shape.NumOperators(), 1u);
+  EXPECT_EQ(shape.Leaves(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_FALSE(shape.IsBinaryTree());
+}
+
+TEST(PlanShapeTest, LeftDeepBinary) {
+  PlanShape shape = PlanShape::LeftDeepBinary({2, 0, 1});
+  EXPECT_EQ(shape.NumOperators(), 2u);
+  EXPECT_TRUE(shape.IsBinaryTree());
+  EXPECT_EQ(shape.Leaves(), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PlanShapeTest, MixedTreeIsNotBinary) {
+  PlanShape mixed = PlanShape::Join(
+      {PlanShape::Join({PlanShape::Leaf(0), PlanShape::Leaf(1),
+                        PlanShape::Leaf(2)}),
+       PlanShape::Leaf(3)});
+  EXPECT_FALSE(mixed.IsBinaryTree());
+  EXPECT_EQ(mixed.NumOperators(), 2u);
+  EXPECT_EQ(mixed.Leaves(), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(PlanShapeTest, Equality) {
+  EXPECT_EQ(PlanShape::SingleMJoin(3), PlanShape::SingleMJoin(3));
+  EXPECT_FALSE(PlanShape::SingleMJoin(3) ==
+               PlanShape::LeftDeepBinary({0, 1, 2}));
+}
+
+TEST(PlanShapeTest, ToStringRendering) {
+  StreamCatalog catalog = testing_util::PaperCatalog();
+  ContinuousJoinQuery q = testing_util::TriangleQuery(catalog);
+  EXPECT_EQ(PlanShape::SingleMJoin(3).ToString(q), "[S1 S2 S3]");
+  EXPECT_EQ(PlanShape::LeftDeepBinary({0, 1, 2}).ToString(q),
+            "((S1 JOIN S2) JOIN S3)");
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,150 @@
+#include "core/punctuation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig3Query;
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::SchemeOn;
+using testing_util::TriangleQuery;
+
+// Paper Example 3 / Figure 5: the punctuation graph of the triangle
+// query under one simple scheme per stream is the directed cycle
+// S2 -> S1 -> S3 -> S2 (indices 1->0, 0->2, 2->1).
+TEST(PunctuationGraphTest, Fig5EdgesMatchPaper) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PunctuationGraph pg = PunctuationGraph::Build(q, Fig5Schemes(catalog));
+
+  EXPECT_EQ(pg.digraph().num_edges(), 3u);
+  // Scheme on S1.B + predicate S1.B=S2.B => edge S2 -> S1.
+  EXPECT_TRUE(pg.digraph().HasEdge(1, 0));
+  // Scheme on S2.C + predicate S2.C=S3.C => edge S3 -> S2.
+  EXPECT_TRUE(pg.digraph().HasEdge(2, 1));
+  // Scheme on S3.A + predicate S3.A=S1.A => edge S1 -> S3.
+  EXPECT_TRUE(pg.digraph().HasEdge(0, 2));
+}
+
+// Corollary 1 on Figure 5: the 3-way join operator is purgeable.
+TEST(PunctuationGraphTest, Fig5IsStronglyConnected) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PunctuationGraph pg = PunctuationGraph::Build(q, Fig5Schemes(catalog));
+  EXPECT_TRUE(pg.IsStronglyConnected());
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(pg.StatePurgeable(s)) << "stream " << s;
+    EXPECT_TRUE(pg.UnreachableFrom(s).empty());
+  }
+}
+
+// Section 1's motivating failure: punctuations on the wrong attribute
+// (bidderid instead of itemid) leave the partner stream unpurgeable.
+TEST(PunctuationGraphTest, WrongAttributeSchemeGivesNoEdge) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register("item", Schema::OfInts({"sellerid", "itemid"}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Register("bid", Schema::OfInts({"bidderid", "itemid"}))
+                  .ok());
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"item", "bid"}, {Eq({"item", "itemid"}, {"bid", "itemid"})});
+  ASSERT_TRUE(q.ok());
+
+  SchemeSet wrong;
+  ASSERT_TRUE(wrong.Add(SchemeOn(catalog, "bid", {"bidderid"})).ok());
+  PunctuationGraph pg = PunctuationGraph::Build(*q, wrong);
+  EXPECT_EQ(pg.digraph().num_edges(), 0u);
+  EXPECT_FALSE(pg.StatePurgeable(0));
+
+  SchemeSet right;
+  ASSERT_TRUE(right.Add(SchemeOn(catalog, "bid", {"itemid"})).ok());
+  PunctuationGraph pg2 = PunctuationGraph::Build(*q, right);
+  // item -> ... edge item->bid? Scheme on bid.itemid closes what item
+  // tuples wait for: edge item -> bid; only the item state purges.
+  EXPECT_TRUE(pg2.StatePurgeable(0));
+  EXPECT_FALSE(pg2.StatePurgeable(1));
+  EXPECT_FALSE(pg2.IsStronglyConnected());
+}
+
+// Theorem 1 asymmetry: with the chain query and only a partial scheme
+// set, some states purge and others do not.
+TEST(PunctuationGraphTest, PartialSchemesPartialPurgeability) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = Fig3Query(catalog);  // S1-B-S2-C-S3 chain
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(SchemeOn(catalog, "S2", {"B"})).ok());  // S1->S2
+  ASSERT_TRUE(set.Add(SchemeOn(catalog, "S3", {"C"})).ok());  // S2->S3
+  PunctuationGraph pg = PunctuationGraph::Build(q, set);
+
+  EXPECT_TRUE(pg.StatePurgeable(0));   // S1 reaches S2 reaches S3
+  EXPECT_FALSE(pg.StatePurgeable(1));  // S2 cannot reach S1
+  EXPECT_FALSE(pg.StatePurgeable(2));
+  EXPECT_EQ(pg.UnreachableFrom(1), (std::vector<size_t>{0}));
+  EXPECT_EQ(pg.UnreachableFrom(2), (std::vector<size_t>{0, 1}));
+}
+
+// Multi-attribute schemes contribute no simple edges (Definition 7
+// covers simple schemes; Figure 8's point).
+TEST(PunctuationGraphTest, Fig8SimpleGraphNotStronglyConnected) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PunctuationGraph pg = PunctuationGraph::Build(q, Fig8Schemes(catalog));
+  // Simple edges only: S2->S1 (S1.B), S1->S2 (S2.B), S3->S2 (S2.C).
+  EXPECT_EQ(pg.digraph().num_edges(), 3u);
+  EXPECT_TRUE(pg.digraph().HasEdge(1, 0));
+  EXPECT_TRUE(pg.digraph().HasEdge(0, 1));
+  EXPECT_TRUE(pg.digraph().HasEdge(2, 1));
+  EXPECT_FALSE(pg.IsStronglyConnected());
+  // S3 is unreachable from S1 and S2 in the simple graph.
+  EXPECT_EQ(pg.UnreachableFrom(0), (std::vector<size_t>{2}));
+}
+
+TEST(PunctuationGraphTest, ConjunctivePredicatesOneAttrSuffices) {
+  // Section 3.1: with S1.A=S2.A AND S1.B=S2.B, a scheme on either S2
+  // attribute purges S1's state.
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("L", Schema::OfInts({"A", "B"})).ok());
+  ASSERT_TRUE(catalog.Register("R", Schema::OfInts({"A", "B"})).ok());
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"L", "R"},
+      {Eq({"L", "A"}, {"R", "A"}), Eq({"L", "B"}, {"R", "B"})});
+  ASSERT_TRUE(q.ok());
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(SchemeOn(catalog, "R", {"B"})).ok());
+  PunctuationGraph pg = PunctuationGraph::Build(*q, set);
+  EXPECT_TRUE(pg.StatePurgeable(0));
+  EXPECT_FALSE(pg.StatePurgeable(1));
+}
+
+TEST(PunctuationGraphTest, EmptySchemeSetNoEdges) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PunctuationGraph pg = PunctuationGraph::Build(q, SchemeSet());
+  EXPECT_EQ(pg.digraph().num_edges(), 0u);
+  EXPECT_FALSE(pg.IsStronglyConnected());
+}
+
+TEST(PunctuationGraphTest, EdgeProvenanceRecorded) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  PunctuationGraph pg = PunctuationGraph::Build(q, Fig5Schemes(catalog));
+  ASSERT_EQ(pg.edges().size(), 3u);
+  for (const PgEdge& e : pg.edges()) {
+    // The punctuatable attribute really is the 'to' side of the
+    // predicate.
+    const ResolvedPredicate& p = q.predicates()[e.predicate];
+    EXPECT_TRUE(p.Involves(e.to));
+    EXPECT_EQ(p.AttrOn(e.to), e.punct_attr);
+  }
+  EXPECT_FALSE(pg.ToString(q).empty());
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,112 @@
+#include "exec/punctuation_store.h"
+
+#include <gtest/gtest.h>
+
+namespace punctsafe {
+namespace {
+
+TEST(PunctuationStoreTest, AddAndDeduplicate) {
+  PunctuationStore store;
+  Punctuation p = Punctuation::OfConstants(2, {{0, Value(1)}});
+  EXPECT_TRUE(store.Add(p, 0));
+  EXPECT_FALSE(store.Add(p, 1));  // duplicate refreshes, not stores
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.high_water(), 1u);
+}
+
+TEST(PunctuationStoreTest, CoversSubspaceBasics) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(2, {{0, Value(7)}}), 0);
+  EXPECT_TRUE(store.CoversSubspace({0}, {Value(7)}, 0));
+  EXPECT_FALSE(store.CoversSubspace({0}, {Value(8)}, 0));
+  EXPECT_FALSE(store.CoversSubspace({1}, {Value(7)}, 0));
+  // Wider subspace covered by the weaker punctuation.
+  EXPECT_TRUE(store.CoversSubspace({0, 1}, {Value(7), Value(3)}, 0));
+}
+
+TEST(PunctuationStoreTest, MultiAttrPunctuationCoversOnlyExactCombos) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(2, {{0, Value(1)}, {1, Value(2)}}), 0);
+  EXPECT_TRUE(store.CoversSubspace({0, 1}, {Value(1), Value(2)}, 0));
+  EXPECT_FALSE(store.CoversSubspace({0, 1}, {Value(1), Value(3)}, 0));
+  EXPECT_FALSE(store.CoversSubspace({0}, {Value(1)}, 0));
+}
+
+TEST(PunctuationStoreTest, MixedSignaturesSearchedTogether) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(3, {{0, Value(1)}}), 0);
+  store.Add(Punctuation::OfConstants(3, {{1, Value(2)}, {2, Value(3)}}), 0);
+  EXPECT_TRUE(store.CoversSubspace({0, 2}, {Value(1), Value(9)}, 0));
+  EXPECT_TRUE(
+      store.CoversSubspace({1, 2}, {Value(2), Value(3)}, 0));
+  EXPECT_FALSE(store.CoversSubspace({2}, {Value(3)}, 0));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(PunctuationStoreTest, ExcludesTuple) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(2, {{0, Value(5)}}), 0);
+  EXPECT_TRUE(store.ExcludesTuple(Tuple({Value(5), Value(1)}), 0));
+  EXPECT_FALSE(store.ExcludesTuple(Tuple({Value(6), Value(1)}), 0));
+}
+
+TEST(PunctuationStoreTest, LifespanExpiry) {
+  PunctuationStore store(/*lifespan=*/10);
+  store.Add(Punctuation::OfConstants(1, {{0, Value(1)}}), 0);
+  EXPECT_TRUE(store.CoversSubspace({0}, {Value(1)}, 5));
+  // Expired at now >= arrival + lifespan.
+  EXPECT_FALSE(store.CoversSubspace({0}, {Value(1)}, 10));
+  EXPECT_FALSE(store.ExcludesTuple(Tuple({Value(1)}), 12));
+  EXPECT_EQ(store.ExpireBefore(12), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(PunctuationStoreTest, DuplicateRefreshesLifespan) {
+  PunctuationStore store(/*lifespan=*/10);
+  Punctuation p = Punctuation::OfConstants(1, {{0, Value(1)}});
+  store.Add(p, 0);
+  store.Add(p, 8);  // refresh
+  EXPECT_TRUE(store.CoversSubspace({0}, {Value(1)}, 15));
+  EXPECT_FALSE(store.CoversSubspace({0}, {Value(1)}, 18));
+}
+
+TEST(PunctuationStoreTest, NoLifespanNeverExpires) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(1, {{0, Value(1)}}), 0);
+  EXPECT_EQ(store.ExpireBefore(1'000'000), 0u);
+  EXPECT_TRUE(store.CoversSubspace({0}, {Value(1)}, 1'000'000));
+}
+
+TEST(PunctuationStoreTest, RemoveIf) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(1, {{0, Value(1)}}), 0);
+  store.Add(Punctuation::OfConstants(1, {{0, Value(2)}}), 0);
+  size_t removed = store.RemoveIf([](const Punctuation& p) {
+    return p.pattern(0).constant() == Value(1);
+  });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.CoversSubspace({0}, {Value(1)}, 0));
+  EXPECT_TRUE(store.CoversSubspace({0}, {Value(2)}, 0));
+}
+
+TEST(PunctuationStoreTest, ForEachVisitsAll) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(1, {{0, Value(1)}}), 0);
+  store.Add(Punctuation::OfConstants(1, {{0, Value(2)}}), 0);
+  size_t count = 0;
+  store.ForEach([&](const Punctuation&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(PunctuationStoreTest, HighWaterSurvivesRemoval) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(1, {{0, Value(1)}}), 0);
+  store.Add(Punctuation::OfConstants(1, {{0, Value(2)}}), 0);
+  store.RemoveIf([](const Punctuation&) { return true; });
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.high_water(), 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,101 @@
+#include "stream/punctuation.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace punctsafe {
+namespace {
+
+TEST(PatternTest, WildcardMatchesEverything) {
+  Pattern p = Pattern::Wildcard();
+  EXPECT_TRUE(p.is_wildcard());
+  EXPECT_TRUE(p.Matches(Value(1)));
+  EXPECT_TRUE(p.Matches(Value("x")));
+  EXPECT_TRUE(p.Matches(Value::Null()));
+  EXPECT_EQ(p.ToString(), "*");
+}
+
+TEST(PatternTest, ConstantMatchesEqualOnly) {
+  Pattern p{Value(5)};
+  EXPECT_FALSE(p.is_wildcard());
+  EXPECT_TRUE(p.Matches(Value(5)));
+  EXPECT_FALSE(p.Matches(Value(6)));
+  EXPECT_FALSE(p.Matches(Value(5.0)));
+  EXPECT_EQ(p.ToString(), "5");
+}
+
+TEST(PunctuationTest, PaperNotation) {
+  // The paper's bid-stream punctuation (*, 1, *).
+  Punctuation p = Punctuation::OfConstants(3, {{1, Value(1)}});
+  EXPECT_EQ(p.ToString(), "(*, 1, *)");
+  EXPECT_EQ(p.arity(), 3u);
+}
+
+TEST(PunctuationTest, MatchesRequiresAllConstants) {
+  Punctuation p = Punctuation::OfConstants(3, {{0, Value(1)}, {2, Value(3)}});
+  EXPECT_TRUE(p.Matches(Tuple({Value(1), Value(99), Value(3)})));
+  EXPECT_FALSE(p.Matches(Tuple({Value(1), Value(99), Value(4)})));
+  EXPECT_FALSE(p.Matches(Tuple({Value(2), Value(99), Value(3)})));
+}
+
+TEST(PunctuationTest, MatchesRejectsWrongArity) {
+  Punctuation p = Punctuation::OfConstants(2, {{0, Value(1)}});
+  EXPECT_FALSE(p.Matches(Tuple({Value(1)})));
+}
+
+TEST(PunctuationTest, AllWildcardMatchesAll) {
+  Punctuation p = Punctuation::AllWildcard(2);
+  EXPECT_TRUE(p.Matches(Tuple({Value(9), Value("z")})));
+  EXPECT_TRUE(p.ConstrainedAttrs().empty());
+}
+
+TEST(PunctuationTest, ConstrainedAttrsAscending) {
+  Punctuation p = Punctuation::OfConstants(4, {{3, Value(1)}, {1, Value(2)}});
+  EXPECT_EQ(p.ConstrainedAttrs(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(PunctuationTest, ExcludesSubspaceExactMatch) {
+  // Punctuation (b1, *) excludes the subspace {attr0 = b1}.
+  Punctuation p = Punctuation::OfConstants(2, {{0, Value(7)}});
+  EXPECT_TRUE(p.ExcludesSubspace({0}, {Value(7)}));
+  EXPECT_FALSE(p.ExcludesSubspace({0}, {Value(8)}));
+}
+
+TEST(PunctuationTest, WeakerPunctuationExcludesLargerSubspace) {
+  // (7, *) excludes {attr0=7, attr1=anything}, so it also closes the
+  // narrower subspace {attr0=7, attr1=3}.
+  Punctuation p = Punctuation::OfConstants(2, {{0, Value(7)}});
+  EXPECT_TRUE(p.ExcludesSubspace({0, 1}, {Value(7), Value(3)}));
+}
+
+TEST(PunctuationTest, StrongerPunctuationDoesNotExcludeWiderSubspace) {
+  // (7, 3) excludes only tuples with both constants; the subspace
+  // {attr0=7} contains (7, 4), which survives — the Section 4.2
+  // pitfall that makes multi-attribute schemes weaker per instance.
+  Punctuation p =
+      Punctuation::OfConstants(2, {{0, Value(7)}, {1, Value(3)}});
+  EXPECT_FALSE(p.ExcludesSubspace({0}, {Value(7)}));
+  EXPECT_TRUE(p.ExcludesSubspace({0, 1}, {Value(7), Value(3)}));
+}
+
+TEST(PunctuationTest, ExcludesSubspaceAttrOrderIrrelevant) {
+  Punctuation p =
+      Punctuation::OfConstants(3, {{0, Value(1)}, {2, Value(2)}});
+  EXPECT_TRUE(p.ExcludesSubspace({2, 0}, {Value(2), Value(1)}));
+}
+
+TEST(PunctuationTest, EqualityAndHash) {
+  Punctuation a = Punctuation::OfConstants(2, {{0, Value(1)}});
+  Punctuation b = Punctuation::OfConstants(2, {{0, Value(1)}});
+  Punctuation c = Punctuation::OfConstants(2, {{1, Value(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  std::unordered_set<Punctuation, PunctuationHash> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

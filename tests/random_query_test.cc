@@ -1,0 +1,137 @@
+#include "workload/random_query.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace punctsafe {
+namespace {
+
+TEST(RandomQueryTest, ProducesValidConnectedQueries) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    RandomQueryConfig config;
+    config.num_streams = 2 + seed % 5;
+    config.seed = seed;
+    auto inst = MakeRandomQuery(config);
+    ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+    EXPECT_EQ(inst->query.num_streams(), config.num_streams);
+    EXPECT_GE(inst->query.predicates().size(), config.num_streams - 1);
+  }
+}
+
+TEST(RandomQueryTest, DeterministicPerSeed) {
+  RandomQueryConfig config;
+  config.seed = 42;
+  auto a = MakeRandomQuery(config);
+  auto b = MakeRandomQuery(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->query.ToString(), b->query.ToString());
+  EXPECT_EQ(a->schemes.ToString(), b->schemes.ToString());
+}
+
+TEST(RandomQueryTest, RejectsDegenerateConfig) {
+  RandomQueryConfig config;
+  config.num_streams = 1;
+  EXPECT_TRUE(MakeRandomQuery(config).status().IsInvalidArgument());
+  config.num_streams = 2;
+  config.attrs_per_stream = 0;
+  EXPECT_TRUE(MakeRandomQuery(config).status().IsInvalidArgument());
+}
+
+TEST(RandomQueryTest, SchemeKnobsMatter) {
+  // schemeless_prob = 1: no schemes at all.
+  RandomQueryConfig config;
+  config.schemeless_prob = 1.0;
+  config.seed = 7;
+  auto none = MakeRandomQuery(config);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->schemes.size(), 0u);
+
+  // multi_attr_prob = 1 with enough attrs: some multi-attr schemes.
+  config.schemeless_prob = 0.0;
+  config.multi_attr_prob = 1.0;
+  config.num_streams = 6;
+  bool any_multi = false;
+  for (uint64_t seed = 0; seed < 10 && !any_multi; ++seed) {
+    config.seed = seed;
+    auto inst = MakeRandomQuery(config);
+    ASSERT_TRUE(inst.ok());
+    for (const PunctuationScheme& s : inst->schemes.schemes()) {
+      any_multi |= !s.IsSimple();
+    }
+  }
+  EXPECT_TRUE(any_multi);
+}
+
+TEST(RandomQueryTest, CoveringTraceRespectsGenerations) {
+  RandomQueryConfig qconfig;
+  qconfig.seed = 3;
+  auto inst = MakeRandomQuery(qconfig);
+  ASSERT_TRUE(inst.ok());
+
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = 5;
+  tconfig.values_per_generation = 3;
+  tconfig.tuples_per_generation = 10;
+  Trace trace = MakeCoveringTrace(inst->query, inst->schemes, tconfig);
+
+  // Tuples use only their generation's value pool; punctuations close
+  // the whole pool; later generations never reuse earlier values.
+  int64_t max_closed = -1;
+  for (const TraceEvent& e : trace) {
+    if (e.element.is_tuple()) {
+      for (const Value& v : e.element.tuple.values()) {
+        EXPECT_GT(v.AsInt64(), max_closed);
+      }
+    } else {
+      for (size_t a : e.element.punctuation.ConstrainedAttrs()) {
+        max_closed = std::max(
+            max_closed, e.element.punctuation.pattern(a).constant().AsInt64());
+      }
+    }
+  }
+  EXPECT_GE(max_closed, 0);
+}
+
+TEST(RandomQueryTest, CoveringTracePunctuationsInstantiateSchemes) {
+  RandomQueryConfig qconfig;
+  qconfig.multi_attr_prob = 0.6;
+  qconfig.schemeless_prob = 0.0;
+  qconfig.seed = 9;
+  auto inst = MakeRandomQuery(qconfig);
+  ASSERT_TRUE(inst.ok());
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = 2;
+  Trace trace = MakeCoveringTrace(inst->query, inst->schemes, tconfig);
+  size_t punct_count = 0;
+  for (const TraceEvent& e : trace) {
+    if (!e.element.is_punctuation()) continue;
+    ++punct_count;
+    bool instantiates_some = false;
+    for (const PunctuationScheme& s : inst->schemes.schemes()) {
+      if (s.stream() == e.stream &&
+          s.IsInstantiation(e.element.punctuation)) {
+        instantiates_some = true;
+      }
+    }
+    EXPECT_TRUE(instantiates_some) << e.element.ToString();
+  }
+  EXPECT_GT(punct_count, 0u);
+}
+
+TEST(RandomQueryTest, NoPunctuationsWhenDisabled) {
+  RandomQueryConfig qconfig;
+  qconfig.seed = 5;
+  auto inst = MakeRandomQuery(qconfig);
+  ASSERT_TRUE(inst.ok());
+  CoveringTraceConfig tconfig;
+  tconfig.emit_punctuations = false;
+  for (const TraceEvent& e :
+       MakeCoveringTrace(inst->query, inst->schemes, tconfig)) {
+    EXPECT_TRUE(e.element.is_tuple());
+  }
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,110 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace punctsafe {
+namespace {
+
+TEST(SccTest, SingletonComponents) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccResult r = FindSccs(g);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_FALSE(r.HasNontrivialComponent());
+  // All distinct.
+  std::set<size_t> ids(r.component_of.begin(), r.component_of.end());
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(SccTest, FullCycleOneComponent) {
+  Digraph g(4);
+  for (size_t i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4);
+  SccResult r = FindSccs(g);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.HasNontrivialComponent());
+}
+
+TEST(SccTest, MixedComponents) {
+  // 0 <-> 1 form a component; 2 hangs off it; 3 isolated.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  SccResult r = FindSccs(g);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_EQ(r.component_of[0], r.component_of[1]);
+  EXPECT_NE(r.component_of[0], r.component_of[2]);
+  EXPECT_NE(r.component_of[2], r.component_of[3]);
+  auto members = r.Members();
+  size_t big = r.component_of[0];
+  EXPECT_EQ(members[big].size(), 2u);
+}
+
+TEST(SccTest, ReverseTopologicalNumbering) {
+  // Tarjan numbers a component before its predecessors: with edge
+  // A -> B (separate components), B's id < A's id.
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  SccResult r = FindSccs(g);
+  EXPECT_LT(r.component_of[1], r.component_of[0]);
+}
+
+TEST(SccTest, CondensationIsDag) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // {0,1}
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);  // {2,3}
+  g.AddEdge(3, 4);
+  SccResult r = FindSccs(g);
+  EXPECT_EQ(r.num_components, 3u);
+  Digraph dag = Condense(g, r);
+  EXPECT_EQ(dag.num_nodes(), 3u);
+  // A DAG's SCCs are all singletons.
+  EXPECT_FALSE(FindSccs(dag).HasNontrivialComponent());
+  // Edges across components survive, intra-component edges do not.
+  EXPECT_EQ(dag.num_edges(), 2u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  SccResult r = FindSccs(Digraph(0));
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_FALSE(r.HasNontrivialComponent());
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // Iterative Tarjan must handle long chains (recursive versions
+  // blow the stack around tens of thousands of frames).
+  const size_t n = 200000;
+  Digraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  SccResult r = FindSccs(g);
+  EXPECT_EQ(r.num_components, n);
+}
+
+// Property: strong connectivity per Digraph (double BFS) agrees with
+// "exactly one SCC" per Tarjan on random graphs.
+TEST(SccTest, AgreesWithDoubleBfsOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 2 + rng.NextBelow(6);
+    Digraph g(n);
+    size_t edges = rng.NextBelow(n * n);
+    for (size_t e = 0; e < edges; ++e) {
+      g.AddEdge(rng.NextBelow(n), rng.NextBelow(n));
+    }
+    SccResult r = FindSccs(g);
+    EXPECT_EQ(g.IsStronglyConnected(), r.num_components == 1)
+        << "n=" << n << " graph=" << g.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace punctsafe

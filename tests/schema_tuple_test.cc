@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "stream/schema.h"
+#include "stream/tuple.h"
+
+namespace punctsafe {
+namespace {
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(s.attribute(0).name, "a");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, OfInts) {
+  Schema s = Schema::OfInts({"x", "y", "z"});
+  EXPECT_EQ(s.num_attributes(), 3u);
+  for (const Attribute& a : s.attributes()) {
+    EXPECT_EQ(a.type, ValueType::kInt64);
+  }
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::OfInts({"x", "y"});
+  EXPECT_EQ(s.IndexOf("y"), 1u);
+  EXPECT_FALSE(s.IndexOf("nope").has_value());
+}
+
+TEST(SchemaTest, ValidateRejectsEmpty) {
+  EXPECT_TRUE(Schema().Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  Schema s = Schema::OfInts({"x", "x"});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRejectsUnnamed) {
+  Schema s({{"", ValueType::kInt64}});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateAcceptsGood) {
+  EXPECT_TRUE(Schema::OfInts({"a", "b"}).Validate().ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a = Schema::OfInts({"x"});
+  Schema b = Schema::OfInts({"x"});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "(x:int64)");
+}
+
+TEST(TupleTest, Accessors) {
+  Tuple t({Value(1), Value("a")});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0), Value(1));
+  EXPECT_EQ(t.at(1), Value("a"));
+}
+
+TEST(TupleTest, MatchesSchemaHappyPath) {
+  Schema s({{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  EXPECT_TRUE(Tuple({Value(1), Value("x")}).MatchesSchema(s).ok());
+}
+
+TEST(TupleTest, MatchesSchemaArityMismatch) {
+  Schema s = Schema::OfInts({"a"});
+  EXPECT_TRUE(
+      Tuple({Value(1), Value(2)}).MatchesSchema(s).IsInvalidArgument());
+}
+
+TEST(TupleTest, MatchesSchemaTypeMismatch) {
+  Schema s = Schema::OfInts({"a"});
+  EXPECT_TRUE(Tuple({Value("str")}).MatchesSchema(s).IsInvalidArgument());
+}
+
+TEST(TupleTest, NullPassesAnySchemaSlot) {
+  Schema s = Schema::OfInts({"a"});
+  EXPECT_TRUE(Tuple({Value::Null()}).MatchesSchema(s).ok());
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a({Value(1), Value(2)});
+  Tuple b({Value(1), Value(2)});
+  Tuple c({Value(2), Value(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, Ordering) {
+  EXPECT_LT(Tuple({Value(1)}), Tuple({Value(2)}));
+  EXPECT_LT(Tuple({Value(1)}), Tuple({Value(1), Value(0)}));
+}
+
+TEST(TupleTest, ConcatTuples) {
+  Tuple a({Value(1)});
+  Tuple b({Value(2), Value(3)});
+  Tuple c = ConcatTuples({&a, &b});
+  EXPECT_EQ(c, Tuple({Value(1), Value(2), Value(3)}));
+  EXPECT_EQ(ConcatTuples({}), Tuple());
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple({Value(1), Value("x")}).ToString(), "(1, \"x\")");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace punctsafe

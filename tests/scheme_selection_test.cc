@@ -1,0 +1,104 @@
+#include "plan/scheme_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/transformed_punctuation_graph.h"
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::Fig5Schemes;
+using testing_util::Fig8Schemes;
+using testing_util::PaperCatalog;
+using testing_util::SchemeOn;
+using testing_util::TriangleQuery;
+
+TEST(SchemeSelectionTest, Fig5AlreadyMinimal) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto minimal = MinimalSafeSchemeSubset(q, Fig5Schemes(catalog));
+  ASSERT_TRUE(minimal.ok());
+  // All three schemes are needed: the cycle breaks without any one.
+  EXPECT_EQ(minimal->size(), 3u);
+}
+
+TEST(SchemeSelectionTest, RedundantSchemeDropped) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  SchemeSet schemes = Fig5Schemes(catalog);
+  // Redundant extra scheme: S1 on A as well.
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S1", {"A"})).ok());
+  auto minimal = MinimalSafeSchemeSubset(q, schemes);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->size(), 3u);
+  // The result must still be safe.
+  EXPECT_TRUE(TransformedPunctuationGraph::Build(q, *minimal)
+                  .CollapsedToSingleNode());
+  // And truly minimal: dropping any scheme breaks safety.
+  const auto& all = minimal->schemes();
+  for (size_t drop = 0; drop < all.size(); ++drop) {
+    std::vector<PunctuationScheme> kept;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i != drop) kept.push_back(all[i]);
+    }
+    EXPECT_FALSE(TransformedPunctuationGraph::Build(q, SchemeSet(kept))
+                     .CollapsedToSingleNode());
+  }
+}
+
+TEST(SchemeSelectionTest, Fig8MinimalSubset) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto minimal = MinimalSafeSchemeSubset(q, Fig8Schemes(catalog));
+  ASSERT_TRUE(minimal.ok());
+  // All four Figure 8 schemes are load-bearing: dropping any one
+  // disconnects the generalized graph (verified by the loop below in
+  // RedundantSchemeDropped style), so the minimal subset is the full
+  // set.
+  EXPECT_EQ(minimal->size(), 4u);
+  EXPECT_TRUE(TransformedPunctuationGraph::Build(q, *minimal)
+                  .CollapsedToSingleNode());
+}
+
+TEST(SchemeSelectionTest, UnsafeQueryFails) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  EXPECT_TRUE(MinimalSafeSchemeSubset(q, SchemeSet())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(SchemeSelectionTest, IrrelevantSchemesDetected) {
+  StreamCatalog catalog = PaperCatalog();
+  // Binary query S1-S2: S3's scheme is trivially irrelevant; a scheme
+  // on a non-join attribute is irrelevant too.
+  auto q = ContinuousJoinQuery::Create(catalog, {"S1", "S2"},
+                                       {Eq({"S1", "B"}, {"S2", "B"})});
+  ASSERT_TRUE(q.ok());
+  SchemeSet schemes;
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S1", {"B"})).ok());  // useful
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S2", {"B"})).ok());  // useful
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S2", {"C"})).ok());  // useless
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "S3", {"A"})).ok());  // outside
+  auto irrelevant = IrrelevantSchemes(*q, schemes);
+  ASSERT_EQ(irrelevant.size(), 2u);
+  // The outside scheme and the non-join-attribute scheme.
+  bool s3_found = false, s2c_found = false;
+  for (const PunctuationScheme& s : irrelevant) {
+    if (s.stream() == "S3") s3_found = true;
+    if (s.stream() == "S2" && s.punctuatable(1)) s2c_found = true;
+  }
+  EXPECT_TRUE(s3_found);
+  EXPECT_TRUE(s2c_found);
+}
+
+TEST(SchemeSelectionTest, AllRelevantWhenMinimal) {
+  StreamCatalog catalog = PaperCatalog();
+  ContinuousJoinQuery q = TriangleQuery(catalog);
+  auto irrelevant = IrrelevantSchemes(q, Fig5Schemes(catalog));
+  EXPECT_TRUE(irrelevant.empty());
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,123 @@
+#include "stream/scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace punctsafe {
+namespace {
+
+Schema BidSchema() { return Schema::OfInts({"bidderid", "itemid", "increase"}); }
+
+TEST(SchemeTest, OnAttributesResolvesNames) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(), {"itemid"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->stream(), "bid");
+  EXPECT_EQ(s->PunctuatableAttrs(), (std::vector<size_t>{1}));
+  EXPECT_TRUE(s->IsSimple());
+  EXPECT_EQ(s->ToString(), "bid(_, +, _)");
+}
+
+TEST(SchemeTest, OnAttributesRejectsUnknown) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(), {"nope"});
+  EXPECT_TRUE(s.status().IsNotFound());
+}
+
+TEST(SchemeTest, OnAttributesRejectsEmptyAndDuplicates) {
+  EXPECT_TRUE(PunctuationScheme::OnAttributes("bid", BidSchema(), {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PunctuationScheme::OnAttributes("bid", BidSchema(),
+                                              {"itemid", "itemid"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemeTest, MultiAttributeIsNotSimple) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(),
+                                           {"bidderid", "itemid"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->IsSimple());
+  EXPECT_EQ(s->NumPunctuatable(), 2u);
+}
+
+TEST(SchemeTest, InstantiateBindsConstants) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(), {"itemid"});
+  auto p = s->Instantiate({Value(1)});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "(*, 1, *)");
+  EXPECT_TRUE(s->IsInstantiation(*p));
+}
+
+TEST(SchemeTest, InstantiateChecksArity) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(), {"itemid"});
+  EXPECT_TRUE(s->Instantiate({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      s->Instantiate({Value(1), Value(2)}).status().IsInvalidArgument());
+}
+
+TEST(SchemeTest, IsInstantiationRequiresExactSignature) {
+  auto s = PunctuationScheme::OnAttributes("bid", BidSchema(),
+                                           {"bidderid", "itemid"});
+  // Constants on exactly {0, 1}: yes.
+  EXPECT_TRUE(s->IsInstantiation(
+      Punctuation::OfConstants(3, {{0, Value(1)}, {1, Value(2)}})));
+  // Constants on {1} only: an instantiation of a different scheme.
+  EXPECT_FALSE(
+      s->IsInstantiation(Punctuation::OfConstants(3, {{1, Value(2)}})));
+  // Wrong arity: no.
+  EXPECT_FALSE(
+      s->IsInstantiation(Punctuation::OfConstants(2, {{0, Value(1)}})));
+}
+
+TEST(SchemeSetTest, AddRejectsDuplicates) {
+  SchemeSet set;
+  PunctuationScheme s("bid", {false, true, false});
+  EXPECT_TRUE(set.Add(s).ok());
+  EXPECT_TRUE(set.Add(s).IsAlreadyExists());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(SchemeSetTest, SchemesFor) {
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(PunctuationScheme("a", {true})).ok());
+  ASSERT_TRUE(set.Add(PunctuationScheme("b", {true, false})).ok());
+  ASSERT_TRUE(set.Add(PunctuationScheme("b", {false, true})).ok());
+  EXPECT_EQ(set.SchemesFor("a").size(), 1u);
+  EXPECT_EQ(set.SchemesFor("b").size(), 2u);
+  EXPECT_TRUE(set.SchemesFor("zzz").empty());
+}
+
+TEST(SchemeSetTest, HasSimpleSchemeOnIgnoresMultiAttrSchemes) {
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(PunctuationScheme("s", {true, true, false})).ok());
+  // The two-attribute scheme does NOT make attr 0 simply punctuatable.
+  EXPECT_FALSE(set.HasSimpleSchemeOn("s", 0));
+  ASSERT_TRUE(set.Add(PunctuationScheme("s", {true, false, false})).ok());
+  EXPECT_TRUE(set.HasSimpleSchemeOn("s", 0));
+  EXPECT_FALSE(set.HasSimpleSchemeOn("s", 1));
+}
+
+TEST(SchemeSetTest, AllSimple) {
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(PunctuationScheme("s", {true, false})).ok());
+  EXPECT_TRUE(set.AllSimple());
+  ASSERT_TRUE(set.Add(PunctuationScheme("s", {true, true})).ok());
+  EXPECT_FALSE(set.AllSimple());
+}
+
+TEST(SchemeSetTest, Restrict) {
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(PunctuationScheme("a", {true})).ok());
+  ASSERT_TRUE(set.Add(PunctuationScheme("b", {true})).ok());
+  SchemeSet r = set.Restrict({"a"});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.schemes()[0].stream(), "a");
+}
+
+TEST(SchemeSetTest, ToString) {
+  SchemeSet set;
+  ASSERT_TRUE(set.Add(PunctuationScheme("s", {false, true})).ok());
+  EXPECT_EQ(set.ToString(), "{s(_, +)}");
+}
+
+}  // namespace
+}  // namespace punctsafe

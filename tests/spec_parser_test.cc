@@ -1,0 +1,110 @@
+#include "query/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/safety_checker.h"
+
+namespace punctsafe {
+namespace {
+
+constexpr const char* kAuctionSpec = R"(
+# online auction (paper Example 1)
+stream item sellerid:int itemid:int name:string initialprice:int
+stream bid  bidderid:int itemid:int increase:int
+scheme item itemid
+scheme bid  itemid
+query  item bid
+join   item.itemid = bid.itemid
+)";
+
+TEST(SpecParserTest, ParsesAuctionSpec) {
+  auto spec = ParseSpec(kAuctionSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->catalog.size(), 2u);
+  EXPECT_EQ(spec->schemes.size(), 2u);
+  EXPECT_EQ(spec->query_streams,
+            (std::vector<std::string>{"item", "bid"}));
+  ASSERT_EQ(spec->predicates.size(), 1u);
+
+  auto query = spec->MakeQuery();
+  ASSERT_TRUE(query.ok());
+  SafetyChecker checker(spec->schemes);
+  auto report = checker.CheckQuery(*query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe);
+}
+
+TEST(SpecParserTest, ParsesTypesAndMultiAttrSchemes) {
+  auto spec = ParseSpec(
+      "stream a k:int v:double s:string\n"
+      "stream b k:int e:int\n"
+      "scheme b k e\n"
+      "query a b\n"
+      "join a.k = b.k\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto schema = spec->catalog.Get("a");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->attribute(1).type, ValueType::kDouble);
+  EXPECT_EQ((*schema)->attribute(2).type, ValueType::kString);
+  ASSERT_EQ(spec->schemes.size(), 1u);
+  EXPECT_EQ(spec->schemes.schemes()[0].NumPunctuatable(), 2u);
+}
+
+TEST(SpecParserTest, JoinTokenizationVariants) {
+  for (const char* join_line :
+       {"join a.k = b.k", "join a.k=b.k", "join a.k =b.k"}) {
+    std::string text = std::string("stream a k:int\nstream b k:int\n") +
+                       "query a b\n" + join_line + "\n";
+    auto spec = ParseSpec(text);
+    ASSERT_TRUE(spec.ok()) << join_line << ": " << spec.status().ToString();
+    EXPECT_EQ(spec->predicates.size(), 1u);
+  }
+}
+
+TEST(SpecParserTest, ErrorsCarryLineNumbers) {
+  auto bad_type = ParseSpec("stream a k:float\nquery a a\njoin a.k=a.k\n");
+  EXPECT_TRUE(bad_type.status().IsInvalidArgument());
+  EXPECT_NE(bad_type.status().message().find("line 1"), std::string::npos);
+
+  auto bad_keyword = ParseSpec("stream a k:int\nfrobnicate\n");
+  EXPECT_NE(bad_keyword.status().message().find("line 2"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, StructuralErrors) {
+  EXPECT_TRUE(ParseSpec("").status().IsInvalidArgument());  // no query
+  EXPECT_TRUE(ParseSpec("stream a k:int\nstream b k:int\nquery a b\n")
+                  .status()
+                  .IsInvalidArgument());  // no joins
+  EXPECT_TRUE(ParseSpec("stream a k:int\nquery a\n")
+                  .status()
+                  .IsInvalidArgument());  // one-stream query
+  // Unknown stream in scheme.
+  EXPECT_TRUE(ParseSpec("stream a k:int\nscheme zzz k\n")
+                  .status()
+                  .IsNotFound());
+  // Duplicate query line.
+  EXPECT_TRUE(ParseSpec("stream a k:int\nstream b k:int\n"
+                        "query a b\nquery a b\njoin a.k=b.k\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Malformed attr ref.
+  EXPECT_TRUE(ParseSpec("stream a k:int\nstream b k:int\n"
+                        "query a b\njoin ak = b.k\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SpecParserTest, CommentsAndBlankLinesIgnored) {
+  auto spec = ParseSpec(
+      "\n  # leading comment\n"
+      "stream a k:int  # trailing comment\n"
+      "stream b k:int\n\n"
+      "query a b\n"
+      "join a.k = b.k\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->catalog.size(), 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

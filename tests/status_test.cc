@@ -1,0 +1,96 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace punctsafe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad arity");
+}
+
+TEST(StatusTest, AllFactoriesMapToCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shared state
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(int h, Half(x));
+  PUNCTSAFE_RETURN_IF_ERROR(Status::OK());
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = UseMacros(3, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(out, 5);  // untouched on error
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "Failed precondition");
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,195 @@
+#include "exec/symmetric_hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace punctsafe {
+namespace {
+
+using testing_util::SchemeOn;
+
+struct AuctionFixture {
+  StreamCatalog catalog;
+  ContinuousJoinQuery query;
+  SchemeSet schemes;
+
+  AuctionFixture() : query(Make(&catalog)) {
+    PUNCTSAFE_CHECK_OK(schemes.Add(SchemeOn(catalog, "item", {"itemid"})));
+    PUNCTSAFE_CHECK_OK(schemes.Add(SchemeOn(catalog, "bid", {"itemid"})));
+  }
+
+  static ContinuousJoinQuery Make(StreamCatalog* catalog) {
+    PUNCTSAFE_CHECK_OK(
+        catalog->Register("item", Schema::OfInts({"sellerid", "itemid"})));
+    PUNCTSAFE_CHECK_OK(
+        catalog->Register("bid", Schema::OfInts({"itemid", "increase"})));
+    auto q = ContinuousJoinQuery::Create(
+        *catalog, {"item", "bid"},
+        {Eq({"item", "itemid"}, {"bid", "itemid"})});
+    PUNCTSAFE_CHECK(q.ok());
+    return std::move(q).ValueOrDie();
+  }
+
+  std::unique_ptr<SymmetricHashJoinOperator> MakeOp(
+      SymmetricHashJoinConfig config = {}) const {
+    auto op = SymmetricHashJoinOperator::Create(query, schemes, config);
+    PUNCTSAFE_CHECK(op.ok()) << op.status().ToString();
+    return std::move(op).ValueOrDie();
+  }
+};
+
+TEST(SymmetricHashJoinTest, RejectsNonBinaryQuery) {
+  StreamCatalog catalog = testing_util::PaperCatalog();
+  ContinuousJoinQuery q = testing_util::TriangleQuery(catalog);
+  EXPECT_TRUE(SymmetricHashJoinOperator::Create(q, SchemeSet())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SymmetricHashJoinTest, SymmetricResultProduction) {
+  AuctionFixture fx;
+  auto op = fx.MakeOp();
+  std::vector<Tuple> results;
+  op->SetEmitter([&](const StreamElement& e) {
+    if (e.is_tuple()) results.push_back(e.tuple);
+  });
+
+  op->PushTuple(1, Tuple({Value(1), Value(5)}), 1);  // bid before item
+  EXPECT_TRUE(results.empty());
+  op->PushTuple(0, Tuple({Value(42), Value(1)}), 2);  // item 1
+  ASSERT_EQ(results.size(), 1u);
+  // Output layout: item ++ bid regardless of arrival order.
+  EXPECT_EQ(results[0], Tuple({Value(42), Value(1), Value(1), Value(5)}));
+
+  op->PushTuple(1, Tuple({Value(1), Value(7)}), 3);  // another bid
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[1], Tuple({Value(42), Value(1), Value(1), Value(7)}));
+}
+
+// The paper's Example 1 purge behavior: the auction-close punctuation
+// on the bid stream purges the stored item tuple; the unique-item
+// punctuation on the item stream purges the stored bids.
+TEST(SymmetricHashJoinTest, Example1PurgeBothDirections) {
+  AuctionFixture fx;
+  auto op = fx.MakeOp();
+  EXPECT_TRUE(op->InputPurgeable(0));
+  EXPECT_TRUE(op->InputPurgeable(1));
+
+  op->PushTuple(0, Tuple({Value(42), Value(1)}), 1);  // item 1
+  op->PushTuple(1, Tuple({Value(1), Value(5)}), 2);   // bid on 1
+  op->PushTuple(1, Tuple({Value(2), Value(9)}), 3);   // bid on 2 (early)
+  EXPECT_EQ(op->TotalLiveTuples(), 3u);
+
+  // Auction 1 closes: bid-stream punctuation (1, *).
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(1)}}), 4);
+  EXPECT_EQ(op->state_metrics(0).live, 0u);  // item purged
+  EXPECT_EQ(op->state_metrics(1).live, 2u);  // bids unaffected
+
+  // itemid 1 unique: item-stream punctuation (*, 1) purges bid(1, 5).
+  op->PushPunctuation(0, Punctuation::OfConstants(2, {{1, Value(1)}}), 5);
+  EXPECT_EQ(op->state_metrics(1).live, 1u);
+  // bid(2, 9) waits for item 2.
+  op->PushPunctuation(0, Punctuation::OfConstants(2, {{1, Value(2)}}), 6);
+  EXPECT_EQ(op->state_metrics(1).live, 0u);
+}
+
+TEST(SymmetricHashJoinTest, WrongSchemeMeansUnpurgeable) {
+  AuctionFixture fx;
+  SchemeSet wrong;
+  ASSERT_TRUE(wrong.Add(SchemeOn(fx.catalog, "bid", {"increase"})).ok());
+  auto op_or = SymmetricHashJoinOperator::Create(fx.query, wrong);
+  ASSERT_TRUE(op_or.ok());
+  auto op = std::move(op_or).ValueOrDie();
+  EXPECT_FALSE(op->InputPurgeable(0));
+  EXPECT_FALSE(op->InputPurgeable(1));
+  op->PushTuple(0, Tuple({Value(42), Value(1)}), 1);
+  op->PushPunctuation(
+      1, Punctuation::OfConstants(2, {{1, Value(5)}}), 2);
+  EXPECT_EQ(op->TotalLiveTuples(), 1u);
+}
+
+TEST(SymmetricHashJoinTest, EagerDropOnArrival) {
+  AuctionFixture fx;
+  auto op = fx.MakeOp();
+  // Auction 3 already closed.
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(3)}}), 1);
+  // Late item 3 arrival still produces (no stored bids) and is never
+  // stored.
+  op->PushTuple(0, Tuple({Value(9), Value(3)}), 2);
+  EXPECT_EQ(op->state_metrics(0).live, 0u);
+  EXPECT_EQ(op->state_metrics(0).dropped_on_arrival, 1u);
+}
+
+TEST(SymmetricHashJoinTest, ContractViolatingTupleDropped) {
+  AuctionFixture fx;
+  auto op = fx.MakeOp();
+  std::vector<Tuple> results;
+  op->SetEmitter([&](const StreamElement& e) {
+    if (e.is_tuple()) results.push_back(e.tuple);
+  });
+  op->PushTuple(0, Tuple({Value(9), Value(3)}), 1);
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(3)}}), 2);
+  // The punctuation promised no more bids on 3; this one is ignored.
+  op->PushTuple(1, Tuple({Value(3), Value(1)}), 3);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(op->state_metrics(1).dropped_on_arrival, 1u);
+}
+
+TEST(SymmetricHashJoinTest, LazyBatching) {
+  AuctionFixture fx;
+  SymmetricHashJoinConfig config;
+  config.purge_policy = PurgePolicy::kLazy;
+  config.lazy_batch = 2;
+  auto op = fx.MakeOp(config);
+  op->PushTuple(0, Tuple({Value(9), Value(3)}), 1);
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(3)}}), 2);
+  EXPECT_EQ(op->TotalLiveTuples(), 1u);  // not swept yet
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(4)}}), 3);
+  EXPECT_EQ(op->TotalLiveTuples(), 0u);  // batch filled, sweep ran
+}
+
+TEST(SymmetricHashJoinTest, ConjunctivePredicatesAllMustMatch) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("L", Schema::OfInts({"A", "B"})).ok());
+  ASSERT_TRUE(catalog.Register("R", Schema::OfInts({"A", "B"})).ok());
+  auto q = ContinuousJoinQuery::Create(
+      catalog, {"L", "R"},
+      {Eq({"L", "A"}, {"R", "A"}), Eq({"L", "B"}, {"R", "B"})});
+  ASSERT_TRUE(q.ok());
+  SchemeSet schemes;
+  ASSERT_TRUE(schemes.Add(SchemeOn(catalog, "R", {"A"})).ok());
+  auto op_or = SymmetricHashJoinOperator::Create(*q, schemes);
+  ASSERT_TRUE(op_or.ok());
+  auto op = std::move(op_or).ValueOrDie();
+
+  std::vector<Tuple> results;
+  op->SetEmitter([&](const StreamElement& e) {
+    if (e.is_tuple()) results.push_back(e.tuple);
+  });
+  op->PushTuple(0, Tuple({Value(1), Value(2)}), 1);
+  op->PushTuple(1, Tuple({Value(1), Value(3)}), 2);  // A matches, B not
+  EXPECT_TRUE(results.empty());
+  op->PushTuple(1, Tuple({Value(1), Value(2)}), 3);  // both match
+  EXPECT_EQ(results.size(), 1u);
+
+  // Section 3.1: punctuation on ONE conjunct attribute purges.
+  EXPECT_TRUE(op->InputPurgeable(0));
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(1)}}), 4);
+  EXPECT_EQ(op->state_metrics(0).live, 0u);
+}
+
+TEST(SymmetricHashJoinTest, PunctuationLifespan) {
+  AuctionFixture fx;
+  SymmetricHashJoinConfig config;
+  config.punctuation_lifespan = 10;
+  auto op = fx.MakeOp(config);
+  op->PushPunctuation(1, Punctuation::OfConstants(2, {{0, Value(1)}}), 0);
+  op->PushTuple(0, Tuple({Value(9), Value(1)}), 5);
+  EXPECT_EQ(op->state_metrics(0).live, 0u);  // dropped within lifespan
+  op->PushTuple(0, Tuple({Value(9), Value(1)}), 20);
+  EXPECT_EQ(op->state_metrics(0).live, 1u);  // admitted after expiry
+}
+
+}  // namespace
+}  // namespace punctsafe

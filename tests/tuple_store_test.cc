@@ -1,0 +1,110 @@
+#include "exec/tuple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace punctsafe {
+namespace {
+
+TEST(TupleStoreTest, InsertAndProbe) {
+  TupleStore store({0});
+  size_t s1 = store.Insert(Tuple({Value(1), Value(10)}));
+  size_t s2 = store.Insert(Tuple({Value(1), Value(20)}));
+  size_t s3 = store.Insert(Tuple({Value(2), Value(30)}));
+  EXPECT_EQ(store.live_count(), 3u);
+  EXPECT_TRUE(store.IsLive(s1));
+
+  auto hits = store.Probe(0, Value(1));
+  EXPECT_EQ(std::set<size_t>(hits.begin(), hits.end()),
+            (std::set<size_t>{s1, s2}));
+  EXPECT_EQ(store.Probe(0, Value(2)), (std::vector<size_t>{s3}));
+  EXPECT_TRUE(store.Probe(0, Value(9)).empty());
+}
+
+TEST(TupleStoreTest, RemoveIsIdempotentAndHidesFromProbe) {
+  TupleStore store({0});
+  size_t s1 = store.Insert(Tuple({Value(1)}));
+  store.Remove(s1);
+  store.Remove(s1);
+  EXPECT_EQ(store.live_count(), 0u);
+  EXPECT_FALSE(store.IsLive(s1));
+  EXPECT_TRUE(store.Probe(0, Value(1)).empty());
+  // The tuple data stays addressable (slot ids stable).
+  EXPECT_EQ(store.At(s1), Tuple({Value(1)}));
+}
+
+TEST(TupleStoreTest, MultipleIndexes) {
+  TupleStore store({0, 2});
+  size_t s = store.Insert(Tuple({Value(1), Value(2), Value(3)}));
+  EXPECT_EQ(store.Probe(0, Value(1)), (std::vector<size_t>{s}));
+  EXPECT_EQ(store.Probe(2, Value(3)), (std::vector<size_t>{s}));
+}
+
+TEST(TupleStoreTest, ForEachLiveSkipsRemoved) {
+  TupleStore store({0});
+  size_t s1 = store.Insert(Tuple({Value(1)}));
+  store.Insert(Tuple({Value(2)}));
+  store.Remove(s1);
+  size_t visits = 0;
+  store.ForEachLive([&](size_t slot, const Tuple& t) {
+    ++visits;
+    EXPECT_NE(slot, s1);
+    EXPECT_EQ(t, Tuple({Value(2)}));
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(TupleStoreTest, PurgeSlotsCountsOnlyLive) {
+  TupleStore store({0});
+  size_t s1 = store.Insert(Tuple({Value(1)}));
+  size_t s2 = store.Insert(Tuple({Value(2)}));
+  store.Remove(s1);
+  store.PurgeSlots({s1, s2});
+  EXPECT_EQ(store.metrics().purged, 1u);
+  EXPECT_EQ(store.live_count(), 0u);
+}
+
+TEST(TupleStoreTest, MetricsTrackHighWater) {
+  TupleStore store({0});
+  size_t a = store.Insert(Tuple({Value(1)}));
+  store.Insert(Tuple({Value(2)}));
+  store.PurgeSlots({a});
+  store.Insert(Tuple({Value(3)}));
+  const StateMetrics& m = store.metrics();
+  EXPECT_EQ(m.inserted, 3u);
+  EXPECT_EQ(m.purged, 1u);
+  EXPECT_EQ(m.live, 2u);
+  EXPECT_EQ(m.high_water, 2u);
+  store.CountDroppedArrival();
+  EXPECT_EQ(store.metrics().dropped_on_arrival, 1u);
+}
+
+TEST(TupleStoreTest, IndexCompactionKeepsProbesCorrect) {
+  TupleStore store({0});
+  // Insert and purge enough to trigger compaction several times.
+  std::vector<size_t> slots;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      slots.push_back(store.Insert(Tuple({Value(i % 7), Value(i)})));
+    }
+    store.PurgeSlots(slots);
+    slots.clear();
+  }
+  EXPECT_EQ(store.live_count(), 0u);
+  // One survivor among the debris.
+  size_t keep = store.Insert(Tuple({Value(3), Value(999)}));
+  EXPECT_EQ(store.Probe(0, Value(3)), (std::vector<size_t>{keep}));
+}
+
+TEST(TupleStoreTest, NoIndexes) {
+  TupleStore store({});
+  store.Insert(Tuple({Value(1)}));
+  store.Insert(Tuple({Value(2)}));
+  size_t count = 0;
+  store.ForEachLive([&](size_t, const Tuple&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a.Next() != b.Next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversDomain) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(23);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(29);
+  ZipfSampler zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, Join) {
+  std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(Join(v, ","), "a,b,c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringUtilTest, JoinMapped) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(JoinMapped(v, "+", [](int x) { return x * 10; }), "10+20+30");
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -1,0 +1,115 @@
+// punctsafe_check: command-line safety analysis for a CJQ spec.
+//
+//   punctsafe_check <spec-file>        full analysis report
+//   punctsafe_check --dot <spec-file>  Graphviz of the (G)PG instead
+//
+// The spec format is documented in query/spec_parser.h. Exit code 0
+// when the query is safe, 2 when unsafe, 1 on input errors — so the
+// tool slots into CI pipelines that gate stream-query deployments the
+// way the paper's query register gates registration.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/generalized_punctuation_graph.h"
+#include "core/naive_checker.h"
+#include "core/punctuation_graph.h"
+#include "core/safety_checker.h"
+#include "plan/enumerator.h"
+#include "plan/scheme_selection.h"
+#include "query/spec_parser.h"
+
+using namespace punctsafe;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "punctsafe_check: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dot = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: punctsafe_check [--dot] <spec-file>\n");
+      return 0;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: punctsafe_check [--dot] <spec-file>\n");
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "punctsafe_check: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto spec = ParseSpec(buffer.str());
+  if (!spec.ok()) return Fail(spec.status());
+  auto query = spec->MakeQuery();
+  if (!query.ok()) return Fail(query.status());
+
+  if (dot) {
+    SchemeSet relevant = spec->schemes.Restrict(query->streams());
+    if (relevant.AllSimple()) {
+      std::printf("%s", PunctuationGraph::Build(*query, relevant)
+                            .ToDot(*query)
+                            .c_str());
+    } else {
+      std::printf("%s", GeneralizedPunctuationGraph::Build(*query, relevant)
+                            .ToDot(*query)
+                            .c_str());
+    }
+    return 0;
+  }
+
+  SafetyChecker checker(spec->schemes);
+  auto report = checker.CheckQuery(*query);
+  if (!report.ok()) return Fail(report.status());
+
+  std::printf("%s\n", report->explanation.c_str());
+  std::printf("\nper-stream purgeability (Theorem 1/3):\n");
+  for (const StreamPurgeability& v : report->per_stream) {
+    std::printf("  %-12s %s\n", query->stream(v.stream).c_str(),
+                v.purgeable ? "purgeable" : "NOT purgeable");
+    if (v.purge_plan.has_value()) {
+      std::printf("    %s\n", v.purge_plan->ToString(*query).c_str());
+    }
+  }
+
+  if (report->safe && query->num_streams() <= 8) {
+    SafePlanEnumerator enumerator(*query, spec->schemes);
+    auto plans = enumerator.EnumerateSafePlans(64);
+    if (plans.ok()) {
+      std::printf("\nsafe execution plans (%zu of %llu shapes%s):\n",
+                  plans->size(),
+                  static_cast<unsigned long long>(
+                      CountAllShapes(query->num_streams())),
+                  enumerator.limit_reached() ? ", truncated" : "");
+      for (const PlanShape& p : *plans) {
+        std::printf("  %s\n", p.ToString(*query).c_str());
+      }
+    }
+    auto minimal = MinimalSafeSchemeSubset(*query, spec->schemes);
+    if (minimal.ok()) {
+      std::printf("\nminimal scheme subset keeping the query safe: %s\n",
+                  minimal->ToString().c_str());
+    }
+  }
+  return report->safe ? 0 : 2;
+}
