@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tpg.dir/bench_fig10_tpg.cc.o"
+  "CMakeFiles/bench_fig10_tpg.dir/bench_fig10_tpg.cc.o.d"
+  "bench_fig10_tpg"
+  "bench_fig10_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_auction.dir/bench_fig1_auction.cc.o"
+  "CMakeFiles/bench_fig1_auction.dir/bench_fig1_auction.cc.o.d"
+  "bench_fig1_auction"
+  "bench_fig1_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

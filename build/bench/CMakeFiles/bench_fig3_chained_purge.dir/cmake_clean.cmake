@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_chained_purge.dir/bench_fig3_chained_purge.cc.o"
+  "CMakeFiles/bench_fig3_chained_purge.dir/bench_fig3_chained_purge.cc.o.d"
+  "bench_fig3_chained_purge"
+  "bench_fig3_chained_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_chained_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pg.dir/bench_fig5_pg.cc.o"
+  "CMakeFiles/bench_fig5_pg.dir/bench_fig5_pg.cc.o.d"
+  "bench_fig5_pg"
+  "bench_fig5_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

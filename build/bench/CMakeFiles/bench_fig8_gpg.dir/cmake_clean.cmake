@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gpg.dir/bench_fig8_gpg.cc.o"
+  "CMakeFiles/bench_fig8_gpg.dir/bench_fig8_gpg.cc.o.d"
+  "bench_fig8_gpg"
+  "bench_fig8_gpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_enumeration.dir/bench_plan_enumeration.cc.o"
+  "CMakeFiles/bench_plan_enumeration.dir/bench_plan_enumeration.cc.o.d"
+  "bench_plan_enumeration"
+  "bench_plan_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

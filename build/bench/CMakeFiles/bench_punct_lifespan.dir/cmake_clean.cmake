@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_punct_lifespan.dir/bench_punct_lifespan.cc.o"
+  "CMakeFiles/bench_punct_lifespan.dir/bench_punct_lifespan.cc.o.d"
+  "bench_punct_lifespan"
+  "bench_punct_lifespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_punct_lifespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

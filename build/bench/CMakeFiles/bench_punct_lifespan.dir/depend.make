@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_punct_lifespan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_purge_strategy.dir/bench_purge_strategy.cc.o"
+  "CMakeFiles/bench_purge_strategy.dir/bench_purge_strategy.cc.o.d"
+  "bench_purge_strategy"
+  "bench_purge_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_purge_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_safety_scaling.dir/bench_safety_scaling.cc.o"
+  "CMakeFiles/bench_safety_scaling.dir/bench_safety_scaling.cc.o.d"
+  "bench_safety_scaling"
+  "bench_safety_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safety_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

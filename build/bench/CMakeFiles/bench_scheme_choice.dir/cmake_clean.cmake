@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheme_choice.dir/bench_scheme_choice.cc.o"
+  "CMakeFiles/bench_scheme_choice.dir/bench_scheme_choice.cc.o.d"
+  "bench_scheme_choice"
+  "bench_scheme_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheme_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_growth.dir/bench_state_growth.cc.o"
+  "CMakeFiles/bench_state_growth.dir/bench_state_growth.cc.o.d"
+  "bench_state_growth"
+  "bench_state_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

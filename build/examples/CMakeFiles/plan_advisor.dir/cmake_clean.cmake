@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_advisor.dir/plan_advisor.cpp.o"
+  "CMakeFiles/plan_advisor.dir/plan_advisor.cpp.o.d"
+  "plan_advisor"
+  "plan_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_dashboard.dir/sensor_dashboard.cpp.o"
+  "CMakeFiles/sensor_dashboard.dir/sensor_dashboard.cpp.o.d"
+  "sensor_dashboard"
+  "sensor_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

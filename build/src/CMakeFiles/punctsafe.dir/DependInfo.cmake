@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chained_purge.cc" "src/CMakeFiles/punctsafe.dir/core/chained_purge.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/chained_purge.cc.o.d"
+  "/root/repo/src/core/generalized_punctuation_graph.cc" "src/CMakeFiles/punctsafe.dir/core/generalized_punctuation_graph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/generalized_punctuation_graph.cc.o.d"
+  "/root/repo/src/core/local_graph.cc" "src/CMakeFiles/punctsafe.dir/core/local_graph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/local_graph.cc.o.d"
+  "/root/repo/src/core/naive_checker.cc" "src/CMakeFiles/punctsafe.dir/core/naive_checker.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/naive_checker.cc.o.d"
+  "/root/repo/src/core/plan_safety.cc" "src/CMakeFiles/punctsafe.dir/core/plan_safety.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/plan_safety.cc.o.d"
+  "/root/repo/src/core/punctuation_graph.cc" "src/CMakeFiles/punctsafe.dir/core/punctuation_graph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/punctuation_graph.cc.o.d"
+  "/root/repo/src/core/safety_checker.cc" "src/CMakeFiles/punctsafe.dir/core/safety_checker.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/safety_checker.cc.o.d"
+  "/root/repo/src/core/transformed_punctuation_graph.cc" "src/CMakeFiles/punctsafe.dir/core/transformed_punctuation_graph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/core/transformed_punctuation_graph.cc.o.d"
+  "/root/repo/src/exec/input_manager.cc" "src/CMakeFiles/punctsafe.dir/exec/input_manager.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/input_manager.cc.o.d"
+  "/root/repo/src/exec/mjoin.cc" "src/CMakeFiles/punctsafe.dir/exec/mjoin.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/mjoin.cc.o.d"
+  "/root/repo/src/exec/plan_executor.cc" "src/CMakeFiles/punctsafe.dir/exec/plan_executor.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/plan_executor.cc.o.d"
+  "/root/repo/src/exec/punctuation_store.cc" "src/CMakeFiles/punctsafe.dir/exec/punctuation_store.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/punctuation_store.cc.o.d"
+  "/root/repo/src/exec/purge_engine.cc" "src/CMakeFiles/punctsafe.dir/exec/purge_engine.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/purge_engine.cc.o.d"
+  "/root/repo/src/exec/query_register.cc" "src/CMakeFiles/punctsafe.dir/exec/query_register.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/query_register.cc.o.d"
+  "/root/repo/src/exec/reference_join.cc" "src/CMakeFiles/punctsafe.dir/exec/reference_join.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/reference_join.cc.o.d"
+  "/root/repo/src/exec/symmetric_hash_join.cc" "src/CMakeFiles/punctsafe.dir/exec/symmetric_hash_join.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/symmetric_hash_join.cc.o.d"
+  "/root/repo/src/exec/tuple_store.cc" "src/CMakeFiles/punctsafe.dir/exec/tuple_store.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/exec/tuple_store.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/punctsafe.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/punctsafe.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/graph/scc.cc.o.d"
+  "/root/repo/src/plan/chooser.cc" "src/CMakeFiles/punctsafe.dir/plan/chooser.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/plan/chooser.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/CMakeFiles/punctsafe.dir/plan/cost_model.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/plan/cost_model.cc.o.d"
+  "/root/repo/src/plan/enumerator.cc" "src/CMakeFiles/punctsafe.dir/plan/enumerator.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/plan/enumerator.cc.o.d"
+  "/root/repo/src/plan/scheme_selection.cc" "src/CMakeFiles/punctsafe.dir/plan/scheme_selection.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/plan/scheme_selection.cc.o.d"
+  "/root/repo/src/query/cjq.cc" "src/CMakeFiles/punctsafe.dir/query/cjq.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/query/cjq.cc.o.d"
+  "/root/repo/src/query/join_graph.cc" "src/CMakeFiles/punctsafe.dir/query/join_graph.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/query/join_graph.cc.o.d"
+  "/root/repo/src/query/plan_shape.cc" "src/CMakeFiles/punctsafe.dir/query/plan_shape.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/query/plan_shape.cc.o.d"
+  "/root/repo/src/query/spec_parser.cc" "src/CMakeFiles/punctsafe.dir/query/spec_parser.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/query/spec_parser.cc.o.d"
+  "/root/repo/src/stream/catalog.cc" "src/CMakeFiles/punctsafe.dir/stream/catalog.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/catalog.cc.o.d"
+  "/root/repo/src/stream/punctuation.cc" "src/CMakeFiles/punctsafe.dir/stream/punctuation.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/punctuation.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "src/CMakeFiles/punctsafe.dir/stream/schema.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/schema.cc.o.d"
+  "/root/repo/src/stream/scheme.cc" "src/CMakeFiles/punctsafe.dir/stream/scheme.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/scheme.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/CMakeFiles/punctsafe.dir/stream/tuple.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/tuple.cc.o.d"
+  "/root/repo/src/stream/value.cc" "src/CMakeFiles/punctsafe.dir/stream/value.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/stream/value.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/punctsafe.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/punctsafe.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/punctsafe.dir/util/status.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/punctsafe.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/auction.cc" "src/CMakeFiles/punctsafe.dir/workload/auction.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/workload/auction.cc.o.d"
+  "/root/repo/src/workload/network.cc" "src/CMakeFiles/punctsafe.dir/workload/network.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/workload/network.cc.o.d"
+  "/root/repo/src/workload/random_query.cc" "src/CMakeFiles/punctsafe.dir/workload/random_query.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/workload/random_query.cc.o.d"
+  "/root/repo/src/workload/sensor.cc" "src/CMakeFiles/punctsafe.dir/workload/sensor.cc.o" "gcc" "src/CMakeFiles/punctsafe.dir/workload/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_purge_test.dir/chained_purge_test.cc.o"
+  "CMakeFiles/chained_purge_test.dir/chained_purge_test.cc.o.d"
+  "chained_purge_test"
+  "chained_purge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_purge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjq_test.dir/cjq_test.cc.o"
+  "CMakeFiles/cjq_test.dir/cjq_test.cc.o.d"
+  "cjq_test"
+  "cjq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_extras_test.dir/exec_extras_test.cc.o"
+  "CMakeFiles/exec_extras_test.dir/exec_extras_test.cc.o.d"
+  "exec_extras_test"
+  "exec_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpg_test.dir/gpg_test.cc.o"
+  "CMakeFiles/gpg_test.dir/gpg_test.cc.o.d"
+  "gpg_test"
+  "gpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_checker_test.dir/naive_checker_test.cc.o"
+  "CMakeFiles/naive_checker_test.dir/naive_checker_test.cc.o.d"
+  "naive_checker_test"
+  "naive_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_safety_test.dir/plan_safety_test.cc.o"
+  "CMakeFiles/plan_safety_test.dir/plan_safety_test.cc.o.d"
+  "plan_safety_test"
+  "plan_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_shape_test.dir/plan_shape_test.cc.o"
+  "CMakeFiles/plan_shape_test.dir/plan_shape_test.cc.o.d"
+  "plan_shape_test"
+  "plan_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

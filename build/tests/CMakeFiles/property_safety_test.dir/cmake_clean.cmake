@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_safety_test.dir/property_safety_test.cc.o"
+  "CMakeFiles/property_safety_test.dir/property_safety_test.cc.o.d"
+  "property_safety_test"
+  "property_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/punctuation_graph_test.dir/punctuation_graph_test.cc.o"
+  "CMakeFiles/punctuation_graph_test.dir/punctuation_graph_test.cc.o.d"
+  "punctuation_graph_test"
+  "punctuation_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/punctuation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/punctuation_store_test.dir/punctuation_store_test.cc.o"
+  "CMakeFiles/punctuation_store_test.dir/punctuation_store_test.cc.o.d"
+  "punctuation_store_test"
+  "punctuation_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/punctuation_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

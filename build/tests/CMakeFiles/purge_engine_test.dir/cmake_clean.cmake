@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purge_engine_test.dir/purge_engine_test.cc.o"
+  "CMakeFiles/purge_engine_test.dir/purge_engine_test.cc.o.d"
+  "purge_engine_test"
+  "purge_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purge_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_register_test.dir/query_register_test.cc.o"
+  "CMakeFiles/query_register_test.dir/query_register_test.cc.o.d"
+  "query_register_test"
+  "query_register_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

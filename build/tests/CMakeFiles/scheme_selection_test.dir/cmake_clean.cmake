@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_selection_test.dir/scheme_selection_test.cc.o"
+  "CMakeFiles/scheme_selection_test.dir/scheme_selection_test.cc.o.d"
+  "scheme_selection_test"
+  "scheme_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_test.dir/sensor_test.cc.o"
+  "CMakeFiles/sensor_test.dir/sensor_test.cc.o.d"
+  "sensor_test"
+  "sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

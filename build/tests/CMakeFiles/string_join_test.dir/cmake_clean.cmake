@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_join_test.dir/string_join_test.cc.o"
+  "CMakeFiles/string_join_test.dir/string_join_test.cc.o.d"
+  "string_join_test"
+  "string_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

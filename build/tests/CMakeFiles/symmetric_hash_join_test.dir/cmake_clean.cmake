@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_hash_join_test.dir/symmetric_hash_join_test.cc.o"
+  "CMakeFiles/symmetric_hash_join_test.dir/symmetric_hash_join_test.cc.o.d"
+  "symmetric_hash_join_test"
+  "symmetric_hash_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_hash_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

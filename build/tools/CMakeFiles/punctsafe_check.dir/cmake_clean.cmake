@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/punctsafe_check.dir/punctsafe_check.cc.o"
+  "CMakeFiles/punctsafe_check.dir/punctsafe_check.cc.o.d"
+  "punctsafe_check"
+  "punctsafe_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/punctsafe_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(punctsafe_check_safe "/root/repo/build/tools/punctsafe_check" "/root/repo/specs/triangle_fig8.spec")
+set_tests_properties(punctsafe_check_safe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(punctsafe_check_dot "/root/repo/build/tools/punctsafe_check" "--dot" "/root/repo/specs/auction.spec")
+set_tests_properties(punctsafe_check_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(punctsafe_check_unsafe "/root/repo/build/tools/punctsafe_check" "/root/repo/specs/unsafe_auction.spec")
+set_tests_properties(punctsafe_check_unsafe PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
