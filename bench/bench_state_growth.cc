@@ -39,9 +39,13 @@ void RunGrowth(benchmark::State& state, bool safe_instance) {
   tconfig.values_per_generation = 3;
   tconfig.tuples_per_generation = 20;
   Trace trace = MakeCoveringTrace(inst.query, inst.schemes, tconfig);
-  bench::RunTraceAndRecord(inst.query, inst.schemes,
-                           PlanShape::SingleMJoin(inst.query.num_streams()),
-                           trace, {}, state);
+  PlanShape shape = PlanShape::SingleMJoin(inst.query.num_streams());
+  bench::RunTraceAndRecord(inst.query, inst.schemes, shape, trace, {}, state);
+  // One pipelined pass on the same trace: the safety verdict must
+  // predict (non-)growth for the concurrent runtime too —
+  // parallel_state_hw stays flat exactly when state_hw does.
+  bench::RecordParallelCounters(inst.query, inst.schemes, shape, trace, {},
+                                state);
   state.counters["verdict_safe"] = safe_instance ? 1 : 0;
 }
 

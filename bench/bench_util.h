@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/input_manager.h"
+#include "exec/parallel_executor.h"
 #include "exec/plan_executor.h"
 #include "query/cjq.h"
 #include "stream/catalog.h"
@@ -89,6 +90,27 @@ inline void RunTraceAndRecord(const ContinuousJoinQuery& query,
   state.counters["final_live"] = static_cast<double>(final_live);
   state.counters["punct_hw"] = static_cast<double>(punct_high);
   state.counters["results"] = static_cast<double>(results);
+}
+
+/// One pipelined-executor pass over the trace; records the parallel
+/// runtime's behavioral counters (prefixed) next to the serial ones so
+/// a single bench row shows purge-boundedness holds under concurrency.
+inline void RecordParallelCounters(const ContinuousJoinQuery& query,
+                                   const SchemeSet& schemes,
+                                   const PlanShape& shape, const Trace& trace,
+                                   ExecutorConfig config,
+                                   benchmark::State& state) {
+  config.mode = ExecutionMode::kParallel;
+  auto exec = ParallelExecutor::Create(query, schemes, shape, config);
+  PUNCTSAFE_CHECK_OK(exec.status());
+  PUNCTSAFE_CHECK_OK(FeedTraceParallel(exec.ValueOrDie().get(), trace));
+  state.counters["parallel_state_hw"] =
+      static_cast<double>((*exec)->tuple_high_water());
+  state.counters["parallel_final_live"] =
+      static_cast<double>((*exec)->TotalLiveTuples());
+  state.counters["parallel_results"] =
+      static_cast<double>((*exec)->num_results());
+  (*exec)->Stop();
 }
 
 /// Chain query T0 - T1 - ... - T{n-1} on a shared key attribute, with

@@ -1,0 +1,115 @@
+// A bounded multi-producer/multi-consumer blocking queue: the edge
+// primitive of the pipelined executor. Producers block when the queue
+// is full (backpressure propagates source-ward through the plan tree),
+// the consumer blocks when it is empty, and Close() releases everyone:
+// blocked producers give up (Push returns false) while the consumer
+// drains the remaining items before seeing end-of-stream.
+//
+// Mutex + condition variables rather than a lock-free ring: the
+// executor's granularity is one tuple per operation, so the lock is
+// never the bottleneck, and the simple implementation is trivially
+// TSan-clean (tests/bounded_queue_test.cc runs it under
+// -DPUNCTSAFE_SANITIZE=thread).
+
+#ifndef PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_
+#define PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace punctsafe {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Enqueues `value`, blocking while the queue is full.
+  /// Returns false (dropping the value) iff the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Enqueues without blocking; false if full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Dequeues, blocking while empty. nullopt means closed AND
+  /// drained — the consumer's end-of-stream signal.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// \brief Dequeues without blocking; nullopt if currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// \brief Marks end-of-stream and wakes all waiters. Queued items
+  /// remain poppable; further pushes fail. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_

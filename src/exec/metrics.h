@@ -2,46 +2,136 @@
 // safety property is *about* (join-state size staying bounded) plus
 // the punctuation-side costs that the Section 5.2 cost/benefit
 // discussion weighs.
+//
+// All counters are relaxed atomics so that a monitoring thread (or the
+// parallel executor's high-water sampler) can read them while the
+// owning operator thread mutates them. Each counter is independently
+// coherent; use Snapshot() when a mutually consistent view is wanted
+// (it is still only quiescently consistent — exact once the operator
+// has drained).
 
 #ifndef PUNCTSAFE_EXEC_METRICS_H_
 #define PUNCTSAFE_EXEC_METRICS_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace punctsafe {
 
-/// \brief Per-input join-state accounting.
+namespace internal {
+
+/// \brief Lock-free max update (relaxed; monotone so order is moot).
+inline void AtomicMax(std::atomic<size_t>& target, size_t value) {
+  size_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// \brief Plain-value copy of StateMetrics for cross-thread consumers.
+struct StateMetricsSnapshot {
+  uint64_t inserted = 0;
+  uint64_t purged = 0;
+  uint64_t dropped_on_arrival = 0;
+  size_t live = 0;
+  size_t high_water = 0;
+};
+
+/// \brief Per-input join-state accounting (atomic; see file comment).
 struct StateMetrics {
-  uint64_t inserted = 0;       ///< tuples added to the state
-  uint64_t purged = 0;         ///< tuples removed via punctuations
-  uint64_t dropped_on_arrival = 0;  ///< new tuples immediately removable
-  size_t live = 0;             ///< currently stored tuples
-  size_t high_water = 0;       ///< max live ever observed
+  std::atomic<uint64_t> inserted{0};       ///< tuples added to the state
+  std::atomic<uint64_t> purged{0};         ///< tuples removed via punctuations
+  std::atomic<uint64_t> dropped_on_arrival{0};  ///< immediately removable
+  std::atomic<size_t> live{0};             ///< currently stored tuples
+  std::atomic<size_t> high_water{0};       ///< max live ever observed
 
   void OnInsert() {
-    ++inserted;
-    ++live;
-    if (live > high_water) high_water = live;
+    inserted.fetch_add(1, std::memory_order_relaxed);
+    size_t now_live = live.fetch_add(1, std::memory_order_relaxed) + 1;
+    internal::AtomicMax(high_water, now_live);
   }
   void OnPurge(size_t count) {
-    purged += count;
-    live -= count;
+    purged.fetch_add(count, std::memory_order_relaxed);
+    // A purge can never remove more tuples than are live; clamp instead
+    // of wrapping the unsigned counter if accounting ever races or
+    // double-counts (and flag it loudly in debug builds).
+    size_t cur = live.load(std::memory_order_relaxed);
+    assert(count <= cur && "StateMetrics::OnPurge exceeds live count");
+    size_t next;
+    do {
+      next = count <= cur ? cur - count : 0;
+    } while (!live.compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed));
+  }
+
+  StateMetricsSnapshot Snapshot() const {
+    StateMetricsSnapshot s;
+    s.inserted = inserted.load(std::memory_order_relaxed);
+    s.purged = purged.load(std::memory_order_relaxed);
+    s.dropped_on_arrival = dropped_on_arrival.load(std::memory_order_relaxed);
+    s.live = live.load(std::memory_order_relaxed);
+    s.high_water = high_water.load(std::memory_order_relaxed);
+    return s;
   }
 };
 
-/// \brief Per-operator accounting.
-struct OperatorMetrics {
+/// \brief Plain-value copy of OperatorMetrics.
+struct OperatorMetricsSnapshot {
   uint64_t results_emitted = 0;
   uint64_t punctuations_received = 0;
-  uint64_t punctuations_stored = 0;      ///< after dedup/expiry filtering
-  uint64_t punctuations_propagated = 0;  ///< emitted on the output
-  uint64_t punctuations_expired = 0;     ///< dropped by lifespan expiry
+  uint64_t punctuations_stored = 0;
+  uint64_t punctuations_propagated = 0;
+  uint64_t punctuations_expired = 0;
   uint64_t purge_sweeps = 0;
   uint64_t removability_checks = 0;
   size_t punctuations_live = 0;
   size_t punctuations_high_water = 0;
+};
+
+/// \brief Per-operator accounting (atomic; see file comment).
+struct OperatorMetrics {
+  std::atomic<uint64_t> results_emitted{0};
+  std::atomic<uint64_t> punctuations_received{0};
+  std::atomic<uint64_t> punctuations_stored{0};      ///< after dedup/expiry
+  std::atomic<uint64_t> punctuations_propagated{0};  ///< emitted on output
+  std::atomic<uint64_t> punctuations_expired{0};     ///< lifespan expiry
+  std::atomic<uint64_t> purge_sweeps{0};
+  std::atomic<uint64_t> removability_checks{0};
+  std::atomic<size_t> punctuations_live{0};
+  std::atomic<size_t> punctuations_high_water{0};
+
+  /// \brief Records the current live-punctuation count and folds it
+  /// into the high-water mark.
+  void OnPunctuationsLive(size_t count) {
+    punctuations_live.store(count, std::memory_order_relaxed);
+    internal::AtomicMax(punctuations_high_water, count);
+  }
+
+  OperatorMetricsSnapshot Snapshot() const {
+    OperatorMetricsSnapshot s;
+    s.results_emitted = results_emitted.load(std::memory_order_relaxed);
+    s.punctuations_received =
+        punctuations_received.load(std::memory_order_relaxed);
+    s.punctuations_stored =
+        punctuations_stored.load(std::memory_order_relaxed);
+    s.punctuations_propagated =
+        punctuations_propagated.load(std::memory_order_relaxed);
+    s.punctuations_expired =
+        punctuations_expired.load(std::memory_order_relaxed);
+    s.purge_sweeps = purge_sweeps.load(std::memory_order_relaxed);
+    s.removability_checks =
+        removability_checks.load(std::memory_order_relaxed);
+    s.punctuations_live = punctuations_live.load(std::memory_order_relaxed);
+    s.punctuations_high_water =
+        punctuations_high_water.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 }  // namespace punctsafe

@@ -378,9 +378,7 @@ void MJoinOperator::PushPunctuation(size_t input,
   if (punct_stores_[input]->Add(punctuation, ts)) {
     ++metrics_.punctuations_stored;
   }
-  metrics_.punctuations_live = TotalLivePunctuations();
-  metrics_.punctuations_high_water =
-      std::max(metrics_.punctuations_high_water, metrics_.punctuations_live);
+  metrics_.OnPunctuationsLive(TotalLivePunctuations());
 
   // Queue propagation if this instantiates a propagatable scheme.
   if (config_.propagate_punctuations) {
@@ -479,7 +477,7 @@ void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
     punctuations_purged_ += punct_stores_[v]->RemoveIf(
         [&](const Punctuation& p) { return to_remove[v].count(p) > 0; });
   }
-  metrics_.punctuations_live = TotalLivePunctuations();
+  metrics_.OnPunctuationsLive(TotalLivePunctuations());
 }
 
 void MJoinOperator::TryPropagate(int64_t now,

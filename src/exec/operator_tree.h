@@ -1,0 +1,50 @@
+// Shared plan-shape instantiation: turns a PlanShape tree into the
+// post-order list of MJoin operators plus the wiring metadata (which
+// operator input each raw stream or child output feeds). The serial
+// PlanExecutor and the parallel pipelined executor both build from
+// this and differ only in how they connect the edges (direct calls vs
+// bounded queues).
+
+#ifndef PUNCTSAFE_EXEC_OPERATOR_TREE_H_
+#define PUNCTSAFE_EXEC_OPERATOR_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/mjoin.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+/// \brief One instantiated plan tree, edges not yet wired.
+struct OperatorTree {
+  /// Operators in post-order; back() is the root.
+  std::vector<std::unique_ptr<MJoinOperator>> operators;
+  /// Per query stream: (operator index, input index) consuming it.
+  std::vector<std::pair<size_t, size_t>> leaf_route;
+  /// Per operator (parallel to `operators`): the (parent operator
+  /// index, parent input index) its output feeds. parent_op == npos
+  /// for the root.
+  struct ParentEdge {
+    size_t parent_op = kNoParent;
+    size_t parent_input = 0;
+    static constexpr size_t kNoParent = static_cast<size_t>(-1);
+  };
+  std::vector<ParentEdge> parents;
+
+  MJoinOperator* root() const { return operators.back().get(); }
+};
+
+/// \brief Instantiates `shape` over `query` (unsafe shapes included;
+/// admission control lives in QueryRegister, not here).
+Result<OperatorTree> BuildOperatorTree(const ContinuousJoinQuery& query,
+                                       const SchemeSet& schemes,
+                                       const PlanShape& shape,
+                                       const MJoinConfig& config);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_OPERATOR_TREE_H_

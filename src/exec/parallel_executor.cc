@@ -1,0 +1,294 @@
+#include "exec/parallel_executor.h"
+
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "exec/bounded_queue.h"
+#include "exec/operator_tree.h"
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+}  // namespace
+
+// One message on an operator's input queue: a stream element tagged
+// with the input it belongs to, or a drain marker (processed after
+// everything queued before it; the pushing thread guarantees all
+// producers are quiescent first).
+struct OpMessage {
+  bool drain = false;
+  size_t input = 0;
+  StreamElement element;
+};
+
+struct ParallelExecutor::Worker {
+  explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
+
+  MJoinOperator* op = nullptr;
+  BoundedQueue<OpMessage> queue;
+  // Per-input FIFO reorder buffers for the timestamp merge.
+  std::vector<std::deque<StreamElement>> pending;
+  std::thread thread;
+
+  // Drain handshake. `drains_requested` is touched only by the driver
+  // thread; `drains_done` is the worker's ack, published under `mu`.
+  uint64_t drains_requested = 0;
+  std::mutex mu;
+  std::condition_variable drained_cv;
+  uint64_t drains_done = 0;
+};
+
+Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
+    const ContinuousJoinQuery& query, const SchemeSet& schemes,
+    const PlanShape& shape, ExecutorConfig config) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
+                             CheckPlanSafety(query, schemes, shape));
+
+  auto exec = std::unique_ptr<ParallelExecutor>(new ParallelExecutor());
+  exec->query_ = query;
+  exec->shape_ = shape;
+  exec->config_ = config;
+  exec->safety_ = std::move(safety);
+
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      OperatorTree tree,
+      BuildOperatorTree(exec->query_, schemes, shape, config.mjoin));
+
+  ParallelExecutor* raw = exec.get();
+  exec->workers_.reserve(tree.operators.size());
+  for (size_t j = 0; j < tree.operators.size(); ++j) {
+    auto worker = std::make_unique<Worker>(config.queue_capacity);
+    worker->op = tree.operators[j].get();
+    worker->pending.resize(worker->op->num_inputs());
+    exec->workers_.push_back(std::move(worker));
+  }
+
+  // Parallel wiring: a child's output is a blocking push onto the
+  // parent's queue (executed on the child's worker thread). A false
+  // return means Stop() closed the pipeline; the element is dropped.
+  for (size_t j = 0; j < tree.operators.size(); ++j) {
+    const OperatorTree::ParentEdge& edge = tree.parents[j];
+    if (edge.parent_op == OperatorTree::ParentEdge::kNoParent) continue;
+    Worker* parent = exec->workers_[edge.parent_op].get();
+    size_t k = edge.parent_input;
+    tree.operators[j]->SetEmitter([parent, k](const StreamElement& e) {
+      parent->queue.Push(OpMessage{false, k, e});
+    });
+  }
+  tree.root()->SetEmitter([raw](const StreamElement& e) {
+    if (!e.is_tuple()) return;  // root punctuations reach the consumer app
+    raw->num_results_.fetch_add(1, std::memory_order_relaxed);
+    if (raw->config_.keep_results) {
+      std::lock_guard<std::mutex> lock(raw->results_mu_);
+      raw->kept_results_.push_back(e.tuple);
+    }
+  });
+
+  exec->leaf_route_.assign(query.num_streams(), {kNone, 0});
+  for (size_t s = 0; s < query.num_streams(); ++s) {
+    exec->leaf_route_[s] = tree.leaf_route[s];
+  }
+  exec->operators_ = std::move(tree.operators);
+
+  for (size_t j = 0; j < exec->workers_.size(); ++j) {
+    exec->workers_[j]->thread =
+        std::thread([raw, j] { raw->WorkerLoop(j); });
+  }
+  return exec;
+}
+
+ParallelExecutor::~ParallelExecutor() { Stop(); }
+
+void ParallelExecutor::WorkerLoop(size_t index) {
+  Worker& worker = *workers_[index];
+  while (true) {
+    std::optional<OpMessage> msg = worker.queue.Pop();
+    if (!msg.has_value()) break;  // closed and fully drained
+
+    bool drain = false;
+    int64_t drain_ts = 0;
+    auto handle = [&](OpMessage&& m) {
+      if (m.drain) {
+        drain = true;
+        drain_ts = m.element.timestamp;
+      } else {
+        worker.pending[m.input].push_back(std::move(m.element));
+      }
+    };
+    handle(std::move(*msg));
+    // Opportunistically batch whatever else is already queued so the
+    // timestamp merge below sees as much context as possible.
+    while (std::optional<OpMessage> more = worker.queue.TryPop()) {
+      handle(std::move(*more));
+    }
+
+    ProcessPending(worker);
+
+    if (drain) {
+      worker.op->Sweep(drain_ts);
+      SampleHighWater();
+      {
+        std::lock_guard<std::mutex> lock(worker.mu);
+        ++worker.drains_done;
+      }
+      worker.drained_cv.notify_all();
+    }
+  }
+  // Shutdown: deliver what was already buffered locally (downstream
+  // pushes may fail once their queues close; that is fine, Stop() is
+  // the non-graceful path).
+  ProcessPending(worker);
+}
+
+void ParallelExecutor::ProcessPending(Worker& worker) {
+  // Deliver buffered elements in ascending timestamp order across
+  // inputs (ties: lowest input index). Per-input order is preserved by
+  // the FIFO buffers; the cross-input ordering is best-effort only —
+  // an empty buffer is never waited on.
+  while (true) {
+    size_t best = kNone;
+    int64_t best_ts = 0;
+    for (size_t i = 0; i < worker.pending.size(); ++i) {
+      if (worker.pending[i].empty()) continue;
+      int64_t ts = worker.pending[i].front().timestamp;
+      if (best == kNone || ts < best_ts) {
+        best = i;
+        best_ts = ts;
+      }
+    }
+    if (best == kNone) return;
+    StreamElement element = std::move(worker.pending[best].front());
+    worker.pending[best].pop_front();
+    Deliver(worker, best, element);
+  }
+}
+
+void ParallelExecutor::Deliver(Worker& worker, size_t input,
+                               const StreamElement& element) {
+  if (element.is_tuple()) {
+    worker.op->PushTuple(input, element.tuple, element.timestamp);
+  } else {
+    worker.op->PushPunctuation(input, element.punctuation,
+                               element.timestamp);
+  }
+  SampleHighWater();
+}
+
+void ParallelExecutor::SampleHighWater() {
+  size_t tuples = 0;
+  size_t puncts = 0;
+  for (const auto& op : operators_) {
+    for (size_t i = 0; i < op->num_inputs(); ++i) {
+      tuples += op->state_metrics(i).live.load(std::memory_order_relaxed);
+    }
+    puncts +=
+        op->metrics().punctuations_live.load(std::memory_order_relaxed);
+  }
+  internal::AtomicMax(tuple_high_water_, tuples);
+  internal::AtomicMax(punct_high_water_, puncts);
+}
+
+Status ParallelExecutor::Push(const TraceEvent& event) {
+  auto idx = query_.StreamIndex(event.stream);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("stream '", event.stream, "' not part of ", query_.ToString()));
+  }
+  auto [op_index, input] = leaf_route_[*idx];
+  if (op_index == kNone) {
+    return Status::Internal(
+        StrCat("stream '", event.stream, "' has no leaf route"));
+  }
+  if (!workers_[op_index]->queue.Push(OpMessage{false, input, event.element})) {
+    return Status::FailedPrecondition("parallel executor is stopped");
+  }
+  return Status::OK();
+}
+
+void ParallelExecutor::PushTuple(size_t stream, const Tuple& tuple,
+                                 int64_t ts) {
+  auto [op_index, input] = leaf_route_[stream];
+  workers_[op_index]->queue.Push(
+      OpMessage{false, input, StreamElement::OfTuple(tuple, ts)});
+}
+
+void ParallelExecutor::PushPunctuation(size_t stream,
+                                       const Punctuation& punctuation,
+                                       int64_t ts) {
+  auto [op_index, input] = leaf_route_[stream];
+  workers_[op_index]->queue.Push(
+      OpMessage{false, input, StreamElement::OfPunctuation(punctuation, ts)});
+}
+
+Status ParallelExecutor::Drain(int64_t now) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("parallel executor is stopped");
+  }
+  // Leaves-first (operators_ is post-order, children before parents):
+  // once operator j's children have acked their drain, every element
+  // they will ever emit is already in j's queue, so j's marker is
+  // provably last and its ack means j is fully caught up and swept.
+  for (size_t j = 0; j < workers_.size(); ++j) {
+    Worker& worker = *workers_[j];
+    uint64_t target = ++worker.drains_requested;
+    OpMessage marker;
+    marker.drain = true;
+    marker.element.timestamp = now;
+    if (!worker.queue.Push(std::move(marker))) {
+      return Status::FailedPrecondition("parallel executor is stopped");
+    }
+    std::unique_lock<std::mutex> lock(worker.mu);
+    worker.drained_cv.wait(
+        lock, [&] { return worker.drains_done >= target; });
+  }
+  return Status::OK();
+}
+
+void ParallelExecutor::Stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+size_t ParallelExecutor::TotalLiveTuples() const {
+  size_t total = 0;
+  for (const auto& op : operators_) {
+    for (size_t i = 0; i < op->num_inputs(); ++i) {
+      total += op->state_metrics(i).live.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+size_t ParallelExecutor::TotalLivePunctuations() const {
+  size_t total = 0;
+  for (const auto& op : operators_) {
+    total +=
+        op->metrics().punctuations_live.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<Tuple> ParallelExecutor::kept_results() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return kept_results_;
+}
+
+Status FeedTraceParallel(ParallelExecutor* executor, const Trace& trace) {
+  int64_t max_ts = 0;
+  for (const TraceEvent& event : trace) {
+    PUNCTSAFE_RETURN_IF_ERROR(executor->Push(event));
+    if (event.element.timestamp > max_ts) max_ts = event.element.timestamp;
+  }
+  return executor->Drain(max_ts + 1);
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,140 @@
+// ParallelExecutor: the pipelined counterpart of PlanExecutor. Every
+// MJoin operator of the plan tree runs on its own worker thread and
+// owns its operator exclusively; edges are bounded MPSC queues of
+// stream elements, so a fast producer blocks once the consumer's queue
+// fills (backpressure) instead of buffering unboundedly — the
+// engine-level analogue of the paper's bounded-state guarantee.
+//
+// Ordering model (docs/CONCURRENCY.md has the full argument):
+//  * per-edge FIFO — elements from one producer (a raw stream or a
+//    child operator's output) are consumed in production order, so a
+//    punctuation never overtakes the tuples it covers and every edge
+//    carries a contract-valid punctuated stream;
+//  * best-effort timestamp merge — each worker drains its queue into
+//    per-input reorder buffers and delivers buffered elements in
+//    ascending timestamp order (ties: lowest input), which keeps
+//    purges timely without risking cross-input deadlock;
+//  * confluence — symmetric joins emit each matching combination
+//    exactly once regardless of cross-input interleaving, and chained
+//    purge removability is monotone in punctuation knowledge, so after
+//    Drain() the result multiset and the final join state equal the
+//    serial executor's (tests/parallel_differential_test.cc checks
+//    this over randomized queries and traces).
+//
+// Thread contract: one external driver thread calls
+// Push*/Drain/Stop. Metric accessors are safe from any thread at any
+// time (relaxed atomics); they are exact once Drain() has returned
+// and no further pushes have been issued.
+
+#ifndef PUNCTSAFE_EXEC_PARALLEL_EXECUTOR_H_
+#define PUNCTSAFE_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/plan_safety.h"
+#include "exec/mjoin.h"
+#include "exec/plan_executor.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/element.h"
+#include "stream/scheme.h"
+#include "util/status.h"
+
+namespace punctsafe {
+
+class ParallelExecutor {
+ public:
+  /// \brief Builds the operator tree and starts one worker per
+  /// operator. Mirrors PlanExecutor::Create (unsafe shapes build too).
+  static Result<std::unique_ptr<ParallelExecutor>> Create(
+      const ContinuousJoinQuery& query, const SchemeSet& schemes,
+      const PlanShape& shape, ExecutorConfig config = {});
+
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// \brief Routes one trace event by stream name (blocks on a full
+  /// leaf queue — backpressure to the source).
+  Status Push(const TraceEvent& event);
+
+  /// \brief Routes by query stream index.
+  void PushTuple(size_t stream, const Tuple& tuple, int64_t ts);
+  void PushPunctuation(size_t stream, const Punctuation& punctuation,
+                       int64_t ts);
+
+  /// \brief Barrier: waits until every queued element has been
+  /// processed, then runs a purge sweep at `now` on each operator,
+  /// leaves-first. On return the pipeline is quiescent and all
+  /// accessors are exact. The parallel analogue of SweepAll.
+  Status Drain(int64_t now);
+
+  /// \brief Stops the workers (closing all queues; undelivered
+  /// elements are dropped). Called by the destructor; use Drain first
+  /// for a clean shutdown. Idempotent.
+  void Stop();
+
+  size_t TotalLiveTuples() const;
+  size_t TotalLivePunctuations() const;
+  /// \brief Sampled after every delivered element; a lower bound of
+  /// the instantaneous global maximum (exact at quiescence).
+  size_t tuple_high_water() const {
+    return tuple_high_water_.load(std::memory_order_relaxed);
+  }
+  size_t punctuation_high_water() const {
+    return punct_high_water_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t num_results() const {
+    return num_results_.load(std::memory_order_relaxed);
+  }
+  /// \brief Copy of the retained results (requires keep_results).
+  std::vector<Tuple> kept_results() const;
+
+  const PlanSafetyReport& safety() const { return safety_; }
+  const ContinuousJoinQuery& query() const { return query_; }
+  const PlanShape& shape() const { return shape_; }
+  const std::vector<std::unique_ptr<MJoinOperator>>& operators() const {
+    return operators_;
+  }
+
+ private:
+  struct Worker;
+
+  ParallelExecutor() = default;
+
+  void WorkerLoop(size_t index);
+  void Deliver(Worker& worker, size_t input, const StreamElement& element);
+  void ProcessPending(Worker& worker);
+  void SampleHighWater();
+
+  ContinuousJoinQuery query_;
+  PlanShape shape_;
+  ExecutorConfig config_;
+  PlanSafetyReport safety_;
+
+  std::vector<std::unique_ptr<MJoinOperator>> operators_;  // post-order
+  std::vector<std::unique_ptr<Worker>> workers_;           // parallel
+  // Per query stream: (operator index, input index) consuming it.
+  std::vector<std::pair<size_t, size_t>> leaf_route_;
+
+  std::atomic<uint64_t> num_results_{0};
+  mutable std::mutex results_mu_;
+  std::vector<Tuple> kept_results_;
+  std::atomic<size_t> tuple_high_water_{0};
+  std::atomic<size_t> punct_high_water_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+/// \brief Convenience: pushes a whole trace, then drains at the last
+/// timestamp (mirrors FeedTrace for the serial executor).
+Status FeedTraceParallel(ParallelExecutor* executor, const Trace& trace);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_PARALLEL_EXECUTOR_H_

@@ -2,89 +2,10 @@
 
 #include <algorithm>
 
+#include "exec/operator_tree.h"
 #include "util/string_util.h"
 
 namespace punctsafe {
-
-namespace {
-
-// Bottom-up construction result for one plan-shape node.
-struct BuiltNode {
-  LocalInput info;           // streams + schemes visible on this edge
-  MJoinOperator* op = nullptr;  // nullptr for leaves
-};
-
-BuiltNode BuildNode(const ContinuousJoinQuery& query,
-                    const SchemeSet& schemes, const PlanShape& shape,
-                    const ExecutorConfig& config,
-                    std::vector<std::unique_ptr<MJoinOperator>>* operators,
-                    std::vector<std::pair<MJoinOperator*, size_t>>* routes,
-                    Status* status) {
-  if (!status->ok()) return {};
-  if (shape.IsLeaf()) {
-    BuiltNode node;
-    node.info.streams = {shape.stream()};
-    node.info.schemes = RawAvailableSchemes(query, schemes, shape.stream());
-    return node;
-  }
-
-  std::vector<BuiltNode> children;
-  children.reserve(shape.children().size());
-  for (const PlanShape& child : shape.children()) {
-    children.push_back(BuildNode(query, schemes, child, config, operators,
-                                 routes, status));
-    if (!status->ok()) return {};
-  }
-
-  std::vector<LocalInput> inputs;
-  inputs.reserve(children.size());
-  for (const BuiltNode& c : children) inputs.push_back(c.info);
-
-  auto op_or = MJoinOperator::Create(query, inputs, config.mjoin);
-  if (!op_or.ok()) {
-    *status = op_or.status();
-    return {};
-  }
-  operators->push_back(std::move(op_or).ValueOrDie());
-  MJoinOperator* op = operators->back().get();
-
-  // Wire children into this operator and record leaf routes.
-  for (size_t k = 0; k < children.size(); ++k) {
-    if (children[k].op != nullptr) {
-      MJoinOperator* child_op = children[k].op;
-      child_op->SetEmitter([op, k](const StreamElement& e) {
-        if (e.is_tuple()) {
-          op->PushTuple(k, e.tuple, e.timestamp);
-        } else {
-          op->PushPunctuation(k, e.punctuation, e.timestamp);
-        }
-      });
-    } else {
-      (*routes)[children[k].info.streams[0]] = {op, k};
-    }
-  }
-
-  BuiltNode node;
-  node.op = op;
-  node.info.streams.clear();
-  for (const BuiltNode& c : children) {
-    node.info.streams.insert(node.info.streams.end(), c.info.streams.begin(),
-                             c.info.streams.end());
-  }
-  std::sort(node.info.streams.begin(), node.info.streams.end());
-  // Propagate schemes of purgeable inputs (matches plan_safety.cc and
-  // the operator's own propagatable signatures).
-  for (size_t k = 0; k < children.size(); ++k) {
-    if (op->InputPurgeable(k)) {
-      node.info.schemes.insert(node.info.schemes.end(),
-                               children[k].info.schemes.begin(),
-                               children[k].info.schemes.end());
-    }
-  }
-  return node;
-}
-
-}  // namespace
 
 Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     const ContinuousJoinQuery& query, const SchemeSet& schemes,
@@ -97,20 +18,41 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
   exec->shape_ = shape;
   exec->config_ = config;
   exec->safety_ = std::move(safety);
-  exec->leaf_route_.assign(query.num_streams(), {nullptr, 0});
 
-  Status status = Status::OK();
-  BuiltNode root =
-      BuildNode(exec->query_, schemes, shape, config, &exec->operators_,
-                &exec->leaf_route_, &status);
-  PUNCTSAFE_RETURN_IF_ERROR(status);
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      OperatorTree tree,
+      BuildOperatorTree(exec->query_, schemes, shape, config.mjoin));
+
+  // Serial wiring: child outputs call straight into the parent input.
+  for (size_t j = 0; j < tree.operators.size(); ++j) {
+    const OperatorTree::ParentEdge& edge = tree.parents[j];
+    if (edge.parent_op == OperatorTree::ParentEdge::kNoParent) continue;
+    MJoinOperator* parent = tree.operators[edge.parent_op].get();
+    size_t k = edge.parent_input;
+    tree.operators[j]->SetEmitter([parent, k](const StreamElement& e) {
+      if (e.is_tuple()) {
+        parent->PushTuple(k, e.tuple, e.timestamp);
+      } else {
+        parent->PushPunctuation(k, e.punctuation, e.timestamp);
+      }
+    });
+  }
+
+  exec->leaf_route_.assign(query.num_streams(), {nullptr, 0});
+  for (size_t s = 0; s < query.num_streams(); ++s) {
+    auto [op_index, input] = tree.leaf_route[s];
+    if (op_index != OperatorTree::ParentEdge::kNoParent) {
+      exec->leaf_route_[s] = {tree.operators[op_index].get(), input};
+    }
+  }
 
   PlanExecutor* raw = exec.get();
-  root.op->SetEmitter([raw](const StreamElement& e) {
+  tree.root()->SetEmitter([raw](const StreamElement& e) {
     if (!e.is_tuple()) return;  // root punctuations reach the consumer app
     ++raw->num_results_;
     if (raw->config_.keep_results) raw->kept_results_.push_back(e.tuple);
   });
+  exec->operators_ = std::move(tree.operators);
   return exec;
 }
 

@@ -21,11 +21,22 @@
 
 namespace punctsafe {
 
+/// \brief How QueryRegister instantiates an admitted query's plan.
+enum class ExecutionMode {
+  kSerial,    ///< single-threaded PlanExecutor (the default)
+  kParallel,  ///< pipelined ParallelExecutor, one thread per operator
+};
+
 struct ExecutorConfig {
   MJoinConfig mjoin;
   /// Retain emitted result tuples (tests/examples; benchmarks count
   /// only).
   bool keep_results = false;
+  /// Serial vs pipelined execution (honored by QueryRegister).
+  ExecutionMode mode = ExecutionMode::kSerial;
+  /// Bounded-queue capacity per operator under kParallel; pushes block
+  /// when full (backpressure).
+  size_t queue_capacity = 1024;
 };
 
 class PlanExecutor {

@@ -72,15 +72,18 @@ Result<RegisteredQuery> QueryRegister::Register(
                plan_report.ToString(query)));
   }
 
-  PUNCTSAFE_ASSIGN_OR_RETURN(
-      std::unique_ptr<PlanExecutor> executor,
-      PlanExecutor::Create(query, schemes_, chosen, config));
-
   RegisteredQuery out;
+  if (config.mode == ExecutionMode::kParallel) {
+    PUNCTSAFE_ASSIGN_OR_RETURN(
+        out.parallel_executor,
+        ParallelExecutor::Create(query, schemes_, chosen, config));
+  } else {
+    PUNCTSAFE_ASSIGN_OR_RETURN(
+        out.executor, PlanExecutor::Create(query, schemes_, chosen, config));
+  }
   out.query = std::move(query);
   out.safety = std::move(report);
   out.shape = std::move(chosen);
-  out.executor = std::move(executor);
   return out;
 }
 

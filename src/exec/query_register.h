@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/safety_checker.h"
+#include "exec/parallel_executor.h"
 #include "exec/plan_executor.h"
 #include "plan/cost_model.h"
 #include "query/cjq.h"
@@ -21,12 +22,17 @@
 
 namespace punctsafe {
 
-/// \brief An admitted, running continuous join query.
+/// \brief An admitted, running continuous join query. Exactly one of
+/// `executor` (ExecutionMode::kSerial) / `parallel_executor`
+/// (ExecutionMode::kParallel) is set, per the ExecutorConfig's mode.
 struct RegisteredQuery {
   ContinuousJoinQuery query;
   SafetyReport safety;
   PlanShape shape;
   std::unique_ptr<PlanExecutor> executor;
+  std::unique_ptr<ParallelExecutor> parallel_executor;
+
+  bool is_parallel() const { return parallel_executor != nullptr; }
 };
 
 class QueryRegister {

@@ -116,9 +116,7 @@ void SymmetricHashJoinOperator::PushPunctuation(
   if (punct_stores_[input]->Add(punctuation, ts)) {
     ++metrics_.punctuations_stored;
   }
-  metrics_.punctuations_live = TotalLivePunctuations();
-  metrics_.punctuations_high_water =
-      std::max(metrics_.punctuations_high_water, metrics_.punctuations_live);
+  metrics_.OnPunctuationsLive(TotalLivePunctuations());
 
   switch (config_.purge_policy) {
     case PurgePolicy::kEager:

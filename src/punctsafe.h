@@ -10,6 +10,7 @@
 //   QueryRegister       — register streams/schemes, admit safe CJQs
 //   SafetyChecker       — Theorems 1-5 verdicts with explanations
 //   PlanExecutor        — run a plan shape over stream traces
+//   ParallelExecutor    — pipelined runtime, one thread per operator
 //   SafePlanEnumerator / PlanChooser — Section 5.2 plan selection
 
 #ifndef PUNCTSAFE_PUNCTSAFE_H_
@@ -41,8 +42,10 @@
 #include "core/transformed_punctuation_graph.h"
 
 // Runtime (paper Figure 2 architecture).
+#include "exec/bounded_queue.h"
 #include "exec/input_manager.h"
 #include "exec/mjoin.h"
+#include "exec/parallel_executor.h"
 #include "exec/plan_executor.h"
 #include "exec/query_register.h"
 #include "exec/purge_engine.h"

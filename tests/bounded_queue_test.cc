@@ -1,0 +1,183 @@
+// BoundedQueue contract tests, written to be meaningful under TSan
+// (tools/ci.sh runs this suite with -DPUNCTSAFE_SANITIZE=thread):
+// per-producer FIFO under multi-producer contention, capacity-1
+// backpressure, and shutdown while producers/consumers are blocked.
+
+#include "exec/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace punctsafe {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.TryPop(), 3);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+// Capacity-1 queue: every push must wait for the matching pop, so the
+// queue observably never holds more than one element and the full
+// sequence arrives in order.
+TEST(BoundedQueueTest, CapacityOneBackpressure) {
+  BoundedQueue<int> q(1);
+  constexpr int kCount = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) ASSERT_TRUE(q.Push(i));
+  });
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_LE(q.size(), 1u);
+    std::optional<int> v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  producer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Multi-producer / single-consumer (the executor's edge shape):
+// producers interleave arbitrarily but each producer's own sequence
+// must arrive in order and nothing may be lost or duplicated.
+TEST(BoundedQueueTest, MultiProducerPerProducerFifo) {
+  constexpr size_t kProducers = 4;
+  constexpr int kPerProducer = 3000;
+  struct Item {
+    size_t producer;
+    int seq;
+  };
+  BoundedQueue<Item> q(16);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(Item{p, i}));
+      }
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  size_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::optional<Item> item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->seq, next_seq[item->producer])
+        << "producer " << item->producer << " reordered";
+    ++next_seq[item->producer];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+// Multi-producer + multi-consumer smoke: totals must balance.
+TEST(BoundedQueueTest, MultiProducerMultiConsumerConservesItems) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 4000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        std::optional<int> v = q.Pop();
+        if (!v.has_value()) return;  // closed and drained
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  q.Close();
+  threads[2].join();
+  threads[3].join();
+  EXPECT_EQ(popped.load(), 2 * kPerProducer);
+  long long n = 2LL * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));  // now full
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result = q.Push(2);  // blocks: queue full
+    push_returned = true;
+  });
+  // Let the producer reach the blocking wait, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load()) << "Push must fail after Close";
+  // The element queued before Close stays poppable.
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> pop_returned{false};
+  std::thread consumer([&] {
+    std::optional<int> v = q.Pop();  // blocks: queue empty
+    EXPECT_EQ(v, std::nullopt);
+    pop_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pop_returned.load());
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(pop_returned.load());
+  EXPECT_FALSE(q.Push(9)) << "Push after Close must fail";
+}
+
+TEST(BoundedQueueTest, CloseIsIdempotentAndDrainsRemainder) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace punctsafe

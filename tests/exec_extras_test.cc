@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/plan_safety.h"
 #include "exec/input_manager.h"
 #include "exec/mjoin.h"
@@ -202,6 +204,62 @@ TEST(InputManagerTest, AcceptAndDrain) {
   EXPECT_EQ(*delivered, 3u);
   EXPECT_EQ(manager.buffered(), 0u);
   EXPECT_EQ((*exec)->num_results(), 1u);
+}
+
+// Regression: OnPurge used to underflow `live` (a size_t) when a purge
+// double-counted, turning the live counter into ~2^64 and wrecking
+// every downstream high-water/safety statistic. It now clamps at zero
+// (and asserts in debug builds).
+TEST(StateMetricsTest, OnPurgeClampsInsteadOfUnderflowing) {
+  StateMetrics m;
+  m.OnInsert();
+  m.OnInsert();
+  m.OnPurge(1);
+  EXPECT_EQ(m.live, 1u);
+  EXPECT_EQ(m.purged, 1u);
+
+  // Purging more than is live is a bug in the caller; the counter must
+  // clamp rather than wrap.
+  EXPECT_DEBUG_DEATH(m.OnPurge(5), "OnPurge exceeds live");
+#ifdef NDEBUG
+  EXPECT_EQ(m.live, 0u);
+  EXPECT_LT(m.live, m.high_water + 1);  // sane, not ~2^64
+#endif
+}
+
+TEST(StateMetricsTest, ConcurrentUpdatesStayConsistent) {
+  StateMetrics m;
+  constexpr size_t kPerThread = 5000;
+  {
+    std::thread a([&] {
+      for (size_t i = 0; i < kPerThread; ++i) m.OnInsert();
+    });
+    std::thread b([&] {
+      for (size_t i = 0; i < kPerThread; ++i) m.OnInsert();
+    });
+    a.join();
+    b.join();
+  }
+  EXPECT_EQ(m.inserted, 2 * kPerThread);
+  EXPECT_EQ(m.live, 2 * kPerThread);
+  EXPECT_EQ(m.high_water, 2 * kPerThread);
+  {
+    std::thread a([&] {
+      for (size_t i = 0; i < kPerThread; ++i) m.OnPurge(1);
+    });
+    std::thread b([&] {
+      for (size_t i = 0; i < kPerThread; ++i) m.OnPurge(1);
+    });
+    a.join();
+    b.join();
+  }
+  EXPECT_EQ(m.purged, 2 * kPerThread);
+  EXPECT_EQ(m.live, 0u);
+
+  StateMetricsSnapshot snap = m.Snapshot();
+  EXPECT_EQ(snap.inserted, 2 * kPerThread);
+  EXPECT_EQ(snap.live, 0u);
+  EXPECT_EQ(snap.high_water, 2 * kPerThread);
 }
 
 TEST(InputManagerTest, DrainReportsUnknownStream) {

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI driver: builds and ctests the plain, AddressSanitizer, and
+# ThreadSanitizer configurations (see -DPUNCTSAFE_SANITIZE in the
+# top-level CMakeLists.txt). The sanitizer runs are what give the
+# parallel executor's differential and queue stress tests their teeth.
+#
+# Usage: tools/ci.sh [build-root]         (default: ./build-ci)
+#   PUNCTSAFE_CI_CONFIGS="plain asan tsan" to run a subset.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-${ROOT}/build-ci}"
+CONFIGS="${PUNCTSAFE_CI_CONFIGS:-plain asan tsan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local dir="${BUILD_ROOT}/${name}"
+  echo "=== [${name}] configure (PUNCTSAFE_SANITIZE='${sanitize}') ==="
+  cmake -B "${dir}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPUNCTSAFE_SANITIZE="${sanitize}" \
+    -DPUNCTSAFE_BUILD_BENCHMARKS=OFF \
+    -DPUNCTSAFE_BUILD_EXAMPLES=OFF
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+for config in ${CONFIGS}; do
+  case "${config}" in
+    plain) run_config plain "" ;;
+    asan)  run_config asan address ;;
+    tsan)  run_config tsan thread ;;
+    *) echo "unknown config '${config}'" >&2; exit 1 ;;
+  esac
+done
+
+echo "=== all configs passed: ${CONFIGS} ==="
