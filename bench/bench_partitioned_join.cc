@@ -1,16 +1,20 @@
-// Serial vs pipelined executor throughput on a k-way chain query
-// (T0 ⋈ T1 ⋈ ... on a shared key) under a left-deep binary plan — the
-// shape with maximum pipeline depth, one worker thread per join.
-// Emits a single JSON object so CI and notebooks can diff runs.
+// Hash-partitioned intra-operator parallelism on a hot 3-way MJoin:
+// one operator, all streams joined on a shared key, so the whole
+// workload lands on a single logical operator and pipeline parallelism
+// alone cannot help — the shard router is the only source of
+// parallelism. Compares serial, pipelined shards=1, and partitioned
+// shards in {2, 4}, and reports per-shard state high-water marks (from
+// GroupSnapshots) so the bounded-state claim stays checkable per
+// shard. Emits a single JSON object (checked-in baseline:
+// BENCH_partitioned.json, experiment E15 in EXPERIMENTS.md).
 //
-// Usage: bench_parallel_pipeline [--streams N] [--generations G]
-//                                [--iters I] [--queue-capacity C]
-//                                [--shards K]
+// Usage: bench_partitioned_join [--streams N] [--generations G]
+//                               [--iters I] [--queue-capacity C]
 //
-// Note: pipeline parallelism needs one hardware thread per operator to
-// pay off; the JSON records hardware_threads so a 1-core container's
-// slowdown is interpretable. On >= 4 cores the 4-way chain target is
-// >= 1.5x over serial.
+// Note: sharding needs one hardware thread per shard to pay off; the
+// JSON records hardware_threads so a 1-core container's numbers are
+// interpretable. On >= 4 cores the target is shards=4 >= 2x over the
+// pipelined shards=1 run.
 
 #include <chrono>
 #include <cstdint>
@@ -32,6 +36,8 @@ struct RunStats {
   uint64_t results = 0;
   size_t state_hw = 0;
   size_t final_live = 0;
+  size_t num_shards = 1;
+  std::vector<size_t> shard_state_hw;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -51,9 +57,9 @@ RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
   return stats;
 }
 
-RunStats RunParallelOnce(const bench::ChainFixture& fx,
-                         const PlanShape& shape, const Trace& trace,
-                         size_t queue_capacity, size_t shards) {
+RunStats RunPartitionedOnce(const bench::ChainFixture& fx,
+                            const PlanShape& shape, const Trace& trace,
+                            size_t queue_capacity, size_t shards) {
   ExecutorConfig config;
   config.queue_capacity = queue_capacity;
   config.shards = shards;
@@ -67,6 +73,10 @@ RunStats RunParallelOnce(const bench::ChainFixture& fx,
   stats.results = (*exec)->num_results();
   stats.state_hw = (*exec)->tuple_high_water();
   stats.final_live = (*exec)->TotalLiveTuples();
+  auto snaps = (*exec)->GroupSnapshots();
+  PUNCTSAFE_CHECK(!snaps.empty());
+  stats.num_shards = snaps[0].num_shards;
+  stats.shard_state_hw = snaps[0].shard_high_water;
   (*exec)->Stop();
   return stats;
 }
@@ -85,18 +95,22 @@ void PrintRun(const char* name, const RunStats& s, size_t events,
               bool trailing_comma) {
   std::printf(
       "  \"%s\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
-      "\"results\": %llu, \"state_hw\": %zu, \"final_live\": %zu}%s\n",
+      "\"results\": %llu, \"state_hw\": %zu, \"final_live\": %zu, "
+      "\"shards\": %zu, \"shard_state_hw\": [",
       name, s.seconds, s.seconds > 0 ? events / s.seconds : 0.0,
       static_cast<unsigned long long>(s.results), s.state_hw, s.final_live,
-      trailing_comma ? "," : "");
+      s.num_shards);
+  for (size_t i = 0; i < s.shard_state_hw.size(); ++i) {
+    std::printf("%s%zu", i ? ", " : "", s.shard_state_hw[i]);
+  }
+  std::printf("]}%s\n", trailing_comma ? "," : "");
 }
 
 int Main(int argc, char** argv) {
-  size_t streams = 4;
-  size_t generations = 200;
+  size_t streams = 3;
+  size_t generations = 300;
   size_t iters = 3;
   size_t queue_capacity = 1024;
-  size_t shards = 1;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--streams") == 0) {
       streams = std::strtoull(argv[i + 1], nullptr, 10);
@@ -106,52 +120,66 @@ int Main(int argc, char** argv) {
       iters = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
       queue_capacity = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      shards = std::strtoull(argv[i + 1], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'; flags: --streams N --generations N "
-                   "--iters N --queue-capacity N --shards N\n",
+                   "--iters N --queue-capacity N\n",
                    argv[i]);
       return 2;
     }
   }
 
+  // A single n-way MJoin on the shared key: every predicate sits in
+  // one attribute equivalence class, so the operator partitions.
   bench::ChainFixture fx = bench::MakeChain(streams);
-  std::vector<size_t> order(streams);
-  for (size_t i = 0; i < streams; ++i) order[i] = i;
-  PlanShape shape = PlanShape::LeftDeepBinary(order);
+  PlanShape shape = PlanShape::SingleMJoin(streams);
 
   CoveringTraceConfig tconfig;
   tconfig.num_generations = generations;
-  tconfig.values_per_generation = 4;
-  tconfig.tuples_per_generation = 40;
+  tconfig.values_per_generation = 8;
+  tconfig.tuples_per_generation = 60;
   Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
 
   RunStats serial =
       Best(iters, [&] { return RunSerialOnce(fx, shape, trace); });
-  RunStats parallel = Best(iters, [&] {
-    return RunParallelOnce(fx, shape, trace, queue_capacity, shards);
+  RunStats shard1 = Best(iters, [&] {
+    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 1);
+  });
+  RunStats shard2 = Best(iters, [&] {
+    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 2);
+  });
+  RunStats shard4 = Best(iters, [&] {
+    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 4);
   });
 
-  PUNCTSAFE_CHECK(serial.results == parallel.results)
-      << "executors disagree: serial=" << serial.results
-      << " parallel=" << parallel.results;
+  for (const RunStats* s : {&shard1, &shard2, &shard4}) {
+    PUNCTSAFE_CHECK(s->results == serial.results)
+        << "executors disagree: serial=" << serial.results
+        << " shards=" << s->num_shards << " -> " << s->results;
+    PUNCTSAFE_CHECK(s->final_live == serial.final_live)
+        << "final state diverged at shards=" << s->num_shards;
+  }
 
   std::printf("{\n");
-  std::printf("  \"bench\": \"parallel_pipeline\",\n");
-  std::printf("  \"plan\": \"left_deep_binary\",\n");
+  std::printf("  \"bench\": \"partitioned_join\",\n");
+  std::printf("  \"plan\": \"single_mjoin\",\n");
   std::printf("  \"chain_streams\": %zu,\n", streams);
-  std::printf("  \"operators\": %zu,\n", shape.NumOperators());
   std::printf("  \"events\": %zu,\n", trace.size());
   std::printf("  \"queue_capacity\": %zu,\n", queue_capacity);
-  std::printf("  \"shards\": %zu,\n", shards);
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   PrintRun("serial", serial, trace.size(), /*trailing_comma=*/true);
-  PrintRun("parallel", parallel, trace.size(), /*trailing_comma=*/true);
-  std::printf("  \"speedup\": %.3f\n",
-              parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0);
+  PrintRun("pipelined_shards1", shard1, trace.size(), /*trailing_comma=*/true);
+  PrintRun("partitioned_shards2", shard2, trace.size(),
+           /*trailing_comma=*/true);
+  PrintRun("partitioned_shards4", shard4, trace.size(),
+           /*trailing_comma=*/true);
+  std::printf("  \"speedup_shards2_vs_shards1\": %.3f,\n",
+              shard2.seconds > 0 ? shard1.seconds / shard2.seconds : 0.0);
+  std::printf("  \"speedup_shards4_vs_shards1\": %.3f,\n",
+              shard4.seconds > 0 ? shard1.seconds / shard4.seconds : 0.0);
+  std::printf("  \"speedup_shards4_vs_serial\": %.3f\n",
+              shard4.seconds > 0 ? serial.seconds / shard4.seconds : 0.0);
   std::printf("}\n");
   return 0;
 }

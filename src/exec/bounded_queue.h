@@ -5,11 +5,11 @@
 // blocked producers give up (Push returns false) while the consumer
 // drains the remaining items before seeing end-of-stream.
 //
-// Mutex + condition variables rather than a lock-free ring: the
-// executor's granularity is one tuple per operation, so the lock is
-// never the bottleneck, and the simple implementation is trivially
-// TSan-clean (tests/bounded_queue_test.cc runs it under
-// -DPUNCTSAFE_SANITIZE=thread).
+// Mutex + condition variables rather than a lock-free ring: with the
+// batched PushAll/PopAll fast paths (one lock acquisition per burst,
+// not per element) the lock is never the bottleneck, and the simple
+// implementation is trivially TSan-clean (tests/bounded_queue_test.cc
+// runs it under -DPUNCTSAFE_SANITIZE=thread).
 
 #ifndef PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_
 #define PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_
@@ -56,6 +56,33 @@ class BoundedQueue {
     return true;
   }
 
+  /// \brief Batched Push: enqueues every element of `values`, taking
+  /// the lock once per capacity window instead of once per element.
+  /// Blocks while full; returns false (dropping the not-yet-enqueued
+  /// remainder) iff the queue was closed.
+  bool PushAll(std::deque<T> values) {
+    while (!values.empty()) {
+      size_t accepted = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(
+            lock, [this] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        while (!values.empty() && items_.size() < capacity_) {
+          items_.push_back(std::move(values.front()));
+          values.pop_front();
+          ++accepted;
+        }
+      }
+      if (accepted > 1) {
+        not_empty_.notify_all();
+      } else {
+        not_empty_.notify_one();
+      }
+    }
+    return true;
+  }
+
   /// \brief Dequeues, blocking while empty. nullopt means closed AND
   /// drained — the consumer's end-of-stream signal.
   std::optional<T> Pop() {
@@ -67,6 +94,33 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// \brief Batched Pop: blocks while empty, then moves out *all*
+  /// queued items under one lock — the consumer-side fast path (the
+  /// parallel executor's workers drain whole bursts per acquisition
+  /// instead of paying the lock per tuple). nullopt means closed AND
+  /// drained. FIFO order is preserved within the returned batch.
+  std::optional<std::deque<T>> PopAll() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::deque<T> out;
+    out.swap(items_);
+    lock.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// \brief Non-blocking PopAll; empty deque when nothing is queued.
+  std::deque<T> TryPopAll() {
+    std::deque<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.swap(items_);
+    }
+    if (!out.empty()) not_full_.notify_all();
+    return out;
   }
 
   /// \brief Dequeues without blocking; nullopt if currently empty.

@@ -41,6 +41,19 @@ struct StateMetricsSnapshot {
   uint64_t dropped_on_arrival = 0;
   size_t live = 0;
   size_t high_water = 0;
+
+  /// \brief Element-wise accumulation, for rolling per-input (and,
+  /// under partitioned execution, per-shard) snapshots up into one
+  /// operator-level view. Note the high-water sum is an upper bound of
+  /// the true joint high water (the parts need not peak together).
+  StateMetricsSnapshot& operator+=(const StateMetricsSnapshot& other) {
+    inserted += other.inserted;
+    purged += other.purged;
+    dropped_on_arrival += other.dropped_on_arrival;
+    live += other.live;
+    high_water += other.high_water;
+    return *this;
+  }
 };
 
 /// \brief Per-input join-state accounting (atomic; see file comment).

@@ -534,6 +534,12 @@ Punctuation MJoinOperator::RebaseToOutput(size_t input,
   return Punctuation(std::move(patterns));
 }
 
+StateMetricsSnapshot MJoinOperator::AggregateStateSnapshot() const {
+  StateMetricsSnapshot total;
+  for (const auto& s : states_) total += s->metrics().Snapshot();
+  return total;
+}
+
 size_t MJoinOperator::TotalLiveTuples() const {
   size_t total = 0;
   for (const auto& s : states_) total += s->live_count();

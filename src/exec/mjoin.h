@@ -95,6 +95,10 @@ class MJoinOperator : public JoinOperator {
   const StateMetrics& state_metrics(size_t input) const {
     return states_[input]->metrics();
   }
+  /// \brief All inputs' state snapshots summed into one operator-level
+  /// view (under partitioned execution, one shard's contribution to
+  /// the logical operator's aggregate).
+  StateMetricsSnapshot AggregateStateSnapshot() const;
   /// \brief Whether input k's state is purgeable (Theorem 3 on the
   /// operator-local generalized graph).
   bool InputPurgeable(size_t input) const {

@@ -44,6 +44,7 @@ BuiltNode BuildNode(const ContinuousJoinQuery& query,
     return {};
   }
   tree->operators.push_back(std::move(op_or).ValueOrDie());
+  tree->node_inputs.push_back(inputs);
   tree->parents.emplace_back();
   size_t op_index = tree->operators.size() - 1;
   MJoinOperator* op = tree->operators[op_index].get();

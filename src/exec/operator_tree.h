@@ -23,6 +23,12 @@ namespace punctsafe {
 struct OperatorTree {
   /// Operators in post-order; back() is the root.
   std::vector<std::unique_ptr<MJoinOperator>> operators;
+  /// Per operator (parallel to `operators`): the LocalInputs it was
+  /// built from. The parallel executor uses these to instantiate
+  /// additional shard replicas of an operator (same inputs, same
+  /// config — MJoinOperator::Create is deterministic) and to compute
+  /// the operator's PartitionSpec.
+  std::vector<std::vector<LocalInput>> node_inputs;
   /// Per query stream: (operator index, input index) consuming it.
   std::vector<std::pair<size_t, size_t>> leaf_route;
   /// Per operator (parallel to `operators`): the (parent operator

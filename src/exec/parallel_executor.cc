@@ -1,5 +1,6 @@
 #include "exec/parallel_executor.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <thread>
@@ -17,8 +18,8 @@ constexpr size_t kNone = static_cast<size_t>(-1);
 
 }  // namespace
 
-// One message on an operator's input queue: a stream element tagged
-// with the input it belongs to, or a drain marker (processed after
+// One message on a shard's input queue: a stream element tagged with
+// the input it belongs to, or a drain marker (processed after
 // everything queued before it; the pushing thread guarantees all
 // producers are quiescent first).
 struct OpMessage {
@@ -27,6 +28,7 @@ struct OpMessage {
   StreamElement element;
 };
 
+// One shard worker: exclusive owner of one MJoinOperator replica.
 struct ParallelExecutor::Worker {
   explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
 
@@ -44,11 +46,34 @@ struct ParallelExecutor::Worker {
   uint64_t drains_done = 0;
 };
 
+// One logical operator: K contiguous shard workers behind a
+// partitioning router, plus the output-punctuation merge barrier.
+struct ParallelExecutor::OpGroup {
+  OpGroup(size_t num_shards_in, PartitionSpec spec_in)
+      : num_shards(num_shards_in),
+        spec(std::move(spec_in)),
+        aligner(num_shards_in) {}
+
+  size_t first_worker = 0;  // index into workers_/operators_
+  size_t num_shards = 1;
+  PartitionSpec spec;
+  // Serializes punctuation/drain broadcasts into this group so every
+  // shard observes the same punctuation order (keeps the per-shard
+  // punctuation stores identical; see docs/CONCURRENCY.md).
+  std::mutex broadcast_mu;
+  // Merge barrier for this group's *output* punctuations.
+  PunctuationAligner aligner;
+  // Parent wiring (kNone for the root group).
+  size_t parent_group = kNone;
+  size_t parent_input = 0;
+};
+
 Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     const ContinuousJoinQuery& query, const SchemeSet& schemes,
     const PlanShape& shape, ExecutorConfig config) {
   PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
                              CheckPlanSafety(query, schemes, shape));
+  if (config.shards == 0) config.shards = 1;
 
   auto exec = std::unique_ptr<ParallelExecutor>(new ParallelExecutor());
   exec->query_ = query;
@@ -61,81 +86,152 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
       BuildOperatorTree(exec->query_, schemes, shape, config.mjoin));
 
   ParallelExecutor* raw = exec.get();
-  exec->workers_.reserve(tree.operators.size());
-  for (size_t j = 0; j < tree.operators.size(); ++j) {
-    auto worker = std::make_unique<Worker>(config.queue_capacity);
-    worker->op = tree.operators[j].get();
-    worker->pending.resize(worker->op->num_inputs());
-    exec->workers_.push_back(std::move(worker));
+  const size_t num_groups = tree.operators.size();
+  for (size_t j = 0; j < num_groups; ++j) {
+    PartitionSpec spec =
+        ComputePartitionSpec(exec->query_, tree.node_inputs[j]);
+    size_t shards = spec.partitionable ? config.shards : 1;
+    auto group = std::make_unique<OpGroup>(shards, std::move(spec));
+    group->first_worker = exec->workers_.size();
+    for (size_t s = 0; s < shards; ++s) {
+      std::unique_ptr<MJoinOperator> op;
+      if (s == 0) {
+        op = std::move(tree.operators[j]);
+      } else {
+        // Shard replicas: same inputs + config, so identical layouts,
+        // purge plans, and propagatable signatures — only the stored
+        // tuples differ (a key-disjoint slice each).
+        PUNCTSAFE_ASSIGN_OR_RETURN(
+            op, MJoinOperator::Create(exec->query_, tree.node_inputs[j],
+                                      config.mjoin));
+      }
+      auto worker = std::make_unique<Worker>(config.queue_capacity);
+      worker->op = op.get();
+      worker->pending.resize(op->num_inputs());
+      exec->operators_.push_back(std::move(op));
+      exec->workers_.push_back(std::move(worker));
+    }
+    exec->groups_.push_back(std::move(group));
   }
 
-  // Parallel wiring: a child's output is a blocking push onto the
-  // parent's queue (executed on the child's worker thread). A false
-  // return means Stop() closed the pipeline; the element is dropped.
-  for (size_t j = 0; j < tree.operators.size(); ++j) {
+  // Wiring: every shard emits through EmitFromShard, which hashes
+  // result tuples into the parent group's shard queues and funnels
+  // output punctuations through the group's aligner. (Executed on the
+  // emitting shard's worker thread; the root's results land in the
+  // executor's sink.)
+  for (size_t j = 0; j < num_groups; ++j) {
     const OperatorTree::ParentEdge& edge = tree.parents[j];
-    if (edge.parent_op == OperatorTree::ParentEdge::kNoParent) continue;
-    Worker* parent = exec->workers_[edge.parent_op].get();
-    size_t k = edge.parent_input;
-    tree.operators[j]->SetEmitter([parent, k](const StreamElement& e) {
-      parent->queue.Push(OpMessage{false, k, e});
-    });
-  }
-  tree.root()->SetEmitter([raw](const StreamElement& e) {
-    if (!e.is_tuple()) return;  // root punctuations reach the consumer app
-    raw->num_results_.fetch_add(1, std::memory_order_relaxed);
-    if (raw->config_.keep_results) {
-      std::lock_guard<std::mutex> lock(raw->results_mu_);
-      raw->kept_results_.push_back(e.tuple);
+    if (edge.parent_op != OperatorTree::ParentEdge::kNoParent) {
+      exec->groups_[j]->parent_group = edge.parent_op;
+      exec->groups_[j]->parent_input = edge.parent_input;
     }
-  });
+    OpGroup& group = *exec->groups_[j];
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      exec->operators_[group.first_worker + s]->SetEmitter(
+          [raw, j, s](const StreamElement& e) { raw->EmitFromShard(j, s, e); });
+    }
+  }
 
   exec->leaf_route_.assign(query.num_streams(), {kNone, 0});
   for (size_t s = 0; s < query.num_streams(); ++s) {
     exec->leaf_route_[s] = tree.leaf_route[s];
   }
-  exec->operators_ = std::move(tree.operators);
 
-  for (size_t j = 0; j < exec->workers_.size(); ++j) {
-    exec->workers_[j]->thread =
-        std::thread([raw, j] { raw->WorkerLoop(j); });
+  for (size_t i = 0; i < exec->workers_.size(); ++i) {
+    exec->workers_[i]->thread =
+        std::thread([raw, i] { raw->WorkerLoop(i); });
   }
   return exec;
 }
 
 ParallelExecutor::~ParallelExecutor() { Stop(); }
 
+void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
+                                     const StreamElement& element) {
+  OpGroup& group = *groups_[group_idx];
+  if (group.parent_group == kNone) {
+    // Root: tuples are results; punctuations reach the consumer app.
+    if (!element.is_tuple()) return;
+    num_results_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.keep_results) {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      kept_results_.push_back(element.tuple);
+    }
+    return;
+  }
+  OpGroup& parent = *groups_[group.parent_group];
+  if (element.is_tuple()) {
+    // A false return means Stop() closed the pipeline; the element is
+    // dropped (the non-graceful path).
+    RouteTuple(parent, group.parent_input, element);
+    return;
+  }
+  // Output punctuation: valid for the merged output only once every
+  // shard of this group has emitted it — until then another shard may
+  // still hold (and later emit results from) matching tuples.
+  int64_t forward_ts = element.timestamp;
+  if (group.num_shards > 1 &&
+      !group.aligner.Arrive(shard, element.punctuation, element.timestamp,
+                            &forward_ts)) {
+    return;
+  }
+  Broadcast(parent, group.parent_input,
+            StreamElement::OfPunctuation(element.punctuation, forward_ts));
+}
+
+bool ParallelExecutor::RouteTuple(OpGroup& group, size_t input,
+                                  const StreamElement& element) {
+  size_t shard = group.num_shards > 1
+                     ? group.spec.ShardOf(input, element.tuple,
+                                          group.num_shards)
+                     : 0;
+  return workers_[group.first_worker + shard]->queue.Push(
+      OpMessage{false, input, element});
+}
+
+bool ParallelExecutor::Broadcast(OpGroup& group, size_t input,
+                                 const StreamElement& element) {
+  // Holding broadcast_mu across the (possibly blocking) pushes is
+  // deadlock-free: consumers of these queues never take this mutex —
+  // they only take their *parent* group's, and the plan is a tree, so
+  // the wait chain ends at the root sink, which always accepts.
+  std::lock_guard<std::mutex> lock(group.broadcast_mu);
+  bool ok = true;
+  for (size_t s = 0; s < group.num_shards; ++s) {
+    ok &= workers_[group.first_worker + s]->queue.Push(
+        OpMessage{false, input, element});
+  }
+  return ok;
+}
+
 void ParallelExecutor::WorkerLoop(size_t index) {
   Worker& worker = *workers_[index];
   while (true) {
-    std::optional<OpMessage> msg = worker.queue.Pop();
-    if (!msg.has_value()) break;  // closed and fully drained
+    // Batched pop: one lock acquisition per burst (see
+    // BoundedQueue::PopAll), and the timestamp merge below sees as
+    // much context as possible.
+    std::optional<std::deque<OpMessage>> batch = worker.queue.PopAll();
+    if (!batch.has_value()) break;  // closed and fully drained
 
-    bool drain = false;
+    size_t drains = 0;
     int64_t drain_ts = 0;
-    auto handle = [&](OpMessage&& m) {
+    for (OpMessage& m : *batch) {
       if (m.drain) {
-        drain = true;
+        ++drains;
         drain_ts = m.element.timestamp;
       } else {
         worker.pending[m.input].push_back(std::move(m.element));
       }
-    };
-    handle(std::move(*msg));
-    // Opportunistically batch whatever else is already queued so the
-    // timestamp merge below sees as much context as possible.
-    while (std::optional<OpMessage> more = worker.queue.TryPop()) {
-      handle(std::move(*more));
     }
 
     ProcessPending(worker);
 
-    if (drain) {
+    if (drains > 0) {
       worker.op->Sweep(drain_ts);
       SampleHighWater();
       {
         std::lock_guard<std::mutex> lock(worker.mu);
-        ++worker.drains_done;
+        worker.drains_done += drains;
       }
       worker.drained_cv.notify_all();
     }
@@ -183,12 +279,20 @@ void ParallelExecutor::Deliver(Worker& worker, size_t input,
 void ParallelExecutor::SampleHighWater() {
   size_t tuples = 0;
   size_t puncts = 0;
-  for (const auto& op : operators_) {
-    for (size_t i = 0; i < op->num_inputs(); ++i) {
-      tuples += op->state_metrics(i).live.load(std::memory_order_relaxed);
+  for (const auto& group : groups_) {
+    size_t group_puncts = 0;
+    for (size_t s = 0; s < group->num_shards; ++s) {
+      const MJoinOperator& op = *operators_[group->first_worker + s];
+      for (size_t i = 0; i < op.num_inputs(); ++i) {
+        tuples += op.state_metrics(i).live.load(std::memory_order_relaxed);
+      }
+      // Punctuations are broadcast: every shard holds the full store,
+      // so the logical count is the max over shards, not the sum.
+      group_puncts = std::max(
+          group_puncts,
+          op.metrics().punctuations_live.load(std::memory_order_relaxed));
     }
-    puncts +=
-        op->metrics().punctuations_live.load(std::memory_order_relaxed);
+    puncts += group_puncts;
   }
   internal::AtomicMax(tuple_high_water_, tuples);
   internal::AtomicMax(punct_high_water_, puncts);
@@ -200,12 +304,16 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
     return Status::NotFound(
         StrCat("stream '", event.stream, "' not part of ", query_.ToString()));
   }
-  auto [op_index, input] = leaf_route_[*idx];
-  if (op_index == kNone) {
+  auto [group_idx, input] = leaf_route_[*idx];
+  if (group_idx == kNone) {
     return Status::Internal(
         StrCat("stream '", event.stream, "' has no leaf route"));
   }
-  if (!workers_[op_index]->queue.Push(OpMessage{false, input, event.element})) {
+  OpGroup& group = *groups_[group_idx];
+  bool ok = event.element.is_tuple()
+                ? RouteTuple(group, input, event.element)
+                : Broadcast(group, input, event.element);
+  if (!ok) {
     return Status::FailedPrecondition("parallel executor is stopped");
   }
   return Status::OK();
@@ -213,39 +321,52 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
 
 void ParallelExecutor::PushTuple(size_t stream, const Tuple& tuple,
                                  int64_t ts) {
-  auto [op_index, input] = leaf_route_[stream];
-  workers_[op_index]->queue.Push(
-      OpMessage{false, input, StreamElement::OfTuple(tuple, ts)});
+  auto [group_idx, input] = leaf_route_[stream];
+  RouteTuple(*groups_[group_idx], input, StreamElement::OfTuple(tuple, ts));
 }
 
 void ParallelExecutor::PushPunctuation(size_t stream,
                                        const Punctuation& punctuation,
                                        int64_t ts) {
-  auto [op_index, input] = leaf_route_[stream];
-  workers_[op_index]->queue.Push(
-      OpMessage{false, input, StreamElement::OfPunctuation(punctuation, ts)});
+  auto [group_idx, input] = leaf_route_[stream];
+  Broadcast(*groups_[group_idx], input,
+            StreamElement::OfPunctuation(punctuation, ts));
 }
 
 Status ParallelExecutor::Drain(int64_t now) {
   if (stopped_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("parallel executor is stopped");
   }
-  // Leaves-first (operators_ is post-order, children before parents):
-  // once operator j's children have acked their drain, every element
-  // they will ever emit is already in j's queue, so j's marker is
-  // provably last and its ack means j is fully caught up and swept.
-  for (size_t j = 0; j < workers_.size(); ++j) {
-    Worker& worker = *workers_[j];
-    uint64_t target = ++worker.drains_requested;
-    OpMessage marker;
-    marker.drain = true;
-    marker.element.timestamp = now;
-    if (!worker.queue.Push(std::move(marker))) {
-      return Status::FailedPrecondition("parallel executor is stopped");
+  // Leaves-first (groups_ is post-order, children before parents):
+  // once every shard of operator j's children has acked its drain,
+  // every element they will ever emit is already in j's shard queues,
+  // so j's markers are provably last and their acks mean the whole
+  // group is caught up and swept. Markers go through Broadcast so they
+  // order consistently against punctuation broadcasts.
+  for (size_t j = 0; j < groups_.size(); ++j) {
+    OpGroup& group = *groups_[j];
+    std::vector<uint64_t> targets(group.num_shards);
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      targets[s] = ++workers_[group.first_worker + s]->drains_requested;
     }
-    std::unique_lock<std::mutex> lock(worker.mu);
-    worker.drained_cv.wait(
-        lock, [&] { return worker.drains_done >= target; });
+    {
+      std::lock_guard<std::mutex> lock(group.broadcast_mu);
+      for (size_t s = 0; s < group.num_shards; ++s) {
+        OpMessage marker;
+        marker.drain = true;
+        marker.element.timestamp = now;
+        if (!workers_[group.first_worker + s]->queue.Push(
+                std::move(marker))) {
+          return Status::FailedPrecondition("parallel executor is stopped");
+        }
+      }
+    }
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      Worker& worker = *workers_[group.first_worker + s];
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.drained_cv.wait(
+          lock, [&] { return worker.drains_done >= targets[s]; });
+    }
   }
   return Status::OK();
 }
@@ -259,6 +380,8 @@ void ParallelExecutor::Stop() {
 }
 
 size_t ParallelExecutor::TotalLiveTuples() const {
+  // Tuples partition across a group's shards (each stored exactly
+  // once), so the plain sum is the logical total.
   size_t total = 0;
   for (const auto& op : operators_) {
     for (size_t i = 0; i < op->num_inputs(); ++i) {
@@ -270,11 +393,42 @@ size_t ParallelExecutor::TotalLiveTuples() const {
 
 size_t ParallelExecutor::TotalLivePunctuations() const {
   size_t total = 0;
-  for (const auto& op : operators_) {
-    total +=
-        op->metrics().punctuations_live.load(std::memory_order_relaxed);
+  for (const auto& group : groups_) {
+    size_t group_puncts = 0;
+    for (size_t s = 0; s < group->num_shards; ++s) {
+      group_puncts = std::max(
+          group_puncts, operators_[group->first_worker + s]
+                            ->metrics()
+                            .punctuations_live.load(std::memory_order_relaxed));
+    }
+    total += group_puncts;
   }
   return total;
+}
+
+std::vector<ParallelExecutor::OperatorGroupSnapshot>
+ParallelExecutor::GroupSnapshots() const {
+  std::vector<OperatorGroupSnapshot> out;
+  out.reserve(groups_.size());
+  for (const auto& group : groups_) {
+    OperatorGroupSnapshot snap;
+    snap.num_shards = group->num_shards;
+    snap.partitioned = group->num_shards > 1;
+    snap.partition_detail = group->spec.detail;
+    for (size_t s = 0; s < group->num_shards; ++s) {
+      const MJoinOperator& op = *operators_[group->first_worker + s];
+      StateMetricsSnapshot shard = op.AggregateStateSnapshot();
+      snap.aggregate += shard;
+      snap.shard_live.push_back(shard.live);
+      snap.shard_high_water.push_back(shard.high_water);
+      snap.punctuations_live =
+          std::max(snap.punctuations_live,
+                   op.metrics().punctuations_live.load(
+                       std::memory_order_relaxed));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 std::vector<Tuple> ParallelExecutor::kept_results() const {

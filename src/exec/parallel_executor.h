@@ -1,25 +1,39 @@
-// ParallelExecutor: the pipelined counterpart of PlanExecutor. Every
-// MJoin operator of the plan tree runs on its own worker thread and
-// owns its operator exclusively; edges are bounded MPSC queues of
-// stream elements, so a fast producer blocks once the consumer's queue
-// fills (backpressure) instead of buffering unboundedly — the
-// engine-level analogue of the paper's bounded-state guarantee.
+// ParallelExecutor: the pipelined + partitioned counterpart of
+// PlanExecutor. Every MJoin operator of the plan tree runs as a group
+// of K single-threaded shard workers (K = ExecutorConfig::shards when
+// the operator's predicates admit an exact partitioning, else 1; see
+// exec/partition_router.h). Edges are bounded MPSC queues per shard,
+// so a fast producer blocks once the consumer's queue fills
+// (backpressure) instead of buffering unboundedly — the engine-level
+// analogue of the paper's bounded-state guarantee.
 //
-// Ordering model (docs/CONCURRENCY.md has the full argument):
-//  * per-edge FIFO — elements from one producer (a raw stream or a
-//    child operator's output) are consumed in production order, so a
-//    punctuation never overtakes the tuples it covers and every edge
-//    carries a contract-valid punctuated stream;
-//  * best-effort timestamp merge — each worker drains its queue into
-//    per-input reorder buffers and delivers buffered elements in
+// Routing model (docs/CONCURRENCY.md has the full argument):
+//  * tuples hash on the operator's partition-key attribute to exactly
+//    one shard; punctuations and drain markers are *broadcast* to all
+//    shards (serialized per group so every shard sees the same
+//    punctuation order), so chained purge fires shard-locally against
+//    full punctuation stores and drains stay a quiescence barrier;
+//  * per-edge FIFO — elements from one producer are consumed in
+//    production order per shard, so a punctuation never overtakes the
+//    tuples it covers on any shard's queue;
+//  * output merge — shard result tuples feed the downstream router
+//    directly; a shard's output punctuation passes a per-group
+//    PunctuationAligner and is forwarded only once every shard of the
+//    group has emitted it (another shard may still hold matching
+//    tuples), which preserves the propagation contract downstream;
+//  * best-effort timestamp merge — each shard worker drains its queue
+//    into per-input reorder buffers and delivers buffered elements in
 //    ascending timestamp order (ties: lowest input), which keeps
 //    purges timely without risking cross-input deadlock;
 //  * confluence — symmetric joins emit each matching combination
-//    exactly once regardless of cross-input interleaving, and chained
-//    purge removability is monotone in punctuation knowledge, so after
-//    Drain() the result multiset and the final join state equal the
-//    serial executor's (tests/parallel_differential_test.cc checks
-//    this over randomized queries and traces).
+//    exactly once regardless of interleaving, partitioning puts every
+//    joinable combination on one shard exactly once, and chained
+//    purge removability is monotone in punctuation knowledge, so
+//    after Drain() the result multiset and the final join state equal
+//    the serial executor's at every shard count
+//    (tests/parallel_differential_test.cc checks this over randomized
+//    queries and traces; tests/partition_purge_test.cc pins the
+//    broadcast-purge equivalence directly).
 //
 // Thread contract: one external driver thread calls
 // Push*/Drain/Stop. Metric accessors are safe from any thread at any
@@ -36,7 +50,9 @@
 #include <vector>
 
 #include "core/plan_safety.h"
+#include "exec/metrics.h"
 #include "exec/mjoin.h"
+#include "exec/partition_router.h"
 #include "exec/plan_executor.h"
 #include "query/cjq.h"
 #include "query/plan_shape.h"
@@ -48,8 +64,25 @@ namespace punctsafe {
 
 class ParallelExecutor {
  public:
-  /// \brief Builds the operator tree and starts one worker per
-  /// operator. Mirrors PlanExecutor::Create (unsafe shapes build too).
+  /// \brief Per logical operator: the shard layout plus per-shard and
+  /// aggregated state accounting, so state-boundedness claims stay
+  /// checkable operator-by-operator under partitioning.
+  struct OperatorGroupSnapshot {
+    size_t num_shards = 1;
+    bool partitioned = false;       ///< spec admitted > 1 shard
+    std::string partition_detail;   ///< chosen key class / fallback reason
+    /// Summed over the group's shards and inputs (high_water is the
+    /// sum of per-shard marks — an upper bound of the joint peak).
+    StateMetricsSnapshot aggregate;
+    std::vector<size_t> shard_live;        ///< live tuples per shard
+    std::vector<size_t> shard_high_water;  ///< per-shard state high water
+    /// Max over shards (each shard stores the full broadcast set, so
+    /// the max — not the sum — is the logical operator's count).
+    size_t punctuations_live = 0;
+  };
+
+  /// \brief Builds the operator tree and starts shards x operators
+  /// workers. Mirrors PlanExecutor::Create (unsafe shapes build too).
   static Result<std::unique_ptr<ParallelExecutor>> Create(
       const ContinuousJoinQuery& query, const SchemeSet& schemes,
       const PlanShape& shape, ExecutorConfig config = {});
@@ -69,8 +102,9 @@ class ParallelExecutor {
                        int64_t ts);
 
   /// \brief Barrier: waits until every queued element has been
-  /// processed, then runs a purge sweep at `now` on each operator,
-  /// leaves-first. On return the pipeline is quiescent and all
+  /// processed, then runs a purge sweep at `now` on each shard,
+  /// leaves-first (all shards of a group drain before its parent's
+  /// markers go in). On return the pipeline is quiescent and all
   /// accessors are exact. The parallel analogue of SweepAll.
   Status Drain(int64_t now);
 
@@ -80,6 +114,8 @@ class ParallelExecutor {
   void Stop();
 
   size_t TotalLiveTuples() const;
+  /// \brief Logical count: per operator group the max over shards
+  /// (punctuations are broadcast, so every shard holds the full set).
   size_t TotalLivePunctuations() const;
   /// \brief Sampled after every delivered element; a lower bound of
   /// the instantaneous global maximum (exact at quiescence).
@@ -99,12 +135,23 @@ class ParallelExecutor {
   const PlanSafetyReport& safety() const { return safety_; }
   const ContinuousJoinQuery& query() const { return query_; }
   const PlanShape& shape() const { return shape_; }
+  /// \brief All shard operator instances, grouped by logical operator
+  /// in post-order (a group's shards are contiguous). With shards=1
+  /// this is exactly the plan's operator list. Summing state metrics
+  /// over it matches the serial executor (tuples partition across
+  /// shards); punctuation-store sizes are replicated per shard — use
+  /// GroupSnapshots()/TotalLivePunctuations for logical counts.
   const std::vector<std::unique_ptr<MJoinOperator>>& operators() const {
     return operators_;
   }
+  /// \brief Number of logical operators (= plan internal nodes).
+  size_t num_operator_groups() const { return groups_.size(); }
+  /// \brief Per logical operator: shard layout + aggregated metrics.
+  std::vector<OperatorGroupSnapshot> GroupSnapshots() const;
 
  private:
   struct Worker;
+  struct OpGroup;
 
   ParallelExecutor() = default;
 
@@ -112,15 +159,25 @@ class ParallelExecutor {
   void Deliver(Worker& worker, size_t input, const StreamElement& element);
   void ProcessPending(Worker& worker);
   void SampleHighWater();
+  /// Child group `group_idx`, shard `shard` emitted `element`.
+  void EmitFromShard(size_t group_idx, size_t shard,
+                     const StreamElement& element);
+  /// Tuple -> one shard by hash. Returns false iff stopped.
+  bool RouteTuple(OpGroup& group, size_t input, const StreamElement& element);
+  /// Punctuation/drain -> every shard, serialized per group so all
+  /// shards observe the same punctuation order. False iff stopped.
+  bool Broadcast(OpGroup& group, size_t input, const StreamElement& element);
 
   ContinuousJoinQuery query_;
   PlanShape shape_;
   ExecutorConfig config_;
   PlanSafetyReport safety_;
 
-  std::vector<std::unique_ptr<MJoinOperator>> operators_;  // post-order
-  std::vector<std::unique_ptr<Worker>> workers_;           // parallel
-  // Per query stream: (operator index, input index) consuming it.
+  // All shard instances, grouped by logical operator in post-order.
+  std::vector<std::unique_ptr<MJoinOperator>> operators_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // parallel to operators_
+  std::vector<std::unique_ptr<OpGroup>> groups_;  // logical, post-order
+  // Per query stream: (group index, input index) consuming it.
   std::vector<std::pair<size_t, size_t>> leaf_route_;
 
   std::atomic<uint64_t> num_results_{0};

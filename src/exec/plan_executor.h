@@ -37,6 +37,16 @@ struct ExecutorConfig {
   /// Bounded-queue capacity per operator under kParallel; pushes block
   /// when full (backpressure).
   size_t queue_capacity = 1024;
+  /// Under kParallel: shard workers per operator (hash-partitioned
+  /// intra-operator parallelism). Each operator whose join predicates
+  /// admit an exact partitioning runs as this many single-threaded
+  /// shard replicas behind a key-hashing router; punctuations and
+  /// drain markers are broadcast to all shards. Operators that cannot
+  /// be partitioned exactly (see exec/partition_router.h) fall back to
+  /// one shard. 0 is normalized to 1; 1 disables sharding. Total
+  /// thread count is (#operators x shards), so size against the
+  /// machine's core count.
+  size_t shards = 1;
 };
 
 class PlanExecutor {

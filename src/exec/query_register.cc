@@ -73,6 +73,9 @@ Result<RegisteredQuery> QueryRegister::Register(
   }
 
   RegisteredQuery out;
+  // Normalize the shard knob once at admission so every downstream
+  // layer can assume shards >= 1.
+  if (config.shards == 0) config.shards = 1;
   if (config.mode == ExecutionMode::kParallel) {
     PUNCTSAFE_ASSIGN_OR_RETURN(
         out.parallel_executor,

@@ -144,6 +144,13 @@ void SymmetricHashJoinOperator::Sweep(int64_t now) {
   }
 }
 
+StateMetricsSnapshot SymmetricHashJoinOperator::AggregateStateSnapshot()
+    const {
+  StateMetricsSnapshot total;
+  for (const auto& state : states_) total += state->metrics().Snapshot();
+  return total;
+}
+
 size_t SymmetricHashJoinOperator::TotalLiveTuples() const {
   return states_[0]->live_count() + states_[1]->live_count();
 }

@@ -50,6 +50,10 @@ class SymmetricHashJoinOperator : public JoinOperator {
   const StateMetrics& state_metrics(size_t input) const {
     return states_[input]->metrics();
   }
+  /// \brief Both inputs' state snapshots summed into one
+  /// operator-level view (same rollup surface as MJoinOperator, so
+  /// sharded drivers can aggregate either operator uniformly).
+  StateMetricsSnapshot AggregateStateSnapshot() const;
 
   /// \brief Section 3.1: the state of `input` is purgeable iff some
   /// simple scheme exists on a partner join attribute of the *other*

@@ -130,6 +130,135 @@ TEST(BoundedQueueTest, MultiProducerMultiConsumerConservesItems) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(BoundedQueueTest, PopAllDrainsWholeBurstInOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  std::optional<std::deque<int>> batch = q.PopAll();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(*batch, (std::deque<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+  // Drained + closed => end-of-stream.
+  q.Close();
+  EXPECT_EQ(q.PopAll(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, PopAllBlocksUntilDataOrClose) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> got_batch{false};
+  std::thread consumer([&] {
+    std::optional<std::deque<int>> batch = q.PopAll();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_FALSE(batch->empty());
+    got_batch = true;
+    // Next PopAll sees end-of-stream after Close.
+    EXPECT_EQ(q.PopAll(), std::nullopt);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_batch.load());
+  ASSERT_TRUE(q.Push(42));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_batch.load());
+}
+
+TEST(BoundedQueueTest, PopAllReleasesBlockedProducers) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(3));  // blocks until PopAll frees capacity
+    ASSERT_TRUE(q.Push(4));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::optional<std::deque<int>> first = q.PopAll();
+  ASSERT_TRUE(first.has_value());
+  producer.join();
+  std::deque<int> rest = q.TryPopAll();
+  std::deque<int> all = *first;
+  all.insert(all.end(), rest.begin(), rest.end());
+  EXPECT_EQ(all, (std::deque<int>{1, 2, 3, 4}));
+}
+
+TEST(BoundedQueueTest, TryPopAllNonBlocking) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPopAll().empty());
+  ASSERT_TRUE(q.Push(7));
+  ASSERT_TRUE(q.Push(8));
+  EXPECT_EQ(q.TryPopAll(), (std::deque<int>{7, 8}));
+  EXPECT_TRUE(q.TryPopAll().empty());
+}
+
+TEST(BoundedQueueTest, PushAllSpansCapacityWindows) {
+  // 10 items through a capacity-3 queue: PushAll must block in chunks
+  // while the consumer drains, and deliver everything in order.
+  BoundedQueue<int> q(3);
+  std::deque<int> values;
+  for (int i = 0; i < 10; ++i) values.push_back(i);
+  std::thread producer([&] { ASSERT_TRUE(q.PushAll(std::move(values))); });
+  std::vector<int> received;
+  while (received.size() < 10) {
+    std::optional<int> v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_LE(q.size(), 3u);
+    received.push_back(*v);
+  }
+  producer.join();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(BoundedQueueTest, PushAllFailsWhenClosedMidway) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> result{true};
+  std::thread producer([&] {
+    std::deque<int> values = {1, 2, 3};
+    result = q.PushAll(std::move(values));  // blocks after the first
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(result.load()) << "PushAll must report the dropped remainder";
+  EXPECT_EQ(q.Pop(), 1);  // what made it in before Close stays poppable
+  EXPECT_EQ(q.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, BatchedProducerConsumerConservesItems) {
+  // PushAll bursts against a PopAll consumer under contention: nothing
+  // lost, nothing duplicated, per-producer order preserved.
+  constexpr size_t kProducers = 3;
+  constexpr int kPerProducer = 2000;
+  constexpr int kBurst = 16;
+  struct Item {
+    size_t producer;
+    int seq;
+  };
+  BoundedQueue<Item> q(8);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int base = 0; base < kPerProducer; base += kBurst) {
+        std::deque<Item> burst;
+        for (int i = base; i < base + kBurst; ++i) burst.push_back({p, i});
+        ASSERT_TRUE(q.PushAll(std::move(burst)));
+      }
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  size_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::optional<std::deque<Item>> batch = q.PopAll();
+    ASSERT_TRUE(batch.has_value());
+    for (const Item& item : *batch) {
+      EXPECT_EQ(item.seq, next_seq[item.producer])
+          << "producer " << item.producer << " reordered";
+      ++next_seq[item.producer];
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(BoundedQueueTest, CloseUnblocksBlockedProducer) {
   BoundedQueue<int> q(1);
   ASSERT_TRUE(q.Push(1));  // now full

@@ -1,12 +1,14 @@
 // Differential test: the pipelined ParallelExecutor must be
-// observationally equivalent to the serial PlanExecutor. For random
-// queries (safe and unsafe alike), random plan shapes, and random
-// covering traces, both executors must produce the identical result
-// multiset, identical final live state (tuples and punctuations after
-// sweeping to fixpoint), and remove the same total number of tuples
-// (purged + dropped-on-arrival — the split between the two can differ
-// because the parallel interleaving may detect removability at arrival
-// where the serial order stores first, and vice versa).
+// observationally equivalent to the serial PlanExecutor — at every
+// shard count. For random queries (safe and unsafe alike), random plan
+// shapes, and random covering traces, both executors must produce the
+// identical result multiset, identical final live state (tuples and
+// punctuations after sweeping to fixpoint), and remove the same total
+// number of tuples (purged + dropped-on-arrival — the split between
+// the two can differ because the parallel interleaving may detect
+// removability at arrival where the serial order stores first, and
+// vice versa). Each trial sweeps shards in {1, 2, 4}; the failure
+// message logs the RNG seed and shard count for replay.
 //
 // tools/ci.sh runs this suite under both TSan and ASan.
 
@@ -146,19 +148,30 @@ TEST(ParallelDifferentialTest, HundredRandomTrialsMatchSerialExecutor) {
     config.queue_capacity = 1 + seed % 64;  // exercise tight backpressure
 
     Observation serial = RunSerial(*inst, shape, trace, config);
-    Observation parallel = RunParallel(*inst, shape, trace, config);
 
-    ASSERT_EQ(parallel.results, serial.results)
-        << "result multiset diverged, seed=" << seed << " query="
-        << inst->query.ToString() << " shape="
-        << shape.ToString(inst->query);
-    EXPECT_EQ(parallel.num_results, serial.num_results) << "seed=" << seed;
-    EXPECT_EQ(parallel.live_tuples, serial.live_tuples)
-        << "final live state diverged, seed=" << seed;
-    EXPECT_EQ(parallel.live_punctuations, serial.live_punctuations)
-        << "final punctuation state diverged, seed=" << seed;
-    EXPECT_EQ(parallel.removed, serial.removed)
-        << "total purge count diverged, seed=" << seed;
+    // Every shard count must reproduce the serial answer exactly —
+    // partitioning is an implementation detail, not a semantics knob.
+    // (Operators whose predicates don't admit an exact partitioning
+    // silently fall back to one shard, so this also covers mixed
+    // partitioned/unpartitioned plans.)
+    for (size_t shards : {1u, 2u, 4u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << seed << " shards=" << shards << " query="
+                   << inst->query.ToString()
+                   << " shape=" << shape.ToString(inst->query));
+      config.shards = shards;
+      Observation parallel = RunParallel(*inst, shape, trace, config);
+
+      ASSERT_EQ(parallel.results, serial.results)
+          << "result multiset diverged";
+      EXPECT_EQ(parallel.num_results, serial.num_results);
+      EXPECT_EQ(parallel.live_tuples, serial.live_tuples)
+          << "final live state diverged";
+      EXPECT_EQ(parallel.live_punctuations, serial.live_punctuations)
+          << "final punctuation state diverged";
+      EXPECT_EQ(parallel.removed, serial.removed)
+          << "total purge count diverged";
+    }
   }
 }
 
@@ -198,6 +211,7 @@ TEST(ParallelDifferentialTest, QueryRegisterModeKnob) {
   parallel_config.keep_results = true;
   parallel_config.mode = ExecutionMode::kParallel;
   parallel_config.queue_capacity = 8;
+  parallel_config.shards = 4;  // a partitionable equi-join: 4-way sharded
   auto parallel = parallel_reg.Register(
       {"L", "R"}, {Eq({"L", "k"}, {"R", "k"})}, parallel_config);
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();

@@ -92,6 +92,12 @@ TEST(SymmetricHashJoinTest, Example1PurgeBothDirections) {
   // bid(2, 9) waits for item 2.
   op->PushPunctuation(0, Punctuation::OfConstants(2, {{1, Value(2)}}), 6);
   EXPECT_EQ(op->state_metrics(1).live, 0u);
+
+  // The operator-level rollup sums both inputs.
+  StateMetricsSnapshot agg = op->AggregateStateSnapshot();
+  EXPECT_EQ(agg.inserted, 3u);
+  EXPECT_EQ(agg.purged, 3u);
+  EXPECT_EQ(agg.live, 0u);
 }
 
 TEST(SymmetricHashJoinTest, WrongSchemeMeansUnpurgeable) {

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # CI driver: builds and ctests the plain, AddressSanitizer, and
 # ThreadSanitizer configurations (see -DPUNCTSAFE_SANITIZE in the
-# top-level CMakeLists.txt). The sanitizer runs are what give the
-# parallel executor's differential and queue stress tests their teeth.
+# top-level CMakeLists.txt), then smoke-runs the standalone benchmark
+# binaries in a Release build on tiny inputs. The sanitizer runs are
+# what give the parallel executor's differential and queue stress
+# tests their teeth; the bench smoke keeps the JSON-emitting binaries
+# (and their internal result-equality CHECKs, including the sharded
+# executor's) from rotting between full benchmark runs.
 #
 # Usage: tools/ci.sh [build-root]         (default: ./build-ci)
-#   PUNCTSAFE_CI_CONFIGS="plain asan tsan" to run a subset.
+#   PUNCTSAFE_CI_CONFIGS="plain asan tsan bench" to run a subset.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-${ROOT}/build-ci}"
-CONFIGS="${PUNCTSAFE_CI_CONFIGS:-plain asan tsan}"
+CONFIGS="${PUNCTSAFE_CI_CONFIGS:-plain asan tsan bench}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 run_config() {
@@ -29,11 +33,34 @@ run_config() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+# Release build with benchmarks ON, run on deliberately tiny inputs:
+# a correctness smoke (each binary CHECKs serial/parallel/partitioned
+# result equality internally), not a measurement.
+run_bench_smoke() {
+  local dir="${BUILD_ROOT}/bench"
+  echo "=== [bench] configure (Release, benchmarks ON) ==="
+  cmake -B "${dir}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPUNCTSAFE_BUILD_BENCHMARKS=ON \
+    -DPUNCTSAFE_BUILD_EXAMPLES=OFF
+  echo "=== [bench] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [bench] smoke: bench_parallel_pipeline ==="
+  "${dir}/bench/bench_parallel_pipeline" \
+    --streams 3 --generations 10 --iters 1 --shards 2
+  echo "=== [bench] smoke: bench_partitioned_join ==="
+  "${dir}/bench/bench_partitioned_join" --generations 10 --iters 1
+  echo "=== [bench] smoke: bench_fig3_chained_purge ==="
+  "${dir}/bench/bench_fig3_chained_purge" \
+    --benchmark_min_time=0.01 --benchmark_filter='windows:20' >/dev/null
+}
+
 for config in ${CONFIGS}; do
   case "${config}" in
     plain) run_config plain "" ;;
     asan)  run_config asan address ;;
     tsan)  run_config tsan thread ;;
+    bench) run_bench_smoke ;;
     *) echo "unknown config '${config}'" >&2; exit 1 ;;
   esac
 done
