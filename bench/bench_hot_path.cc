@@ -1,0 +1,343 @@
+// Hot-path microbenchmarks for the tuple/probe data path, plus an
+// end-to-end tuples/sec comparison (serial vs pipelined vs sharded).
+//
+// The micro sections drive TupleStore directly the way the join
+// operators do: values are constructed once (as they are on tuple
+// arrival) and then probed many times, so a cached key hash pays off
+// exactly as it does inside MJoinOperator::Expand. The probe loops
+// report probes/sec for int64 and string keys separately — string
+// keys are where rehash-per-probe used to dominate.
+//
+// Emits one JSON object (checked-in baseline: BENCH_hot_path.json,
+// experiment E16 in EXPERIMENTS.md). With --baseline FILE the binary
+// re-reads a checked-in baseline and exits non-zero if any tracked
+// throughput fell below --min-ratio (default 0.75) of it — the CI
+// regression gate (tools/ci.sh, bench-smoke config).
+//
+// Usage: bench_hot_path [--store-tuples N] [--keys K]
+//                       [--probe-iters M] [--generations G] [--iters I]
+//                       [--baseline FILE] [--min-ratio R]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/parallel_executor.h"
+#include "exec/tuple_store.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------- micro
+
+struct MicroResult {
+  double insert_mps = 0;      // inserts per second (millions not implied)
+  double probe_legacy_ps = 0; // Probe() (allocating) probes/sec
+  double probe_each_ps = 0;   // ProbeEach cursor probes/sec
+  double probe_into_ps = 0;   // ProbeInto scratch probes/sec
+  double purge_ps = 0;        // interleaved insert+purge ops/sec
+  uint64_t checksum = 0;      // anti-DCE
+};
+
+std::vector<Tuple> MakeRows(size_t n, size_t keys, bool string_keys) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value key = string_keys
+                    ? Value("key-" + std::to_string(i % keys))
+                    : Value(static_cast<int64_t>(i % keys));
+    rows.push_back(Tuple({key, Value(static_cast<int64_t>(i))}));
+  }
+  return rows;
+}
+
+std::vector<Value> MakeProbeValues(size_t keys, bool string_keys) {
+  // Constructed once, probed many times — the arrival-side pattern.
+  std::vector<Value> probes;
+  probes.reserve(keys);
+  for (size_t k = 0; k < keys; ++k) {
+    probes.push_back(string_keys ? Value("key-" + std::to_string(k))
+                                 : Value(static_cast<int64_t>(k)));
+  }
+  return probes;
+}
+
+MicroResult RunMicro(size_t n, size_t keys, size_t probe_iters,
+                     bool string_keys) {
+  MicroResult r;
+  std::vector<Tuple> rows = MakeRows(n, keys, string_keys);
+  std::vector<Value> probes = MakeProbeValues(keys, string_keys);
+
+  // Insert throughput.
+  {
+    auto start = Clock::now();
+    TupleStore store({0});
+    for (const Tuple& t : rows) store.Insert(t);
+    double secs = SecondsSince(start);
+    r.insert_mps = secs > 0 ? n / secs : 0;
+    // Legacy allocating probe.
+    start = Clock::now();
+    for (size_t i = 0; i < probe_iters; ++i) {
+      r.checksum += store.Probe(0, probes[i % keys]).size();
+    }
+    secs = SecondsSince(start);
+    r.probe_legacy_ps = secs > 0 ? probe_iters / secs : 0;
+
+    // Allocation-free cursor probe (what the operators now use).
+    start = Clock::now();
+    for (size_t i = 0; i < probe_iters; ++i) {
+      size_t hits = 0;
+      store.ProbeEach(0, probes[i % keys],
+                      [&](size_t, const Tuple&) { ++hits; });
+      r.checksum += hits;
+    }
+    secs = SecondsSince(start);
+    r.probe_each_ps = secs > 0 ? probe_iters / secs : 0;
+
+    // Caller-scratch probe (steady state: no allocation after the
+    // first call grows the scratch).
+    std::vector<size_t> scratch;
+    start = Clock::now();
+    for (size_t i = 0; i < probe_iters; ++i) {
+      store.ProbeInto(0, probes[i % keys], &scratch);
+      r.checksum += scratch.size();
+    }
+    secs = SecondsSince(start);
+    r.probe_into_ps = secs > 0 ? probe_iters / secs : 0;
+  }
+
+  // Interleaved insert/purge (compaction churn included).
+  {
+    auto start = Clock::now();
+    TupleStore store({0});
+    std::vector<size_t> slots;
+    slots.reserve(rows.size());
+    size_t ops = 0;
+    for (size_t round = 0; round < 8; ++round) {
+      slots.clear();
+      for (const Tuple& t : rows) slots.push_back(store.Insert(t));
+      store.PurgeSlots(slots);
+      ops += 2 * rows.size();
+    }
+    double secs = SecondsSince(start);
+    r.purge_ps = secs > 0 ? ops / secs : 0;
+    r.checksum += store.live_count();
+  }
+  return r;
+}
+
+// ----------------------------------------------------------- end-to-end
+
+struct RunStats {
+  double seconds = 0;
+  uint64_t results = 0;
+  size_t final_live = 0;
+};
+
+RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
+                       const Trace& trace) {
+  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, {});
+  PUNCTSAFE_CHECK_OK(exec.status());
+  auto start = Clock::now();
+  PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
+  RunStats stats;
+  stats.seconds = SecondsSince(start);
+  stats.results = (*exec)->num_results();
+  stats.final_live = (*exec)->TotalLiveTuples();
+  return stats;
+}
+
+RunStats RunParallelOnce(const bench::ChainFixture& fx, const PlanShape& shape,
+                         const Trace& trace, size_t shards) {
+  ExecutorConfig config;
+  config.shards = shards;
+  auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
+  PUNCTSAFE_CHECK_OK(exec.status());
+  auto start = Clock::now();
+  PUNCTSAFE_CHECK_OK(FeedTraceParallel(exec.ValueOrDie().get(), trace));
+  RunStats stats;
+  stats.seconds = SecondsSince(start);
+  stats.results = (*exec)->num_results();
+  stats.final_live = (*exec)->TotalLiveTuples();
+  (*exec)->Stop();
+  return stats;
+}
+
+template <typename Fn>
+RunStats Best(size_t iters, const Fn& run) {
+  RunStats best;
+  for (size_t i = 0; i < iters; ++i) {
+    RunStats stats = run();
+    if (i == 0 || stats.seconds < best.seconds) best = stats;
+  }
+  return best;
+}
+
+// -------------------------------------------------- baseline regression
+
+// Pulls "key": number out of our own flat JSON (no nested objects with
+// colliding key names are tracked).
+bool FindNumber(const std::string& text, const std::string& key,
+                double* out) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  size_t store_tuples = 20000;
+  size_t keys = 512;
+  size_t probe_iters = 400000;
+  size_t generations = 150;
+  size_t iters = 3;
+  std::string baseline_path;
+  double min_ratio = 0.75;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--store-tuples") == 0) {
+      store_tuples = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--keys") == 0) {
+      keys = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--probe-iters") == 0) {
+      probe_iters = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--generations") == 0) {
+      generations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0) {
+      min_ratio = std::strtod(argv[i + 1], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'; flags: --store-tuples N --keys N "
+                   "--probe-iters N --generations N --iters N "
+                   "--baseline FILE --min-ratio R\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  MicroResult int_micro = RunMicro(store_tuples, keys, probe_iters, false);
+  MicroResult str_micro = RunMicro(store_tuples, keys, probe_iters, true);
+
+  bench::ChainFixture fx = bench::MakeChain(3);
+  PlanShape shape = PlanShape::SingleMJoin(3);
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = generations;
+  tconfig.values_per_generation = 8;
+  tconfig.tuples_per_generation = 60;
+  Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
+
+  RunStats serial =
+      Best(iters, [&] { return RunSerialOnce(fx, shape, trace); });
+  RunStats shard1 =
+      Best(iters, [&] { return RunParallelOnce(fx, shape, trace, 1); });
+  RunStats shard2 =
+      Best(iters, [&] { return RunParallelOnce(fx, shape, trace, 2); });
+
+  PUNCTSAFE_CHECK(shard1.results == serial.results &&
+                  shard2.results == serial.results)
+      << "executors disagree: serial=" << serial.results
+      << " shard1=" << shard1.results << " shard2=" << shard2.results;
+
+  std::ostringstream json;
+  char buf[256];
+  auto emit = [&](const char* key, double v, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.0f%s\n", key, v,
+                  comma ? "," : "");
+    json << buf;
+  };
+  json << "{\n";
+  json << "  \"bench\": \"hot_path\",\n";
+  json << "  \"store_tuples\": " << store_tuples << ",\n";
+  json << "  \"keys\": " << keys << ",\n";
+  json << "  \"probe_iters\": " << probe_iters << ",\n";
+  json << "  \"events\": " << trace.size() << ",\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  emit("int_insert_per_sec", int_micro.insert_mps);
+  emit("int_probe_legacy_per_sec", int_micro.probe_legacy_ps);
+  emit("int_probe_each_per_sec", int_micro.probe_each_ps);
+  emit("int_probe_into_per_sec", int_micro.probe_into_ps);
+  emit("int_purge_ops_per_sec", int_micro.purge_ps);
+  emit("str_insert_per_sec", str_micro.insert_mps);
+  emit("str_probe_legacy_per_sec", str_micro.probe_legacy_ps);
+  emit("str_probe_each_per_sec", str_micro.probe_each_ps);
+  emit("str_probe_into_per_sec", str_micro.probe_into_ps);
+  emit("str_purge_ops_per_sec", str_micro.purge_ps);
+  emit("serial_events_per_sec",
+       serial.seconds > 0 ? trace.size() / serial.seconds : 0);
+  emit("pipelined_events_per_sec",
+       shard1.seconds > 0 ? trace.size() / shard1.seconds : 0);
+  emit("sharded2_events_per_sec",
+       shard2.seconds > 0 ? trace.size() / shard2.seconds : 0);
+  std::snprintf(buf, sizeof(buf), "  \"results\": %llu,\n",
+                static_cast<unsigned long long>(serial.results));
+  json << buf;
+  std::snprintf(buf, sizeof(buf), "  \"checksum\": %llu\n",
+                static_cast<unsigned long long>(int_micro.checksum +
+                                                str_micro.checksum));
+  json << buf;
+  json << "}\n";
+  std::fputs(json.str().c_str(), stdout);
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string base = ss.str();
+    // Gate on the micro probe paths (stable across runs); end-to-end
+    // numbers are informational — they depend on scheduler noise and
+    // core count too much for a hard fail.
+    struct Tracked {
+      const char* key;
+      double current;
+    } tracked[] = {
+        {"int_probe_each_per_sec", int_micro.probe_each_ps},
+        {"str_probe_each_per_sec", str_micro.probe_each_ps},
+        {"int_purge_ops_per_sec", int_micro.purge_ps},
+    };
+    bool ok = true;
+    for (const Tracked& t : tracked) {
+      double want = 0;
+      if (!FindNumber(base, t.key, &want) || want <= 0) continue;
+      if (t.current < want * min_ratio) {
+        std::fprintf(stderr,
+                     "REGRESSION: %s = %.0f < %.2f x baseline %.0f\n",
+                     t.key, t.current, min_ratio, want);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::fprintf(stderr, "baseline check passed (min-ratio %.2f)\n",
+                 min_ratio);
+  }
+  return 0;
+}
+
+}  // namespace punctsafe
+
+int main(int argc, char** argv) { return punctsafe::Main(argc, argv); }

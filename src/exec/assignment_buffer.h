@@ -1,0 +1,67 @@
+// Flat storage for partial join assignments (one stored-tuple pointer
+// per operator input, nullptr = not expanded yet), used by the
+// MJoin/PurgeEngine Expand loops.
+//
+// A std::vector<std::vector<const Tuple*>> frees every inner row on
+// clear(), so the expansion loop used to pay one heap allocation per
+// partial assignment per step. Rows here live back-to-back in one
+// vector with a fixed stride, so Reset() keeps the capacity and the
+// steady-state expansion path allocates nothing (docs/PERF.md).
+//
+// Rows are only appended from a *different* buffer (the expand loops
+// ping-pong between two), so append never invalidates the row it is
+// copying from.
+
+#ifndef PUNCTSAFE_EXEC_ASSIGNMENT_BUFFER_H_
+#define PUNCTSAFE_EXEC_ASSIGNMENT_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace punctsafe {
+
+class AssignmentBuffer {
+ public:
+  /// \brief Empties the buffer (capacity retained) and fixes the row
+  /// width for subsequent appends.
+  void Reset(size_t width) {
+    width_ = width;
+    data_.clear();
+  }
+
+  size_t size() const { return width_ == 0 ? 0 : data_.size() / width_; }
+  bool empty() const { return data_.empty(); }
+  size_t width() const { return width_; }
+
+  const Tuple* const* Row(size_t i) const { return data_.data() + i * width_; }
+
+  /// \brief Appends an all-null row; returns its mutable storage.
+  const Tuple** AppendNullRow() {
+    data_.resize(data_.size() + width_, nullptr);
+    return data_.data() + data_.size() - width_;
+  }
+
+  /// \brief Appends a copy of `row` (width() pointers) with position
+  /// `overwrite_at` replaced by `overwrite`. `row` must not point into
+  /// this buffer (append may reallocate).
+  void AppendWith(const Tuple* const* row, size_t overwrite_at,
+                  const Tuple* overwrite) {
+    data_.insert(data_.end(), row, row + width_);
+    data_[data_.size() - width_ + overwrite_at] = overwrite;
+  }
+
+  void Swap(AssignmentBuffer& other) {
+    data_.swap(other.data_);
+    std::swap(width_, other.width_);
+  }
+
+ private:
+  size_t width_ = 0;
+  std::vector<const Tuple*> data_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_ASSIGNMENT_BUFFER_H_

@@ -39,6 +39,9 @@ struct StateMetricsSnapshot {
   uint64_t inserted = 0;
   uint64_t purged = 0;
   uint64_t dropped_on_arrival = 0;
+  uint64_t probes = 0;
+  uint64_t probe_allocs = 0;
+  uint64_t index_compactions = 0;
   size_t live = 0;
   size_t high_water = 0;
 
@@ -50,6 +53,9 @@ struct StateMetricsSnapshot {
     inserted += other.inserted;
     purged += other.purged;
     dropped_on_arrival += other.dropped_on_arrival;
+    probes += other.probes;
+    probe_allocs += other.probe_allocs;
+    index_compactions += other.index_compactions;
     live += other.live;
     high_water += other.high_water;
     return *this;
@@ -61,8 +67,24 @@ struct StateMetrics {
   std::atomic<uint64_t> inserted{0};       ///< tuples added to the state
   std::atomic<uint64_t> purged{0};         ///< tuples removed via punctuations
   std::atomic<uint64_t> dropped_on_arrival{0};  ///< immediately removable
+  std::atomic<uint64_t> probes{0};         ///< index probes (any flavor)
+  /// Probes that heap-allocated a fresh result vector (the legacy
+  /// TupleStore::Probe). The allocation-free hot path — ProbeEach /
+  /// ProbeInto — never bumps this, so `probe_allocs == 0` with
+  /// `probes > 0` is the observable "no alloc per probe" property
+  /// (pinned in tests/tuple_store_test.cc).
+  std::atomic<uint64_t> probe_allocs{0};
+  std::atomic<uint64_t> index_compactions{0};  ///< dead-slot index rebuilds
   std::atomic<size_t> live{0};             ///< currently stored tuples
   std::atomic<size_t> high_water{0};       ///< max live ever observed
+
+  void OnProbe() { probes.fetch_add(1, std::memory_order_relaxed); }
+  void OnProbeAlloc() {
+    probe_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnIndexCompaction() {
+    index_compactions.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void OnInsert() {
     inserted.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +110,10 @@ struct StateMetrics {
     s.inserted = inserted.load(std::memory_order_relaxed);
     s.purged = purged.load(std::memory_order_relaxed);
     s.dropped_on_arrival = dropped_on_arrival.load(std::memory_order_relaxed);
+    s.probes = probes.load(std::memory_order_relaxed);
+    s.probe_allocs = probe_allocs.load(std::memory_order_relaxed);
+    s.index_compactions =
+        index_compactions.load(std::memory_order_relaxed);
     s.live = live.load(std::memory_order_relaxed);
     s.high_water = high_water.load(std::memory_order_relaxed);
     return s;

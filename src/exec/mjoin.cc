@@ -9,12 +9,6 @@
 
 namespace punctsafe {
 
-namespace {
-// Partial join assignment: one stored tuple per covered input,
-// nullptr for inputs not expanded yet.
-using Assignment = std::vector<const Tuple*>;
-}  // namespace
-
 Result<std::unique_ptr<MJoinOperator>> MJoinOperator::Create(
     const ContinuousJoinQuery& query, std::vector<LocalInput> inputs,
     MJoinConfig config) {
@@ -112,6 +106,33 @@ Result<std::unique_ptr<MJoinOperator>> MJoinOperator::Create(
     op->predicates_of_input_[op->predicates_[i].input_b].push_back(i);
   }
 
+  // Expansion orders, one per arrival input: BFS over the predicate
+  // graph from the input, then any unreached inputs (cross-product
+  // components). Depends only on the graph, so computed once here.
+  op->expand_orders_.resize(m);
+  for (size_t start = 0; start < m; ++start) {
+    std::vector<size_t>& order = op->expand_orders_[start];
+    std::vector<bool> seen(m, false);
+    std::deque<size_t> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      size_t u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (size_t pi : op->predicates_of_input_[u]) {
+        const LocalPredicate& p = op->predicates_[pi];
+        size_t v = (p.input_a == u) ? p.input_b : p.input_a;
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (size_t k = 0; k < m; ++k) {
+      if (!seen[k]) order.push_back(k);
+    }
+  }
+
   // Stores.
   for (size_t k = 0; k < m; ++k) {
     std::sort(indexed[k].begin(), indexed[k].end());
@@ -200,40 +221,20 @@ void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
 void MJoinOperator::ProduceResults(size_t input, const Tuple& tuple,
                                    int64_t ts) {
   const size_t m = num_inputs();
+  const std::vector<size_t>& order = expand_orders_[input];
 
-  // Expansion order: BFS over the predicate graph from `input`, then
-  // any unreached inputs (cross-product components).
-  std::vector<size_t> order;
-  std::vector<bool> seen(m, false);
-  std::deque<size_t> queue{input};
-  seen[input] = true;
-  while (!queue.empty()) {
-    size_t u = queue.front();
-    queue.pop_front();
-    order.push_back(u);
-    for (size_t pi : predicates_of_input_[u]) {
-      const LocalPredicate& p = predicates_[pi];
-      size_t v = (p.input_a == u) ? p.input_b : p.input_a;
-      if (!seen[v]) {
-        seen[v] = true;
-        queue.push_back(v);
-      }
-    }
-  }
-  for (size_t k = 0; k < m; ++k) {
-    if (!seen[k]) order.push_back(k);
+  AssignmentBuffer* cur = &expand_bufs_[0];
+  AssignmentBuffer* nxt = &expand_bufs_[1];
+  cur->Reset(m);
+  cur->AppendNullRow()[input] = &tuple;
+
+  for (size_t idx = 1; idx < order.size() && !cur->empty(); ++idx) {
+    Expand(order[idx], *cur, nxt);
+    std::swap(cur, nxt);
   }
 
-  std::vector<Assignment> assignments;
-  Assignment start(m, nullptr);
-  start[input] = &tuple;
-  assignments.push_back(std::move(start));
-
-  for (size_t idx = 1; idx < order.size() && !assignments.empty(); ++idx) {
-    assignments = Expand(order[idx], assignments);
-  }
-
-  for (const Assignment& a : assignments) {
+  for (size_t r = 0; r < cur->size(); ++r) {
+    const Tuple* const* a = cur->Row(r);
     std::vector<Value> row(output_width_);
     for (const CopySegment& seg : copy_plan_) {
       const Tuple* part = a[seg.input];
@@ -245,27 +246,32 @@ void MJoinOperator::ProduceResults(size_t input, const Tuple& tuple,
   }
 }
 
-std::vector<std::vector<const Tuple*>> MJoinOperator::Expand(
-    size_t v, const std::vector<std::vector<const Tuple*>>& assignments)
-    const {
-  std::vector<Assignment> out;
+void MJoinOperator::Expand(size_t v, const AssignmentBuffer& in,
+                           AssignmentBuffer* out) const {
+  out->Reset(in.width());
+  if (in.empty()) return;
   // Predicates between v and covered inputs, split into one probe
-  // predicate (index lookup) and verification predicates.
-  for (const Assignment& a : assignments) {
-    long probe_pred = -1;
-    std::vector<size_t> verify;
-    for (size_t pi : predicates_of_input_[v]) {
-      const LocalPredicate& p = predicates_[pi];
-      size_t other = (p.input_a == v) ? p.input_b : p.input_a;
-      if (a[other] == nullptr) continue;
-      if (probe_pred < 0) {
-        probe_pred = static_cast<long>(pi);
-      } else {
-        verify.push_back(pi);
-      }
+  // predicate (index lookup) and verification predicates. Which
+  // inputs are covered is identical for every row of `in` (expansion
+  // fills inputs uniformly), so split once per call, not per row.
+  long probe_pred = -1;
+  verify_scratch_.clear();
+  const Tuple* const* proto = in.Row(0);
+  for (size_t pi : predicates_of_input_[v]) {
+    const LocalPredicate& p = predicates_[pi];
+    size_t other = (p.input_a == v) ? p.input_b : p.input_a;
+    if (proto[other] == nullptr) continue;
+    if (probe_pred < 0) {
+      probe_pred = static_cast<long>(pi);
+    } else {
+      verify_scratch_.push_back(pi);
     }
+  }
+  const size_t rows = in.size();
+  for (size_t r = 0; r < rows; ++r) {
+    const Tuple* const* a = in.Row(r);
     auto matches = [&](const Tuple& candidate) {
-      for (size_t pi : verify) {
+      for (size_t pi : verify_scratch_) {
         const LocalPredicate& p = predicates_[pi];
         size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
         size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
@@ -274,28 +280,24 @@ std::vector<std::vector<const Tuple*>> MJoinOperator::Expand(
       }
       return true;
     };
-    auto add = [&](const Tuple& candidate) {
-      Assignment next = a;
-      next[v] = &candidate;
-      out.push_back(std::move(next));
-    };
     if (probe_pred >= 0) {
       const LocalPredicate& p = predicates_[probe_pred];
       size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
       size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
       size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
-      for (size_t slot : states_[v]->Probe(v_off, a[o_in]->at(o_off))) {
-        const Tuple& candidate = states_[v]->At(slot);
-        if (matches(candidate)) add(candidate);
-      }
+      states_[v]->ProbeEach(v_off, a[o_in]->at(o_off),
+                            [&](size_t, const Tuple& candidate) {
+                              if (matches(candidate)) {
+                                out->AppendWith(a, v, &candidate);
+                              }
+                            });
     } else {
       // No predicate to covered inputs: cross product.
       states_[v]->ForEachLive([&](size_t, const Tuple& candidate) {
-        if (matches(candidate)) add(candidate);
+        if (matches(candidate)) out->AppendWith(a, v, &candidate);
       });
     }
   }
-  return out;
 }
 
 bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
@@ -303,10 +305,10 @@ bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
   ++metrics_.removability_checks;
   const size_t m = num_inputs();
 
-  std::vector<Assignment> joinable;
-  Assignment start(m, nullptr);
-  start[input] = &tuple;
-  joinable.push_back(std::move(start));
+  AssignmentBuffer* joinable = &expand_bufs_[0];
+  AssignmentBuffer* scratch = &expand_bufs_[1];
+  joinable->Reset(m);
+  joinable->AppendNullRow()[input] = &tuple;
 
   // Fixpoint over the generalized edges: an input counts as closed as
   // soon as ANY edge whose sources are already closed has all its
@@ -326,17 +328,24 @@ bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
       if (!sources_ready) continue;
       // The distinct value combinations the target's punctuations must
       // exclude: δ_PA(T_t[Υ]) of the generalized chained purge.
-      std::unordered_set<Tuple, TupleHash> combos;
-      for (const Assignment& a : joinable) {
+      // Dedup via sort+unique on a reused scratch vector — the old
+      // per-punctuation std::unordered_set allocated a node per combo.
+      combos_scratch_.clear();
+      for (size_t r = 0; r < joinable->size(); ++r) {
+        const Tuple* const* a = joinable->Row(r);
         std::vector<Value> combo;
         combo.reserve(edge.sources.size());
         for (const RuntimeEdge::Source& src : edge.sources) {
           combo.push_back(a[src.input]->at(src.offset));
         }
-        combos.insert(Tuple(std::move(combo)));
+        combos_scratch_.push_back(Tuple(std::move(combo)));
       }
+      std::sort(combos_scratch_.begin(), combos_scratch_.end());
+      combos_scratch_.erase(
+          std::unique(combos_scratch_.begin(), combos_scratch_.end()),
+          combos_scratch_.end());
       bool all_excluded = true;
-      for (const Tuple& combo : combos) {
+      for (const Tuple& combo : combos_scratch_) {
         if (!punct_stores_[edge.target_input]->CoversSubspace(
                 edge.target_offsets, combo.values(), now)) {
           all_excluded = false;
@@ -345,8 +354,9 @@ bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
       }
       if (!all_excluded) continue;  // maybe another edge closes it
       // Extend T_t[Υ] through the newly closed input.
-      joinable = Expand(edge.target_input, joinable);
-      if (joinable.size() > config_.max_joinable_set) {
+      Expand(edge.target_input, *joinable, scratch);
+      std::swap(joinable, scratch);
+      if (joinable->size() > config_.max_joinable_set) {
         PUNCTSAFE_LOG(Warning)
             << "removability check aborted: joinable set exceeded "
             << config_.max_joinable_set;
@@ -416,12 +426,12 @@ void MJoinOperator::Sweep(int64_t now) {
   std::vector<bool> changed(num_inputs(), false);
   for (size_t k = 0; k < num_inputs(); ++k) {
     if (!input_purgeable_[k]) continue;
-    std::vector<size_t> removable;
+    sweep_scratch_.clear();
     states_[k]->ForEachLive([&](size_t slot, const Tuple& t) {
-      if (Removable(k, t, now)) removable.push_back(slot);
+      if (Removable(k, t, now)) sweep_scratch_.push_back(slot);
     });
-    if (!removable.empty()) changed[k] = true;
-    states_[k]->PurgeSlots(removable);
+    if (!sweep_scratch_.empty()) changed[k] = true;
+    states_[k]->PurgeSlots(sweep_scratch_);
   }
   TryPropagate(now, changed);
   if (config_.purge_punctuations) PurgeObsoletePunctuations(now);
@@ -456,7 +466,8 @@ void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
         if (!punct_stores_[u]->CoversSubspace({u_off}, {value}, now)) {
           return false;  // future u tuples may still need p
         }
-        if (!states_[u]->Probe(u_off, value).empty()) {
+        if (states_[u]->AnyMatch(u_off, value,
+                                 [](const Tuple&) { return true; })) {
           return false;  // a stored u tuple still waits on p
         }
       }
@@ -502,13 +513,8 @@ void MJoinOperator::TryPropagate(int64_t now,
       }
     }
     if (probe_attr != static_cast<size_t>(-1)) {
-      for (size_t slot :
-           store.Probe(probe_attr, p.pattern(probe_attr).constant())) {
-        if (p.Matches(store.At(slot))) {
-          blocked = true;
-          break;
-        }
-      }
+      blocked = store.AnyMatch(probe_attr, p.pattern(probe_attr).constant(),
+                               [&](const Tuple& t) { return p.Matches(t); });
     } else {
       blocked = store.AnyLive([&](const Tuple& t) { return p.Matches(t); });
     }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
+#include "exec/assignment_buffer.h"
 #include "exec/operator.h"
 #include "exec/punctuation_store.h"
 #include "exec/tuple_store.h"
@@ -148,12 +149,14 @@ class MJoinOperator : public JoinOperator {
   MJoinOperator() = default;
 
   size_t OffsetOf(size_t input, size_t stream, size_t attr) const;
-  /// Extends each partial assignment through input v's state,
-  /// index-probing one predicate to the covered inputs and verifying
-  /// the rest (cross product when no predicate applies).
-  std::vector<std::vector<const Tuple*>> Expand(
-      size_t v,
-      const std::vector<std::vector<const Tuple*>>& assignments) const;
+  /// Extends each partial assignment of `in` through input v's state
+  /// into `out` (cleared first), index-probing one predicate to the
+  /// covered inputs via the allocation-free ProbeEach cursor and
+  /// verifying the rest (cross product when no predicate applies).
+  /// `in` and `out` must be distinct; callers ping-pong the two
+  /// per-operator scratch buffers.
+  void Expand(size_t v, const AssignmentBuffer& in,
+              AssignmentBuffer* out) const;
   bool Removable(size_t input, const Tuple& tuple, int64_t now);
   void ProduceResults(size_t input, const Tuple& tuple, int64_t ts);
   /// Re-checks pending propagations for the inputs whose punctuation
@@ -183,7 +186,19 @@ class MJoinOperator : public JoinOperator {
   std::vector<LocalPredicate> predicates_;
   // predicate indices touching each input.
   std::vector<std::vector<size_t>> predicates_of_input_;
+  // Per start input: the BFS expansion order over the predicate graph
+  // (precomputed at Create so ProduceResults allocates nothing).
+  std::vector<std::vector<size_t>> expand_orders_;
   uint64_t punctuations_purged_ = 0;
+
+  // Per-operator scratch, reused across arrivals/sweeps so the
+  // steady-state expansion and chained-purge loops are allocation-free
+  // (mutable: Expand is logically const). The operator is
+  // single-threaded (one shard worker), so no synchronization.
+  mutable AssignmentBuffer expand_bufs_[2];
+  mutable std::vector<size_t> verify_scratch_;
+  std::vector<Tuple> combos_scratch_;
+  std::vector<size_t> sweep_scratch_;
 
   std::vector<std::unique_ptr<TupleStore>> states_;
   std::vector<std::unique_ptr<PunctuationStore>> punct_stores_;

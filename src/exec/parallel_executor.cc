@@ -16,6 +16,13 @@ namespace {
 
 constexpr size_t kNone = static_cast<size_t>(-1);
 
+// Result tuples buffered per emitting shard before one batched
+// PushAll into the parent's shard queues (one lock per flush instead
+// of one per tuple). Flushes also happen at batch boundaries and
+// before any punctuation/drain forwarding, so the cap only bounds
+// intra-batch staging memory.
+constexpr size_t kEmitFlushBatch = 128;
+
 }  // namespace
 
 // One message on a shard's input queue: a stream element tagged with
@@ -37,6 +44,17 @@ struct ParallelExecutor::Worker {
   // Per-input FIFO reorder buffers for the timestamp merge.
   std::vector<std::deque<StreamElement>> pending;
   std::thread thread;
+
+  // Owning group index, and the downstream emit staging: result
+  // tuples this shard produces are buffered per *parent* shard and
+  // pushed with one PushAll per flush. Touched only by this worker's
+  // thread (emits run inside op->Push*, on this thread); root-group
+  // workers keep it empty. Flush-before-punctuation and
+  // flush-before-drain-ack preserve the per-queue FIFO invariant that
+  // a punctuation never overtakes the tuples it covers.
+  size_t group = 0;
+  std::vector<std::deque<OpMessage>> emit_buf;
+  size_t emit_buffered = 0;
 
   // Drain handshake. `drains_requested` is touched only by the driver
   // thread; `drains_done` is the worker's ack, published under `mu`.
@@ -127,6 +145,12 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     }
     OpGroup& group = *exec->groups_[j];
     for (size_t s = 0; s < group.num_shards; ++s) {
+      Worker& worker = *exec->workers_[group.first_worker + s];
+      worker.group = j;
+      if (group.parent_group != kNone) {
+        worker.emit_buf.resize(
+            exec->groups_[group.parent_group]->num_shards);
+      }
       exec->operators_[group.first_worker + s]->SetEmitter(
           [raw, j, s](const StreamElement& e) { raw->EmitFromShard(j, s, e); });
     }
@@ -160,13 +184,29 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
     return;
   }
   OpGroup& parent = *groups_[group.parent_group];
+  Worker& self = *workers_[group.first_worker + shard];
   if (element.is_tuple()) {
-    // A false return means Stop() closed the pipeline; the element is
-    // dropped (the non-graceful path).
-    RouteTuple(parent, group.parent_input, element);
+    // Stage into the per-parent-shard buffer; the flush's PushAll pays
+    // one queue lock per burst instead of per tuple. A failed flush
+    // means Stop() closed the pipeline; elements are dropped (the
+    // non-graceful path).
+    size_t target =
+        parent.num_shards > 1
+            ? parent.spec.ShardOf(group.parent_input, element.tuple,
+                                  parent.num_shards)
+            : 0;
+    self.emit_buf[target].push_back(
+        OpMessage{false, group.parent_input, element});
+    if (++self.emit_buffered >= kEmitFlushBatch) FlushEmits(self);
     return;
   }
-  // Output punctuation: valid for the merged output only once every
+  // Output punctuation: flush this shard's staged tuples first so the
+  // punctuation cannot overtake them in the parent queues. Every shard
+  // flushes before its aligner arrival, and arrivals happen-before the
+  // completing shard's broadcast, so all covered tuples of all shards
+  // are queued ahead of the forwarded punctuation.
+  FlushEmits(self);
+  // The punctuation is valid for the merged output only once every
   // shard of this group has emitted it — until then another shard may
   // still hold (and later emit results from) matching tuples.
   int64_t forward_ts = element.timestamp;
@@ -177,6 +217,18 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
   }
   Broadcast(parent, group.parent_input,
             StreamElement::OfPunctuation(element.punctuation, forward_ts));
+}
+
+void ParallelExecutor::FlushEmits(Worker& worker) {
+  if (worker.emit_buffered == 0) return;
+  OpGroup& parent = *groups_[groups_[worker.group]->parent_group];
+  for (size_t s = 0; s < worker.emit_buf.size(); ++s) {
+    if (worker.emit_buf[s].empty()) continue;
+    workers_[parent.first_worker + s]->queue.PushAll(
+        std::move(worker.emit_buf[s]));
+    worker.emit_buf[s].clear();  // moved-from state is unspecified
+  }
+  worker.emit_buffered = 0;
 }
 
 bool ParallelExecutor::RouteTuple(OpGroup& group, size_t input,
@@ -229,6 +281,13 @@ void ParallelExecutor::WorkerLoop(size_t index) {
     if (drains > 0) {
       worker.op->Sweep(drain_ts);
       SampleHighWater();
+    }
+    // Flush staged downstream emits at every batch boundary — and,
+    // crucially, *before* acking a drain: the drain contract promises
+    // that everything this shard will ever emit for the drained epoch
+    // is already in the parent's queues when the ack lands.
+    FlushEmits(worker);
+    if (drains > 0) {
       {
         std::lock_guard<std::mutex> lock(worker.mu);
         worker.drains_done += drains;
@@ -240,6 +299,7 @@ void ParallelExecutor::WorkerLoop(size_t index) {
   // pushes may fail once their queues close; that is fine, Stop() is
   // the non-graceful path).
   ProcessPending(worker);
+  FlushEmits(worker);
 }
 
 void ParallelExecutor::ProcessPending(Worker& worker) {

@@ -16,8 +16,10 @@
 //  * per-edge FIFO — elements from one producer are consumed in
 //    production order per shard, so a punctuation never overtakes the
 //    tuples it covers on any shard's queue;
-//  * output merge — shard result tuples feed the downstream router
-//    directly; a shard's output punctuation passes a per-group
+//  * output merge — shard result tuples are staged in per-parent-shard
+//    buffers and flushed with batched PushAll at batch boundaries (one
+//    queue lock per burst); a shard's output punctuation first flushes
+//    that shard's staged tuples, then passes a per-group
 //    PunctuationAligner and is forwarded only once every shard of the
 //    group has emitted it (another shard may still hold matching
 //    tuples), which preserves the propagation contract downstream;
@@ -162,6 +164,10 @@ class ParallelExecutor {
   /// Child group `group_idx`, shard `shard` emitted `element`.
   void EmitFromShard(size_t group_idx, size_t shard,
                      const StreamElement& element);
+  /// Pushes the worker's staged result tuples into the parent group's
+  /// shard queues (one batched PushAll per non-empty buffer). Runs on
+  /// the worker's own thread; no-op when nothing is staged.
+  void FlushEmits(Worker& worker);
   /// Tuple -> one shard by hash. Returns false iff stopped.
   bool RouteTuple(OpGroup& group, size_t input, const StreamElement& element);
   /// Punctuation/drain -> every shard, serialized per group so all

@@ -47,8 +47,7 @@ bool PunctuationStore::CoversSubspace(const std::vector<size_t>& attrs,
                                       int64_t now) const {
   for (const Group& group : groups_) {
     // Group applies iff its constrained attrs are a subset of `attrs`.
-    std::vector<Value> projected;
-    projected.reserve(group.attrs.size());
+    key_scratch_.clear();
     bool subset = true;
     for (size_t a : group.attrs) {
       auto it = std::find(attrs.begin(), attrs.end(), a);
@@ -56,10 +55,10 @@ bool PunctuationStore::CoversSubspace(const std::vector<size_t>& attrs,
         subset = false;
         break;
       }
-      projected.push_back(values[it - attrs.begin()]);
+      key_scratch_.push_back(&values[it - attrs.begin()]);
     }
     if (!subset) continue;
-    auto it = group.by_values.find(Tuple(std::move(projected)));
+    auto it = group.by_values.find(ProjectedKey{&key_scratch_});
     if (it != group.by_values.end() && !Expired(it->second, now)) {
       return true;
     }
@@ -69,18 +68,17 @@ bool PunctuationStore::CoversSubspace(const std::vector<size_t>& attrs,
 
 bool PunctuationStore::ExcludesTuple(const Tuple& tuple, int64_t now) const {
   for (const Group& group : groups_) {
-    std::vector<Value> projected;
-    projected.reserve(group.attrs.size());
+    key_scratch_.clear();
     bool ok = true;
     for (size_t a : group.attrs) {
       if (a >= tuple.size()) {
         ok = false;
         break;
       }
-      projected.push_back(tuple.at(a));
+      key_scratch_.push_back(&tuple.at(a));
     }
     if (!ok) continue;
-    auto it = group.by_values.find(Tuple(std::move(projected)));
+    auto it = group.by_values.find(ProjectedKey{&key_scratch_});
     if (it != group.by_values.end() && !Expired(it->second, now)) {
       return true;
     }

@@ -12,7 +12,11 @@
 // Lookup is organized by constrained-attribute signature: the chained
 // purge test "is subspace {attrs = values} closed?" probes each
 // signature that is a subset of `attrs` with the projected values —
-// O(#signatures) hash lookups.
+// O(#signatures) hash lookups. Probes are heterogeneous (C++20
+// transparent unordered lookup): the projection is a reused vector of
+// Value pointers that hashes exactly like the equivalent Tuple via
+// the shared kTupleHashSeed/TupleHashStep chain over the Values'
+// cached hashes, so a probe constructs no Tuple and copies no Value.
 
 #ifndef PUNCTSAFE_EXEC_PUNCTUATION_STORE_H_
 #define PUNCTSAFE_EXEC_PUNCTUATION_STORE_H_
@@ -68,11 +72,42 @@ class PunctuationStore {
     Punctuation punctuation;
     int64_t arrival = 0;
   };
+
+  // Non-owning projection of Values used as a heterogeneous map key.
+  // Hash/equality agree exactly with the Tuple holding the same
+  // values (same seed, same step, same type-strict Value equality).
+  struct ProjectedKey {
+    const std::vector<const Value*>* parts;
+  };
+  struct TupleKeyHash {
+    using is_transparent = void;
+    size_t operator()(const Tuple& t) const { return t.Hash(); }
+    size_t operator()(const ProjectedKey& k) const {
+      size_t seed = kTupleHashSeed;
+      for (const Value* v : *k.parts) seed = TupleHashStep(seed, v->Hash());
+      return seed;
+    }
+  };
+  struct TupleKeyEq {
+    using is_transparent = void;
+    bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+    bool operator()(const ProjectedKey& k, const Tuple& t) const {
+      if (k.parts->size() != t.size()) return false;
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (!(*(*k.parts)[i] == t.at(i))) return false;
+      }
+      return true;
+    }
+    bool operator()(const Tuple& t, const ProjectedKey& k) const {
+      return (*this)(k, t);
+    }
+  };
+
   // Signature = sorted constrained-attr offsets; per signature, a map
   // from the constant projection (as a Tuple) to the entry.
   struct Group {
     std::vector<size_t> attrs;
-    std::unordered_map<Tuple, Entry, TupleHash> by_values;
+    std::unordered_map<Tuple, Entry, TupleKeyHash, TupleKeyEq> by_values;
   };
 
   bool Expired(const Entry& e, int64_t now) const {
@@ -81,6 +116,9 @@ class PunctuationStore {
 
   std::optional<int64_t> lifespan_;
   std::vector<Group> groups_;
+  // Reused projection scratch (single-threaded store; mutable because
+  // lookups are const): probes must not allocate in steady state.
+  mutable std::vector<const Value*> key_scratch_;
   size_t size_ = 0;
   size_t high_water_ = 0;
 };

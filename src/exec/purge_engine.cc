@@ -1,16 +1,11 @@
 #include "exec/purge_engine.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/plan_safety.h"
 #include "util/logging.h"
 
 namespace punctsafe {
-
-namespace {
-using Assignment = std::vector<const Tuple*>;
-}  // namespace
 
 Result<std::unique_ptr<PurgeEngine>> PurgeEngine::Create(
     const ContinuousJoinQuery& query, const SchemeSet& schemes,
@@ -25,6 +20,13 @@ Result<std::unique_ptr<PurgeEngine>> PurgeEngine::Create(
     inputs.push_back({{s}, RawAvailableSchemes(query, schemes, s)});
   }
   engine->edges_ = BuildLocalEdges(engine->query_, inputs);
+  for (const LocalGpgEdge& edge : engine->edges_) {
+    std::vector<size_t> target_attrs;
+    for (const LocalGpgEdge::Binding& b : edge.bindings) {
+      target_attrs.push_back(b.target_attr);
+    }
+    engine->edge_target_attrs_.push_back(std::move(target_attrs));
+  }
   for (size_t s = 0; s < query.num_streams(); ++s) {
     engine->stream_purgeable_.push_back(
         LocalInputPurgeable(s, query.num_streams(), engine->edges_));
@@ -52,46 +54,46 @@ void PurgeEngine::AddPunctuation(size_t stream,
   punct_stores_[stream]->Add(punctuation, ts);
 }
 
-std::vector<std::vector<const Tuple*>> PurgeEngine::Expand(
-    size_t v, const std::vector<Assignment>& assignments) const {
-  std::vector<Assignment> out;
-  for (const Assignment& a : assignments) {
-    // Probe one predicate to a covered stream, verify the rest.
-    long probe_pred = -1;
-    std::vector<size_t> verify;
-    for (size_t pi = 0; pi < query_.predicates().size(); ++pi) {
-      const ResolvedPredicate& p = query_.predicates()[pi];
-      if (!p.Involves(v)) continue;
-      if (a[p.OtherStream(v)] == nullptr) continue;
-      if (probe_pred < 0) {
-        probe_pred = static_cast<long>(pi);
-      } else {
-        verify.push_back(pi);
-      }
-    }
-    auto matches = [&](const Tuple& candidate) {
-      for (size_t pi : verify) {
-        const ResolvedPredicate& p = query_.predicates()[pi];
-        size_t other = p.OtherStream(v);
-        if (!(candidate.at(p.AttrOn(v)) == a[other]->at(p.AttrOn(other)))) {
-          return false;
-        }
-      }
-      return true;
-    };
-    if (probe_pred < 0) continue;  // chained edges always imply one
-    const ResolvedPredicate& p = query_.predicates()[probe_pred];
-    size_t other = p.OtherStream(v);
-    for (size_t slot :
-         states_[v]->Probe(p.AttrOn(v), a[other]->at(p.AttrOn(other)))) {
-      const Tuple& candidate = states_[v]->At(slot);
-      if (!matches(candidate)) continue;
-      Assignment next = a;
-      next[v] = &candidate;
-      out.push_back(std::move(next));
+void PurgeEngine::Expand(size_t v, const AssignmentBuffer& in,
+                         AssignmentBuffer* out) const {
+  out->Reset(in.width());
+  if (in.empty()) return;
+  // Probe one predicate to a covered stream, verify the rest. The
+  // covered-stream pattern is identical for every row of `in` (the
+  // fixpoint fills streams uniformly), so split once per call.
+  long probe_pred = -1;
+  verify_scratch_.clear();
+  const Tuple* const* proto = in.Row(0);
+  for (size_t pi = 0; pi < query_.predicates().size(); ++pi) {
+    const ResolvedPredicate& p = query_.predicates()[pi];
+    if (!p.Involves(v)) continue;
+    if (proto[p.OtherStream(v)] == nullptr) continue;
+    if (probe_pred < 0) {
+      probe_pred = static_cast<long>(pi);
+    } else {
+      verify_scratch_.push_back(pi);
     }
   }
-  return out;
+  if (probe_pred < 0) return;  // chained edges always imply one
+  const ResolvedPredicate& probe = query_.predicates()[probe_pred];
+  size_t probe_other = probe.OtherStream(v);
+  const size_t rows = in.size();
+  for (size_t r = 0; r < rows; ++r) {
+    const Tuple* const* a = in.Row(r);
+    states_[v]->ProbeEach(
+        probe.AttrOn(v), a[probe_other]->at(probe.AttrOn(probe_other)),
+        [&](size_t, const Tuple& candidate) {
+          for (size_t pi : verify_scratch_) {
+            const ResolvedPredicate& p = query_.predicates()[pi];
+            size_t other = p.OtherStream(v);
+            if (!(candidate.at(p.AttrOn(v)) ==
+                  a[other]->at(p.AttrOn(other)))) {
+              return;
+            }
+          }
+          out->AppendWith(a, v, &candidate);
+        });
+  }
 }
 
 bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
@@ -99,10 +101,10 @@ bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
   if (!stream_purgeable_[stream]) return false;
   const size_t n = query_.num_streams();
 
-  std::vector<Assignment> joinable;
-  Assignment start(n, nullptr);
-  start[stream] = &tuple;
-  joinable.push_back(std::move(start));
+  AssignmentBuffer* joinable = &expand_bufs_[0];
+  AssignmentBuffer* scratch = &expand_bufs_[1];
+  joinable->Reset(n);
+  joinable->AppendNullRow()[stream] = &tuple;
 
   std::vector<bool> covered(n, false);
   covered[stream] = true;
@@ -110,35 +112,42 @@ bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
   bool progress = true;
   while (progress && covered_count < n) {
     progress = false;
-    for (const LocalGpgEdge& edge : edges_) {
+    for (size_t ei = 0; ei < edges_.size(); ++ei) {
+      const LocalGpgEdge& edge = edges_[ei];
       if (covered[edge.target_input]) continue;
       bool ready =
           std::all_of(edge.source_inputs.begin(), edge.source_inputs.end(),
                       [&](size_t s) { return covered[s]; });
       if (!ready) continue;
-      std::unordered_set<Tuple, TupleHash> combos;
-      std::vector<size_t> target_attrs;
-      for (const LocalGpgEdge::Binding& b : edge.bindings) {
-        target_attrs.push_back(b.target_attr);
-      }
-      for (const Assignment& a : joinable) {
+      // Distinct value combinations the target's punctuations must
+      // exclude; sort+unique on reused scratch instead of a
+      // per-check std::unordered_set.
+      combos_scratch_.clear();
+      for (size_t r = 0; r < joinable->size(); ++r) {
+        const Tuple* const* a = joinable->Row(r);
         std::vector<Value> combo;
+        combo.reserve(edge.bindings.size());
         for (const LocalGpgEdge::Binding& b : edge.bindings) {
           combo.push_back(a[b.source_input]->at(b.source_attr));
         }
-        combos.insert(Tuple(std::move(combo)));
+        combos_scratch_.push_back(Tuple(std::move(combo)));
       }
+      std::sort(combos_scratch_.begin(), combos_scratch_.end());
+      combos_scratch_.erase(
+          std::unique(combos_scratch_.begin(), combos_scratch_.end()),
+          combos_scratch_.end());
       bool all_excluded = true;
-      for (const Tuple& combo : combos) {
+      for (const Tuple& combo : combos_scratch_) {
         if (!punct_stores_[edge.target_input]->CoversSubspace(
-                target_attrs, combo.values(), now)) {
+                edge_target_attrs_[ei], combo.values(), now)) {
           all_excluded = false;
           break;
         }
       }
       if (!all_excluded) continue;
-      joinable = Expand(edge.target_input, joinable);
-      if (joinable.size() > config_.max_joinable_set) return false;
+      Expand(edge.target_input, *joinable, scratch);
+      std::swap(joinable, scratch);
+      if (joinable->size() > config_.max_joinable_set) return false;
       covered[edge.target_input] = true;
       ++covered_count;
       progress = true;
@@ -151,12 +160,12 @@ std::vector<std::pair<size_t, size_t>> PurgeEngine::Sweep(int64_t now) {
   std::vector<std::pair<size_t, size_t>> released;
   for (size_t s = 0; s < states_.size(); ++s) {
     if (!stream_purgeable_[s]) continue;
-    std::vector<size_t> removable;
+    sweep_scratch_.clear();
     states_[s]->ForEachLive([&](size_t slot, const Tuple& t) {
-      if (Removable(s, t, now)) removable.push_back(slot);
+      if (Removable(s, t, now)) sweep_scratch_.push_back(slot);
     });
-    for (size_t slot : removable) released.emplace_back(s, slot);
-    states_[s]->PurgeSlots(removable);
+    for (size_t slot : sweep_scratch_) released.emplace_back(s, slot);
+    states_[s]->PurgeSlots(sweep_scratch_);
   }
   return released;
 }

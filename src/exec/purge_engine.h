@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
+#include "exec/assignment_buffer.h"
 #include "exec/punctuation_store.h"
 #include "exec/tuple_store.h"
 #include "query/cjq.h"
@@ -74,16 +75,28 @@ class PurgeEngine {
  private:
   PurgeEngine() = default;
 
-  std::vector<std::vector<const Tuple*>> Expand(
-      size_t v, const std::vector<std::vector<const Tuple*>>& assignments)
-      const;
+  /// Extends each partial assignment of `in` through stream v's state
+  /// into `out` (cleared first), via the allocation-free ProbeEach
+  /// cursor. `in` and `out` must be distinct buffers.
+  void Expand(size_t v, const AssignmentBuffer& in,
+              AssignmentBuffer* out) const;
 
   ContinuousJoinQuery query_;
   PurgeEngineConfig config_;
   std::vector<LocalGpgEdge> edges_;
+  // Per edge: the target-side punctuatable attrs, extracted once at
+  // Create (Removable used to rebuild this vector per edge per check).
+  std::vector<std::vector<size_t>> edge_target_attrs_;
   std::vector<bool> stream_purgeable_;
   std::vector<std::unique_ptr<TupleStore>> states_;
   std::vector<std::unique_ptr<PunctuationStore>> punct_stores_;
+
+  // Reused scratch for the chained-purge fixpoint (mutable: Removable
+  // is const). The engine is single-threaded, like the operators.
+  mutable AssignmentBuffer expand_bufs_[2];
+  mutable std::vector<size_t> verify_scratch_;
+  mutable std::vector<Tuple> combos_scratch_;
+  mutable std::vector<size_t> sweep_scratch_;
 };
 
 }  // namespace punctsafe

@@ -59,11 +59,10 @@ bool SymmetricHashJoinOperator::Removable(size_t input, const Tuple& t,
                                           int64_t now) const {
   if (!purgeable_[input]) return false;
   size_t other = 1 - input;
-  std::vector<Value> waiting;
-  waiting.reserve(my_attrs_[input].size());
-  for (size_t a : my_attrs_[input]) waiting.push_back(t.at(a));
-  return punct_stores_[other]->CoversSubspace(partner_attrs_[input], waiting,
-                                              now);
+  waiting_scratch_.clear();
+  for (size_t a : my_attrs_[input]) waiting_scratch_.push_back(t.at(a));
+  return punct_stores_[other]->CoversSubspace(partner_attrs_[input],
+                                              waiting_scratch_, now);
 }
 
 void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
@@ -75,26 +74,23 @@ void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
     return;
   }
 
-  // Probe the partner state: index lookup on the first predicate,
-  // verification of the rest.
+  // Probe the partner state: index cursor on the first predicate,
+  // verification of the rest (allocation-free; the arriving tuple's
+  // key hash is already cached).
   size_t other = 1 - input;
-  std::vector<size_t> matches = states_[other]->Probe(
-      my_attrs_[other][0], tuple.at(my_attrs_[input][0]));
-  for (size_t slot : matches) {
-    const Tuple& partner = states_[other]->At(slot);
-    bool ok = true;
-    for (size_t i = 1; i < my_attrs_[input].size(); ++i) {
-      if (!(partner.at(my_attrs_[other][i]) ==
-            tuple.at(my_attrs_[input][i]))) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    const Tuple& left = (input == 0) ? tuple : partner;
-    const Tuple& right = (input == 0) ? partner : tuple;
-    Emit(StreamElement::OfTuple(ConcatTuples({&left, &right}), ts));
-  }
+  states_[other]->ProbeEach(
+      my_attrs_[other][0], tuple.at(my_attrs_[input][0]),
+      [&](size_t, const Tuple& partner) {
+        for (size_t i = 1; i < my_attrs_[input].size(); ++i) {
+          if (!(partner.at(my_attrs_[other][i]) ==
+                tuple.at(my_attrs_[input][i]))) {
+            return;
+          }
+        }
+        const Tuple& left = (input == 0) ? tuple : partner;
+        const Tuple& right = (input == 0) ? partner : tuple;
+        Emit(StreamElement::OfTuple(ConcatTuples({&left, &right}), ts));
+      });
 
   if (config_.purge_policy == PurgePolicy::kEager &&
       Removable(input, tuple, ts)) {
@@ -135,12 +131,12 @@ void SymmetricHashJoinOperator::Sweep(int64_t now) {
   punctuations_since_sweep_ = 0;
   for (size_t side = 0; side < 2; ++side) {
     if (!purgeable_[side]) continue;
-    std::vector<size_t> removable;
+    sweep_scratch_.clear();
     states_[side]->ForEachLive([&](size_t slot, const Tuple& t) {
       ++metrics_.removability_checks;
-      if (Removable(side, t, now)) removable.push_back(slot);
+      if (Removable(side, t, now)) sweep_scratch_.push_back(slot);
     });
-    states_[side]->PurgeSlots(removable);
+    states_[side]->PurgeSlots(sweep_scratch_);
   }
 }
 

@@ -77,6 +77,11 @@ class SymmetricHashJoinOperator : public JoinOperator {
   std::unique_ptr<TupleStore> states_[2];
   std::unique_ptr<PunctuationStore> punct_stores_[2];
   size_t punctuations_since_sweep_ = 0;
+  // Reused scratch (single-threaded operator; mutable because
+  // Removable is const): the per-arrival/per-sweep loops must not
+  // allocate in steady state.
+  mutable std::vector<Value> waiting_scratch_;
+  std::vector<size_t> sweep_scratch_;
 };
 
 }  // namespace punctsafe

@@ -9,6 +9,15 @@ namespace punctsafe {
 TupleStore::TupleStore(std::vector<size_t> indexed_offsets)
     : indexed_offsets_(std::move(indexed_offsets)) {
   indexes_.resize(indexed_offsets_.size());
+  for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
+    size_t offset = indexed_offsets_[i];
+    if (offset >= offset_to_index_.size()) {
+      offset_to_index_.resize(offset + 1, kNoIndex);
+    }
+    PUNCTSAFE_CHECK(offset_to_index_[offset] == kNoIndex)
+        << "duplicate indexed offset " << offset;
+    offset_to_index_[offset] = i;
+  }
 }
 
 size_t TupleStore::Insert(Tuple tuple) {
@@ -16,6 +25,8 @@ size_t TupleStore::Insert(Tuple tuple) {
   for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
     PUNCTSAFE_CHECK(indexed_offsets_[i] < tuple.size())
         << "indexed offset beyond tuple arity";
+    // The cached hash makes this O(1) even for string keys; the Value
+    // key is copied only the first time a key appears in the index.
     indexes_[i][tuple.at(indexed_offsets_[i])].push_back(slot);
   }
   tuples_.push_back(std::move(tuple));
@@ -55,24 +66,18 @@ bool TupleStore::AnyLive(
   return false;
 }
 
-bool TupleStore::HasIndexOn(size_t offset) const {
-  return std::find(indexed_offsets_.begin(), indexed_offsets_.end(),
-                   offset) != indexed_offsets_.end();
+void TupleStore::ProbeInto(size_t offset, const Value& value,
+                           std::vector<size_t>* out) const {
+  out->clear();
+  ProbeEach(offset, value,
+            [out](size_t slot, const Tuple&) { out->push_back(slot); });
 }
 
 std::vector<size_t> TupleStore::Probe(size_t offset,
                                       const Value& value) const {
-  auto pos = std::find(indexed_offsets_.begin(), indexed_offsets_.end(),
-                       offset);
-  PUNCTSAFE_CHECK(pos != indexed_offsets_.end())
-      << "probe on non-indexed offset " << offset;
-  const auto& index = indexes_[pos - indexed_offsets_.begin()];
+  metrics_.OnProbeAlloc();
   std::vector<size_t> out;
-  auto it = index.find(value);
-  if (it == index.end()) return out;
-  for (size_t slot : it->second) {
-    if (live_[slot]) out.push_back(slot);
-  }
+  ProbeInto(offset, value, &out);
   return out;
 }
 
@@ -88,10 +93,20 @@ void TupleStore::PurgeSlots(const std::vector<size_t>& slots) {
 }
 
 void TupleStore::MaybeCompactIndexes() {
-  // Rebuild indexes once dead slots dominate, keeping probe cost
-  // proportional to live data. Dead tuples stay in `tuples_` (slot
-  // ids must remain stable); only index buckets are cleaned.
-  if (dead_count_ < 64 || dead_count_ < live_count_ * 2) return;
+  // Rebuild once dead slots dominate, keeping probe cost proportional
+  // to live data (same thresholds as the probe-path trigger; see the
+  // constants in the header).
+  if (dead_count_ < kCompactMinDead ||
+      dead_count_ < live_count_ * kCompactDeadFactor) {
+    return;
+  }
+  CompactIndexes();
+}
+
+void TupleStore::CompactIndexes() const {
+  // Dead tuples stay in `tuples_` (slot ids must remain stable); only
+  // index buckets are cleaned.
+  metrics_.OnIndexCompaction();
   for (size_t i = 0; i < indexes_.size(); ++i) {
     for (auto it = indexes_[i].begin(); it != indexes_[i].end();) {
       auto& slots = it->second;
@@ -106,6 +121,7 @@ void TupleStore::MaybeCompactIndexes() {
     }
   }
   dead_count_ = 0;
+  pending_compact_ = false;
 }
 
 }  // namespace punctsafe

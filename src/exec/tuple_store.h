@@ -4,6 +4,24 @@
 // Storage is a slot vector with tombstoned removal; per-attribute
 // indexes map values to slots and are filtered/rebuilt lazily, the
 // standard symmetric-hash-join bookkeeping [Wilschut & Apers 1991].
+//
+// Hot-path layout (docs/PERF.md):
+//  * index buckets are keyed by Value under the *cached* hash
+//    (stream/value.h) — inserting or probing a string key never
+//    re-walks its bytes, the map's find does exactly one key equality,
+//    and bucket members need no per-slot equality re-check (each
+//    bucket is exact for its key, modulo tombstones);
+//  * `offset_to_index_` maps attribute offset -> index position in
+//    O(1), replacing the old linear scan of `indexed_offsets_`;
+//  * ProbeEach / AnyMatch / ProbeInto are the allocation-free probe
+//    cursors the operators use; the legacy Probe() (which allocates a
+//    fresh result vector) remains for tests and cold paths and is the
+//    only probe flavor that bumps StateMetrics::probe_allocs.
+//
+// Not thread-safe: each store is owned by exactly one operator (one
+// shard worker under the parallel executor). Probes are logically
+// const but may lazily compact the indexes, so even const methods must
+// not run concurrently with anything else on the same store.
 
 #ifndef PUNCTSAFE_EXEC_TUPLE_STORE_H_
 #define PUNCTSAFE_EXEC_TUPLE_STORE_H_
@@ -15,11 +33,21 @@
 
 #include "exec/metrics.h"
 #include "stream/tuple.h"
+#include "util/logging.h"
 
 namespace punctsafe {
 
 class TupleStore {
  public:
+  /// Index compaction fires once at least kCompactMinDead tombstones
+  /// accumulated AND dead slots outnumber live ones by
+  /// kCompactDeadFactor (the remove path), or once a single probe
+  /// filtered out kCompactMinDead+ dead slots and more dead than live
+  /// (the probe path — a store that is only ever probed must not keep
+  /// paying for tombstones it never removes).
+  static constexpr size_t kCompactMinDead = 64;
+  static constexpr size_t kCompactDeadFactor = 2;
+
   /// \param indexed_offsets attribute positions to maintain hash
   ///        indexes on (the input's join attributes).
   explicit TupleStore(std::vector<size_t> indexed_offsets);
@@ -50,20 +78,101 @@ class TupleStore {
   /// exit on the first hit).
   bool AnyLive(const std::function<bool(const Tuple&)>& pred) const;
 
-  /// \brief Whether a hash index exists on the given offset.
-  bool HasIndexOn(size_t offset) const;
+  /// \brief Whether a hash index exists on the given offset (O(1)).
+  bool HasIndexOn(size_t offset) const {
+    return offset < offset_to_index_.size() &&
+           offset_to_index_[offset] != kNoIndex;
+  }
 
-  /// \brief Live slots whose `offset` attribute equals `value`, via
-  /// the hash index. `offset` must be one of the indexed offsets.
+  /// \brief Allocation-free probe cursor: calls fn(slot, tuple) for
+  /// every live tuple whose `offset` attribute equals `value`, via the
+  /// hash index. `offset` must be indexed. The callback must not
+  /// mutate the store (the bucket being walked would be invalidated).
+  template <typename Fn>
+  void ProbeEach(size_t offset, const Value& value, Fn&& fn) const {
+    metrics_.OnProbe();
+    const std::vector<size_t>* bucket = BucketFor(offset, value);
+    if (bucket == nullptr) return;
+    size_t dead = 0;
+    size_t hit = 0;
+    for (size_t slot : *bucket) {
+      if (!live_[slot]) {
+        ++dead;
+        continue;
+      }
+      // The bucket is exact for `value` (Value-keyed index), so every
+      // live member is a match.
+      ++hit;
+      fn(slot, tuples_[slot]);
+    }
+    NoteProbeFilter(dead, hit);
+  }
+
+  /// \brief Early-exit probe: true iff some live matching tuple
+  /// satisfies `pred`. Same contract as ProbeEach.
+  template <typename Pred>
+  bool AnyMatch(size_t offset, const Value& value, Pred&& pred) const {
+    metrics_.OnProbe();
+    const std::vector<size_t>* bucket = BucketFor(offset, value);
+    if (bucket == nullptr) return false;
+    for (size_t slot : *bucket) {
+      if (live_[slot] && pred(tuples_[slot])) return true;
+    }
+    return false;
+  }
+
+  /// \brief Probe into a caller-supplied scratch buffer (cleared
+  /// first): the steady-state path reuses the buffer's capacity, so no
+  /// allocation per probe once it has warmed up.
+  void ProbeInto(size_t offset, const Value& value,
+                 std::vector<size_t>* out) const;
+
+  /// \brief Live slots whose `offset` attribute equals `value`. Legacy
+  /// allocating flavor — a fresh vector per call (counted in
+  /// StateMetrics::probe_allocs); prefer ProbeEach/ProbeInto on hot
+  /// paths.
   std::vector<size_t> Probe(size_t offset, const Value& value) const;
 
   /// \brief Marks `slots` purged and updates metrics.
   void PurgeSlots(const std::vector<size_t>& slots);
 
  private:
+  static constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+  // Keyed by Value so a bucket's slots all carry exactly that key (no
+  // per-slot re-check on probes); ValueHash reads the cached hash, so
+  // neither insert nor probe ever re-hashes the key bytes. Type-strict
+  // Value equality keeps int64/double/string keys disjoint.
+  using HashIndex =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash>;
+
+  /// Runs a pending probe-triggered compaction, then resolves the
+  /// bucket for (offset, value); nullptr when no key matches.
+  const std::vector<size_t>* BucketFor(size_t offset,
+                                       const Value& value) const {
+    if (pending_compact_) CompactIndexes();
+    PUNCTSAFE_CHECK(HasIndexOn(offset))
+        << "probe on non-indexed offset " << offset;
+    const HashIndex& index = indexes_[offset_to_index_[offset]];
+    auto it = index.find(value);
+    return it == index.end() ? nullptr : &it->second;
+  }
+
+  /// Probe-path compaction trigger: a probe that filtered out more
+  /// dead than live slots schedules a rebuild, executed at the next
+  /// probe entry (never mid-iteration).
+  void NoteProbeFilter(size_t dead, size_t live_hits) const {
+    if (dead >= kCompactMinDead && dead > live_hits) {
+      pending_compact_ = true;
+    }
+  }
+
   void MaybeCompactIndexes();
+  void CompactIndexes() const;
 
   std::vector<size_t> indexed_offsets_;
+  // offset -> position in indexes_ (kNoIndex when not indexed).
+  std::vector<size_t> offset_to_index_;
   std::vector<Tuple> tuples_;
   std::vector<bool> live_;
   // Dense list of live slots (swap-remove maintained) so iteration
@@ -71,12 +180,14 @@ class TupleStore {
   std::vector<size_t> live_slots_;
   std::vector<size_t> pos_in_live_;
   size_t live_count_ = 0;
-  size_t dead_count_ = 0;
-  // One index per indexed offset: value -> slots (may contain dead
-  // slots until compaction).
-  std::vector<std::unordered_map<Value, std::vector<size_t>, ValueHash>>
-      indexes_;
-  StateMetrics metrics_;
+  // One index per indexed offset: key Value -> slots (buckets may
+  // contain dead slots until compaction; never slots with a different
+  // key). `mutable` because logically-const probes trigger the lazy
+  // compaction.
+  mutable std::vector<HashIndex> indexes_;
+  mutable size_t dead_count_ = 0;
+  mutable bool pending_compact_ = false;
+  mutable StateMetrics metrics_;
 };
 
 }  // namespace punctsafe

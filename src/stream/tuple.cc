@@ -23,10 +23,8 @@ Status Tuple::MatchesSchema(const Schema& schema) const {
 }
 
 size_t Tuple::Hash() const {
-  size_t seed = 0x51ED270B0B2C5A1BULL;
-  for (const auto& v : values_) {
-    seed ^= v.Hash() + 0x9E3779B9u + (seed << 6) + (seed >> 2);
-  }
+  size_t seed = kTupleHashSeed;
+  for (const auto& v : values_) seed = TupleHashStep(seed, v.Hash());
   return seed;
 }
 

@@ -13,6 +13,14 @@
 
 namespace punctsafe {
 
+/// Seed/step of the tuple hash, exposed so non-owning projections of
+/// values (exec/punctuation_store.h) can hash exactly like the Tuple
+/// they project — a transparent-lookup requirement.
+inline constexpr size_t kTupleHashSeed = 0x51ED270B0B2C5A1BULL;
+inline size_t TupleHashStep(size_t seed, size_t value_hash) {
+  return seed ^ (value_hash + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+}
+
 /// \brief A positional row. Tuples are schema-agnostic containers;
 /// conformance is checked via MatchesSchema where it matters
 /// (operator input boundaries, workload generators).
@@ -25,6 +33,10 @@ class Tuple {
   size_t size() const { return values_.size(); }
   const Value& at(size_t i) const { return values_[i]; }
   const std::vector<Value>& values() const { return values_; }
+
+  /// \brief Cached hash of the value at position i (the per-offset
+  /// key-hash accessor the join indexes key on; O(1), no re-hashing).
+  size_t HashAt(size_t i) const { return values_[i].Hash(); }
 
   /// \brief Arity and per-position type conformance (null allowed
   /// anywhere; the paper's model has no null semantics so workloads do

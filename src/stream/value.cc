@@ -38,21 +38,22 @@ const std::string& Value::AsString() const {
   return std::get<std::string>(repr_);
 }
 
-size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(type()) * 0x9E3779B97F4A7C15ULL;
-  switch (type()) {
+size_t Value::ComputeHash(const Repr& repr) {
+  auto type = static_cast<ValueType>(repr.index());
+  size_t seed = static_cast<size_t>(type) * 0x9E3779B97F4A7C15ULL;
+  switch (type) {
     case ValueType::kNull:
       break;
     case ValueType::kInt64:
-      seed ^= std::hash<int64_t>{}(std::get<int64_t>(repr_)) +
+      seed ^= std::hash<int64_t>{}(std::get<int64_t>(repr)) +
               0x9E3779B9u + (seed << 6) + (seed >> 2);
       break;
     case ValueType::kDouble:
-      seed ^= std::hash<double>{}(std::get<double>(repr_)) + 0x9E3779B9u +
+      seed ^= std::hash<double>{}(std::get<double>(repr)) + 0x9E3779B9u +
               (seed << 6) + (seed >> 2);
       break;
     case ValueType::kString:
-      seed ^= std::hash<std::string>{}(std::get<std::string>(repr_)) +
+      seed ^= std::hash<std::string>{}(std::get<std::string>(repr)) +
               0x9E3779B9u + (seed << 6) + (seed >> 2);
       break;
   }

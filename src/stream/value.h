@@ -25,15 +25,20 @@ const char* ValueTypeToString(ValueType type);
 /// \brief A dynamically-typed scalar. Equality is type-strict: an
 /// int64 never equals a double, which keeps equi-join semantics
 /// unambiguous.
+///
+/// The hash is computed once at construction and cached: join keys are
+/// built when a tuple arrives but hashed at every index insert, probe,
+/// and punctuation lookup afterwards, so Hash() on the hot path must
+/// not re-walk string bytes (docs/PERF.md).
 class Value {
  public:
-  Value() : repr_(std::monostate{}) {}
+  Value() : repr_(std::monostate{}), hash_(ComputeHash(repr_)) {}
   // NOLINTBEGIN(google-explicit-constructor): literal-friendly by design.
-  Value(int64_t v) : repr_(v) {}
-  Value(int v) : repr_(static_cast<int64_t>(v)) {}
-  Value(double v) : repr_(v) {}
-  Value(std::string v) : repr_(std::move(v)) {}
-  Value(const char* v) : repr_(std::string(v)) {}
+  Value(int64_t v) : repr_(v), hash_(ComputeHash(repr_)) {}
+  Value(int v) : repr_(static_cast<int64_t>(v)), hash_(ComputeHash(repr_)) {}
+  Value(double v) : repr_(v), hash_(ComputeHash(repr_)) {}
+  Value(std::string v) : repr_(std::move(v)), hash_(ComputeHash(repr_)) {}
+  Value(const char* v) : repr_(std::string(v)), hash_(ComputeHash(repr_)) {}
   // NOLINTEND(google-explicit-constructor)
 
   static Value Null() { return Value(); }
@@ -49,18 +54,30 @@ class Value {
   double AsDouble() const;
   const std::string& AsString() const;
 
-  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  /// Equal reprs always hash equally (same ComputeHash), so comparing
+  /// the cached hashes first rejects mismatches in one word compare —
+  /// the common case in join predicate verification — before the
+  /// variant (and possibly string) comparison runs.
+  bool operator==(const Value& other) const {
+    return hash_ == other.hash_ && repr_ == other.repr_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
   /// \brief Total order (by type index, then value) so values can key
   /// ordered containers and be sorted deterministically.
   bool operator<(const Value& other) const { return repr_ < other.repr_; }
 
-  size_t Hash() const;
+  /// \brief The cached hash (computed at construction, O(1) here).
+  size_t Hash() const { return hash_; }
 
   std::string ToString() const;
 
  private:
-  std::variant<std::monostate, int64_t, double, std::string> repr_;
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+
+  static size_t ComputeHash(const Repr& repr);
+
+  Repr repr_;
+  size_t hash_;
 };
 
 struct ValueHash {

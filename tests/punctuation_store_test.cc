@@ -43,6 +43,39 @@ TEST(PunctuationStoreTest, MixedSignaturesSearchedTogether) {
   EXPECT_EQ(store.size(), 2u);
 }
 
+// Pins the signature-subset lookup semantics the heterogeneous
+// (Tuple-free) probe path must preserve: a stored signature applies to
+// a queried subspace iff its constrained attrs are a subset of the
+// queried attrs, matching on the projected values in signature order —
+// with type-strict value equality throughout.
+TEST(PunctuationStoreTest, SignatureSubsetLookup) {
+  PunctuationStore store;
+  store.Add(Punctuation::OfConstants(4, {{1, Value("x")}, {3, Value(9)}}), 0);
+
+  // Queried attrs are a strict superset, in an order different from
+  // the signature's: the projection must pull the right positions.
+  EXPECT_TRUE(store.CoversSubspace({3, 0, 1},
+                                   {Value(9), Value(42), Value("x")}, 0));
+  // Same attrs, wrong value on one: no cover.
+  EXPECT_FALSE(store.CoversSubspace({3, 0, 1},
+                                    {Value(8), Value(42), Value("x")}, 0));
+  // Missing one signature attr (subset fails): no cover, even though
+  // the present value matches.
+  EXPECT_FALSE(store.CoversSubspace({3, 0}, {Value(9), Value(42)}, 0));
+  // Type-strict: int64 9 stored, double 9.0 queried must not match.
+  EXPECT_FALSE(store.CoversSubspace({3, 1}, {Value(9.0), Value("x")}, 0));
+  // A string equal by content matches however it was constructed.
+  EXPECT_TRUE(store.CoversSubspace(
+      {1, 3}, {Value(std::string("x")), Value(9)}, 0));
+
+  // ExcludesTuple uses the same heterogeneous path (projection of the
+  // tuple's own values).
+  EXPECT_TRUE(store.ExcludesTuple(
+      Tuple({Value(0), Value("x"), Value(0), Value(9)}), 0));
+  EXPECT_FALSE(store.ExcludesTuple(
+      Tuple({Value(0), Value("x"), Value(0), Value(9.0)}), 0));
+}
+
 TEST(PunctuationStoreTest, ExcludesTuple) {
   PunctuationStore store;
   store.Add(Punctuation::OfConstants(2, {{0, Value(5)}}), 0);

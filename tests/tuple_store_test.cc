@@ -97,6 +97,137 @@ TEST(TupleStoreTest, IndexCompactionKeepsProbesCorrect) {
   EXPECT_EQ(store.Probe(0, Value(3)), (std::vector<size_t>{keep}));
 }
 
+TEST(TupleStoreTest, ProbeEachAndProbeIntoAgreeWithProbe) {
+  TupleStore store({0});
+  // Interleave inserts and removes so buckets carry tombstones.
+  std::vector<size_t> slots;
+  for (int i = 0; i < 200; ++i) {
+    slots.push_back(store.Insert(Tuple({Value(i % 13), Value(i)})));
+  }
+  for (size_t i = 0; i < slots.size(); i += 3) store.Remove(slots[i]);
+
+  std::vector<size_t> scratch;
+  for (int k = 0; k < 13; ++k) {
+    Value key(k);
+    std::vector<size_t> legacy = store.Probe(0, key);
+    std::vector<size_t> each;
+    store.ProbeEach(0, key,
+                    [&](size_t slot, const Tuple& t) {
+                      EXPECT_EQ(t.at(0), key);
+                      each.push_back(slot);
+                    });
+    store.ProbeInto(0, key, &scratch);
+    EXPECT_EQ(each, legacy) << "ProbeEach vs Probe on key " << k;
+    EXPECT_EQ(scratch, legacy) << "ProbeInto vs Probe on key " << k;
+  }
+}
+
+TEST(TupleStoreTest, ProbeFilteringTriggersCompaction) {
+  TupleStore store({0});
+  // Plenty of live tuples on other keys keeps the *remove-path*
+  // trigger quiet (dead never outnumbers live by kCompactDeadFactor)...
+  for (int i = 0; i < 1000; ++i) {
+    store.Insert(Tuple({Value(1000 + i), Value(i)}));
+  }
+  // ...while one hot key accumulates enough tombstones that a single
+  // probe filters >= kCompactMinDead dead slots and no live ones: the
+  // probe-path trigger must schedule a rebuild.
+  std::vector<size_t> hot;
+  for (size_t i = 0; i < TupleStore::kCompactMinDead + 10; ++i) {
+    hot.push_back(store.Insert(Tuple({Value(7), Value(static_cast<int64_t>(i))})));
+  }
+  for (size_t slot : hot) store.Remove(slot);
+  EXPECT_EQ(store.metrics().index_compactions, 0u);
+
+  // First probe walks the tombstones and schedules; the next executes.
+  store.ProbeEach(0, Value(7), [](size_t, const Tuple&) { FAIL(); });
+  store.ProbeEach(0, Value(7), [](size_t, const Tuple&) { FAIL(); });
+  EXPECT_GE(store.metrics().index_compactions, 1u);
+
+  // Compaction must not disturb live data.
+  EXPECT_EQ(store.live_count(), 1000u);
+  EXPECT_EQ(store.Probe(0, Value(1003)).size(), 1u);
+  size_t back = store.Insert(Tuple({Value(7), Value(-1)}));
+  EXPECT_EQ(store.Probe(0, Value(7)), (std::vector<size_t>{back}));
+}
+
+TEST(TupleStoreTest, CompactionInvariantsUnderInterleavedInsertPurge) {
+  TupleStore store({0, 1});
+  std::vector<size_t> slots;
+  for (int round = 0; round < 6; ++round) {
+    slots.clear();
+    for (int i = 0; i < 150; ++i) {
+      slots.push_back(store.Insert(
+          Tuple({Value(i % 5), Value("s" + std::to_string(i % 3))})));
+    }
+    // Purge every other slot, probe in between so probe- and
+    // remove-path triggers interleave.
+    std::vector<size_t> purge;
+    for (size_t i = 0; i < slots.size(); i += 2) purge.push_back(slots[i]);
+    store.PurgeSlots(purge);
+    size_t live_hits = 0;
+    store.ProbeEach(0, Value(2),
+                    [&](size_t slot, const Tuple&) {
+                      EXPECT_TRUE(store.IsLive(slot));
+                      ++live_hits;
+                    });
+    EXPECT_EQ(live_hits, store.Probe(0, Value(2)).size());
+    EXPECT_EQ(store.Probe(1, Value("s1")).size(),
+              store.Probe(1, Value(std::string("s1"))).size());
+  }
+  // Dense live bookkeeping stayed consistent with the indexes.
+  size_t via_iter = 0;
+  store.ForEachLive([&](size_t, const Tuple&) { ++via_iter; });
+  EXPECT_EQ(via_iter, store.live_count());
+}
+
+TEST(TupleStoreTest, CachedHashIsTypeStrict) {
+  TupleStore store({0});
+  size_t as_int = store.Insert(Tuple({Value(static_cast<int64_t>(5))}));
+  size_t as_str = store.Insert(Tuple({Value("5")}));
+  store.Insert(Tuple({Value(5.0)}));
+
+  // int64, double, and string keys with the "same" spelling are three
+  // distinct values: probes must not cross types even if hashes were
+  // ever to collide (probes re-check equality, and Value equality is
+  // type-strict).
+  EXPECT_EQ(store.Probe(0, Value(static_cast<int64_t>(5))),
+            (std::vector<size_t>{as_int}));
+  EXPECT_EQ(store.Probe(0, Value("5")), (std::vector<size_t>{as_str}));
+  EXPECT_EQ(store.Probe(0, Value(5.0)).size(), 1u);
+  bool any = store.AnyMatch(0, Value(static_cast<int64_t>(5)),
+                            [](const Tuple& t) {
+                              return t.at(0) == Value(static_cast<int64_t>(5));
+                            });
+  EXPECT_TRUE(any);
+  // Equal values hash equally regardless of how they were built.
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_NE(Value(static_cast<int64_t>(5)).Hash(), Value(5.0).Hash());
+}
+
+TEST(TupleStoreTest, SteadyStateProbesNeverAllocate) {
+  TupleStore store({0});
+  for (int i = 0; i < 500; ++i) {
+    store.Insert(Tuple({Value(i % 11), Value(i)}));
+  }
+  std::vector<size_t> scratch;
+  uint64_t sink = 0;
+  for (int i = 0; i < 2000; ++i) {
+    store.ProbeEach(0, Value(i % 11), [&](size_t, const Tuple&) { ++sink; });
+    store.ProbeInto(0, Value(i % 11), &scratch);
+    sink += scratch.size();
+    sink += store.AnyMatch(0, Value(i % 11),
+                           [](const Tuple&) { return true; });
+  }
+  EXPECT_GT(sink, 0u);
+  // The pinned property: the cursor paths count probes but never a
+  // probe allocation; only the legacy Probe() does.
+  EXPECT_GT(store.metrics().probes, 0u);
+  EXPECT_EQ(store.metrics().probe_allocs, 0u);
+  store.Probe(0, Value(3));
+  EXPECT_EQ(store.metrics().probe_allocs, 1u);
+}
+
 TEST(TupleStoreTest, NoIndexes) {
   TupleStore store({});
   store.Insert(Tuple({Value(1)}));

@@ -53,6 +53,13 @@ run_bench_smoke() {
   echo "=== [bench] smoke: bench_fig3_chained_purge ==="
   "${dir}/bench/bench_fig3_chained_purge" \
     --benchmark_min_time=0.01 --benchmark_filter='windows:20' >/dev/null
+  echo "=== [bench] hot-path regression gate ==="
+  # Default parameters match the checked-in baseline's configuration
+  # exactly (rates depend on store size / key cardinality). Fails
+  # (exit 1) if any tracked probe/purge rate drops below 75% of
+  # BENCH_hot_path.json — a >25% hot-path regression.
+  "${dir}/bench/bench_hot_path" --iters 1 \
+    --baseline "${ROOT}/BENCH_hot_path.json" --min-ratio 0.75
 }
 
 for config in ${CONFIGS}; do
