@@ -1,0 +1,317 @@
+// Arena-storage microbenchmarks: epoch-reclaimed arena vs per-tuple
+// heap ownership, on the insert path and on the interleaved
+// insert+purge cycle that punctuation-driven execution actually runs.
+//
+// Rows carry a string payload past Value's inline capacity, so heap
+// mode pays one vector plus one string allocation per insert while
+// arena mode bump-allocates both into the same block. The interleaved
+// section runs whole insert/purge/epoch rounds — the arena's headline
+// case, where a purge sweep retires blocks wholesale through the free
+// list instead of freeing tuples one by one. The binary CHECKs the
+// steady-state property (insert_allocs stops growing once the block
+// working set exists) and that arena-on/off end-to-end runs produce
+// identical result counts.
+//
+// Emits one JSON object (checked-in baseline: BENCH_arena.json,
+// experiment E17 in EXPERIMENTS.md). With --baseline FILE it exits
+// non-zero if a tracked micro rate fell below --min-ratio (default
+// 0.75) of the baseline — the CI regression gate (tools/ci.sh,
+// bench-smoke config).
+//
+// Usage: bench_arena [--rows N] [--keys K] [--rounds R]
+//                    [--generations G] [--iters I]
+//                    [--baseline FILE] [--min-ratio R]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/plan_executor.h"
+#include "exec/tuple_store.h"
+#include "util/logging.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<Tuple> MakeRows(size_t n, size_t keys) {
+  // An int64 join key, a string payload past the inline cap (external
+  // bytes in arena mode, a heap string otherwise), and a row id.
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple({Value(static_cast<int64_t>(i % keys)),
+                          Value("payload-string-well-past-inline-cap-" +
+                                std::to_string(i % keys)),
+                          Value(static_cast<int64_t>(i))}));
+  }
+  return rows;
+}
+
+struct MicroResult {
+  double insert_ps = 0;       // inserts/sec (single fill)
+  double interleaved_ps = 0;  // insert+purge ops/sec over full rounds
+  uint64_t steady_allocs = 0; // insert_allocs growth after warmup round
+  uint64_t blocks_reclaimed = 0;
+  size_t bytes_reserved = 0;
+  uint64_t checksum = 0;
+};
+
+MicroResult RunMicro(const std::vector<Tuple>& rows, size_t rounds,
+                     bool arena) {
+  MicroResult r;
+  TupleStoreOptions options{.arena = arena};
+
+  // Insert throughput: one cold fill.
+  {
+    TupleStore store({0}, options);
+    auto start = Clock::now();
+    for (const Tuple& t : rows) store.Insert(t);
+    double secs = SecondsSince(start);
+    r.insert_ps = secs > 0 ? rows.size() / secs : 0;
+    r.checksum += store.live_count();
+  }
+
+  // Interleaved insert+purge+epoch rounds — the punctuated-stream
+  // shape: a generation arrives, a punctuation retires it wholesale.
+  {
+    TupleStore store({0}, options);
+    std::vector<size_t> slots;
+    slots.reserve(rows.size());
+    // Warmup round builds the arena's block working set.
+    for (const Tuple& t : rows) slots.push_back(store.Insert(t));
+    store.PurgeSlots(slots);
+    store.AdvanceEpoch();
+    uint64_t allocs_after_warmup = store.metrics().Snapshot().insert_allocs;
+
+    auto start = Clock::now();
+    size_t ops = 0;
+    for (size_t round = 0; round < rounds; ++round) {
+      slots.clear();
+      for (const Tuple& t : rows) slots.push_back(store.Insert(t));
+      store.PurgeSlots(slots);
+      store.AdvanceEpoch();
+      ops += 2 * rows.size();
+    }
+    double secs = SecondsSince(start);
+    r.interleaved_ps = secs > 0 ? ops / secs : 0;
+
+    StateMetricsSnapshot snap = store.metrics().Snapshot();
+    r.steady_allocs = snap.insert_allocs - allocs_after_warmup;
+    r.blocks_reclaimed = snap.arena_blocks_reclaimed;
+    r.bytes_reserved = snap.arena_bytes_reserved;
+    r.checksum += store.live_count();
+  }
+  return r;
+}
+
+// ----------------------------------------------------------- end-to-end
+
+struct RunStats {
+  double seconds = 0;
+  uint64_t results = 0;
+};
+
+RunStats RunEndToEnd(const bench::ChainFixture& fx, const PlanShape& shape,
+                     const Trace& trace, bool arena) {
+  ExecutorConfig config;
+  config.arena = arena;
+  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
+  PUNCTSAFE_CHECK_OK(exec.status());
+  auto start = Clock::now();
+  PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
+  RunStats stats;
+  stats.seconds = SecondsSince(start);
+  stats.results = (*exec)->num_results();
+  return stats;
+}
+
+template <typename Fn>
+RunStats Best(size_t iters, const Fn& run) {
+  RunStats best;
+  for (size_t i = 0; i < iters; ++i) {
+    RunStats stats = run();
+    if (i == 0 || stats.seconds < best.seconds) best = stats;
+  }
+  return best;
+}
+
+// Pulls "key": number out of our own flat JSON.
+bool FindNumber(const std::string& text, const std::string& key,
+                double* out) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  size_t rows_n = 20000;
+  size_t keys = 512;
+  size_t rounds = 8;
+  size_t generations = 150;
+  size_t iters = 3;
+  std::string baseline_path;
+  double min_ratio = 0.75;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      rows_n = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--keys") == 0) {
+      keys = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      rounds = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--generations") == 0) {
+      generations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0) {
+      min_ratio = std::strtod(argv[i + 1], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'; flags: --rows N --keys N --rounds N "
+                   "--generations N --iters N --baseline FILE "
+                   "--min-ratio R\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<Tuple> rows = MakeRows(rows_n, keys);
+  MicroResult heap;
+  MicroResult arena;
+  // Best-of-iters per mode, interleaved to spread thermal/clock drift.
+  for (size_t i = 0; i < iters; ++i) {
+    MicroResult h = RunMicro(rows, rounds, /*arena=*/false);
+    MicroResult a = RunMicro(rows, rounds, /*arena=*/true);
+    if (i == 0 || h.interleaved_ps > heap.interleaved_ps) heap = h;
+    if (i == 0 || a.interleaved_ps > arena.interleaved_ps) arena = a;
+  }
+
+  // The headline steady-state property is a hard invariant, not a
+  // throughput number: after the warmup round, arena inserts must
+  // never hit the system allocator.
+  PUNCTSAFE_CHECK(arena.steady_allocs == 0)
+      << "arena steady state allocated " << arena.steady_allocs
+      << " blocks after warmup";
+  PUNCTSAFE_CHECK(arena.blocks_reclaimed > 0)
+      << "interleaved purge rounds reclaimed no blocks";
+
+  bench::ChainFixture fx = bench::MakeChain(3);
+  PlanShape shape = PlanShape::SingleMJoin(3);
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = generations;
+  tconfig.values_per_generation = 8;
+  tconfig.tuples_per_generation = 60;
+  Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
+
+  RunStats e2e_heap =
+      Best(iters, [&] { return RunEndToEnd(fx, shape, trace, false); });
+  RunStats e2e_arena =
+      Best(iters, [&] { return RunEndToEnd(fx, shape, trace, true); });
+  PUNCTSAFE_CHECK(e2e_heap.results == e2e_arena.results)
+      << "storage modes disagree: heap=" << e2e_heap.results
+      << " arena=" << e2e_arena.results;
+
+  double speedup = heap.interleaved_ps > 0
+                       ? arena.interleaved_ps / heap.interleaved_ps
+                       : 0;
+
+  std::ostringstream json;
+  char buf[256];
+  auto emit = [&](const char* key, double v, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.0f%s\n", key, v,
+                  comma ? "," : "");
+    json << buf;
+  };
+  json << "{\n";
+  json << "  \"bench\": \"arena\",\n";
+  json << "  \"rows\": " << rows_n << ",\n";
+  json << "  \"keys\": " << keys << ",\n";
+  json << "  \"rounds\": " << rounds << ",\n";
+  json << "  \"events\": " << trace.size() << ",\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  emit("heap_insert_per_sec", heap.insert_ps);
+  emit("arena_insert_per_sec", arena.insert_ps);
+  emit("heap_interleaved_ops_per_sec", heap.interleaved_ps);
+  emit("arena_interleaved_ops_per_sec", arena.interleaved_ps);
+  std::snprintf(buf, sizeof(buf),
+                "  \"arena_interleaved_speedup\": %.2f,\n", speedup);
+  json << buf;
+  json << "  \"arena_steady_state_insert_allocs\": "
+       << arena.steady_allocs << ",\n";
+  json << "  \"arena_blocks_reclaimed\": " << arena.blocks_reclaimed
+       << ",\n";
+  json << "  \"arena_bytes_reserved\": " << arena.bytes_reserved << ",\n";
+  emit("heap_e2e_events_per_sec",
+       e2e_heap.seconds > 0 ? trace.size() / e2e_heap.seconds : 0);
+  emit("arena_e2e_events_per_sec",
+       e2e_arena.seconds > 0 ? trace.size() / e2e_arena.seconds : 0);
+  std::snprintf(buf, sizeof(buf), "  \"results\": %llu,\n",
+                static_cast<unsigned long long>(e2e_arena.results));
+  json << buf;
+  std::snprintf(buf, sizeof(buf), "  \"checksum\": %llu\n",
+                static_cast<unsigned long long>(heap.checksum +
+                                                arena.checksum));
+  json << buf;
+  json << "}\n";
+  std::fputs(json.str().c_str(), stdout);
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string base = ss.str();
+    // Gate on the arena micro rates (stable across runs); end-to-end
+    // numbers are informational — they move with scheduler noise.
+    struct Tracked {
+      const char* key;
+      double current;
+    } tracked[] = {
+        {"arena_insert_per_sec", arena.insert_ps},
+        {"arena_interleaved_ops_per_sec", arena.interleaved_ps},
+    };
+    bool ok = true;
+    for (const Tracked& t : tracked) {
+      double want = 0;
+      if (!FindNumber(base, t.key, &want) || want <= 0) continue;
+      if (t.current < want * min_ratio) {
+        std::fprintf(stderr,
+                     "REGRESSION: %s = %.0f < %.2f x baseline %.0f\n",
+                     t.key, t.current, min_ratio, want);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::fprintf(stderr, "baseline check passed (min-ratio %.2f)\n",
+                 min_ratio);
+  }
+  return 0;
+}
+
+}  // namespace punctsafe
+
+int main(int argc, char** argv) { return punctsafe::Main(argc, argv); }

@@ -75,6 +75,7 @@ inline void RunTraceAndRecord(const ContinuousJoinQuery& query,
                               benchmark::State& state) {
   size_t high_water = 0, final_live = 0, punct_high = 0;
   uint64_t results = 0;
+  StateMetricsSnapshot mem;
   for (auto _ : state) {
     auto exec = PlanExecutor::Create(query, schemes, shape, config);
     PUNCTSAFE_CHECK_OK(exec.status());
@@ -83,6 +84,10 @@ inline void RunTraceAndRecord(const ContinuousJoinQuery& query,
     final_live = (*exec)->TotalLiveTuples();
     punct_high = (*exec)->punctuation_high_water();
     results = (*exec)->num_results();
+    mem = {};
+    for (const auto& op : (*exec)->operators()) {
+      mem += op->AggregateStateSnapshot();
+    }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(trace.size()));
@@ -90,6 +95,17 @@ inline void RunTraceAndRecord(const ContinuousJoinQuery& query,
   state.counters["final_live"] = static_cast<double>(final_live);
   state.counters["punct_hw"] = static_cast<double>(punct_high);
   state.counters["results"] = static_cast<double>(results);
+  // Memory-side gauges (experiment E17): the arena's reserved/live
+  // byte footprint, wholesale block reclaims, and how many system
+  // allocations the insert path performed (0-growth in arena steady
+  // state).
+  state.counters["arena_bytes_reserved"] =
+      static_cast<double>(mem.arena_bytes_reserved);
+  state.counters["arena_bytes_live"] =
+      static_cast<double>(mem.arena_bytes_live);
+  state.counters["arena_blocks_reclaimed"] =
+      static_cast<double>(mem.arena_blocks_reclaimed);
+  state.counters["insert_allocs"] = static_cast<double>(mem.insert_allocs);
 }
 
 /// One pipelined-executor pass over the trace; records the parallel

@@ -1,0 +1,110 @@
+#include "exec/arena.h"
+
+#include "util/logging.h"
+
+namespace punctsafe {
+
+namespace {
+constexpr size_t kAlign = 8;
+inline size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+}  // namespace
+
+uint32_t EpochArena::FreshBlock(size_t capacity) {
+  if (!free_blocks_.empty() && capacity <= block_bytes_) {
+    // Free-listed blocks all have capacity block_bytes_, so any
+    // standard-size request fits; steady state never mallocs here.
+    uint32_t id = free_blocks_.back();
+    free_blocks_.pop_back();
+    Block& b = blocks_[id];
+    b.used = 0;
+    b.live = 0;
+    b.queued = false;
+    b.born_epoch = epoch_;
+    return id;
+  }
+  size_t cap = capacity > block_bytes_ ? capacity : block_bytes_;
+  Block b;
+  b.data = std::make_unique<char[]>(cap);
+  b.capacity = cap;
+  b.born_epoch = epoch_;
+  blocks_.push_back(std::move(b));
+  bytes_reserved_ += cap;
+  ++blocks_allocated_;
+  return static_cast<uint32_t>(blocks_.size() - 1);
+}
+
+EpochArena::Allocation EpochArena::Allocate(size_t bytes) {
+  size_t need = AlignUp(bytes);
+  if (need > block_bytes_) {
+    // Oversized: a dedicated block of exactly the requested size, so a
+    // giant tuple cannot strand a whole standard block behind it.
+    uint32_t id = FreshBlock(need);
+    Block& b = blocks_[id];
+    b.used = need;
+    b.live = 1;
+    bytes_live_ += need;
+    return {b.data.get(), id};
+  }
+  if (current_ == kNoBlock || blocks_[current_].used + need >
+                                  blocks_[current_].capacity) {
+    current_ = FreshBlock(block_bytes_);
+  }
+  Block& b = blocks_[current_];
+  char* ptr = b.data.get() + b.used;
+  b.used += need;
+  b.live += 1;
+  bytes_live_ += need;
+  return {ptr, current_};
+}
+
+void EpochArena::NoteDead(uint32_t block) {
+  PUNCTSAFE_CHECK(block < blocks_.size()) << "NoteDead on unknown block";
+  Block& b = blocks_[block];
+  PUNCTSAFE_CHECK(b.live > 0) << "NoteDead underflow on block " << block;
+  b.live -= 1;
+  if (b.live == 0 && !b.queued) {
+    b.queued = true;
+    dead_candidates_.push_back(block);
+  }
+}
+
+size_t EpochArena::AdvanceEpoch() {
+  ++epoch_;
+  size_t reclaimed = 0;
+  for (uint32_t id : dead_candidates_) {
+    Block& b = blocks_[id];
+    b.queued = false;
+    // The current block may have gained fresh allocations after its
+    // counter touched zero; re-check before reclaiming.
+    if (b.live != 0) continue;
+    bytes_live_ -= b.used;
+    ++reclaimed;
+    ++blocks_reclaimed_;
+    if (id == current_) {
+      // Reset in place; the bump pointer restarts at the block base.
+      b.used = 0;
+      b.born_epoch = epoch_;
+    } else if (b.capacity == block_bytes_) {
+      ResetBlock(id);
+      free_blocks_.push_back(id);
+    } else {
+      // Oversized blocks are returned to the system — their capacity
+      // is workload-specific and reusing them would hoard memory.
+      bytes_reserved_ -= b.capacity;
+      b.data.reset();
+      b.capacity = 0;
+      b.used = 0;
+    }
+  }
+  dead_candidates_.clear();
+  return reclaimed;
+}
+
+void EpochArena::ResetBlock(uint32_t id) {
+  Block& b = blocks_[id];
+  b.used = 0;
+  b.live = 0;
+  b.born_epoch = epoch_;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,110 @@
+// Epoch-reclaimed bump allocator for join-state storage.
+//
+// Every tuple stored in a TupleStore (its value array plus any string
+// payload bytes) is one bump allocation into the arena's current
+// block. Blocks carry a live-allocation counter: storing a tuple
+// increments its block's counter, purging it decrements. A block whose
+// counter reaches zero is reclaimed *wholesale* — its bump pointer is
+// reset and the block goes back on a free list for reuse — turning
+// O(purged tuples) frees into O(blocks) releases, which is exactly the
+// shape of punctuation-driven purges (whole key-subspaces die at
+// once).
+//
+// Reclamation is deferred to AdvanceEpoch(), which the owning store
+// calls at purge-sweep boundaries: between two epoch advances, memory
+// of dead tuples is never reused, so `const Tuple&` references
+// obtained from probes stay valid for the remainder of the processing
+// step that obtained them (docs/PERF.md, "Arena & epochs"). Between
+// NoteDead and the next AdvanceEpoch a block is merely a *candidate*;
+// the advance re-checks its counter (the current block may have gained
+// fresh allocations since).
+//
+// Steady state allocates no system memory: once the working set of
+// blocks exists, insert/purge cycles recycle them through the free
+// list. blocks_allocated() counts the mallocs that did happen, which
+// is what StateMetrics::insert_allocs folds in.
+//
+// Not thread-safe: an arena is owned by exactly one TupleStore, which
+// is owned by exactly one operator (one shard worker under the
+// parallel executor).
+
+#ifndef PUNCTSAFE_EXEC_ARENA_H_
+#define PUNCTSAFE_EXEC_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace punctsafe {
+
+class EpochArena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+  static constexpr uint32_t kNoBlock = static_cast<uint32_t>(-1);
+
+  explicit EpochArena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  struct Allocation {
+    char* ptr = nullptr;
+    uint32_t block = kNoBlock;
+  };
+
+  /// \brief Bump-allocates `bytes` (8-byte aligned) and registers one
+  /// live unit on the owning block. Oversized requests get a dedicated
+  /// block of exactly the requested size.
+  Allocation Allocate(size_t bytes);
+
+  /// \brief Marks one unit of `block` dead. The block becomes a
+  /// reclamation candidate once all its units are dead; the memory is
+  /// only reused at the next AdvanceEpoch.
+  void NoteDead(uint32_t block);
+
+  /// \brief Epoch boundary (a punctuation-driven purge sweep just
+  /// finished): every block whose live counter is zero is reclaimed —
+  /// bump pointer reset, pushed onto the free list (the current block
+  /// is reset in place instead). Returns blocks reclaimed this call.
+  size_t AdvanceEpoch();
+
+  uint64_t epoch() const { return epoch_; }
+  /// \brief Total bytes of all blocks ever allocated and not freed
+  /// (free-listed blocks included — they are retained for reuse).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  /// \brief Bytes bump-allocated in blocks still holding live units
+  /// (an upper bound of live tuple bytes: a block with one survivor
+  /// counts in full — the documented fragmentation trade-off).
+  size_t bytes_live() const { return bytes_live_; }
+  uint64_t blocks_reclaimed() const { return blocks_reclaimed_; }
+  /// \brief Fresh block mallocs (free-list reuse does not count).
+  uint64_t blocks_allocated() const { return blocks_allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+    uint32_t live = 0;
+    bool queued = false;   // already on dead_candidates_
+    uint64_t born_epoch = 0;
+  };
+
+  uint32_t FreshBlock(size_t capacity);
+  void ResetBlock(uint32_t id);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<uint32_t> free_blocks_;
+  // Blocks whose live counter hit zero since the last epoch advance.
+  std::vector<uint32_t> dead_candidates_;
+  uint32_t current_ = kNoBlock;
+  uint64_t epoch_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_live_ = 0;
+  uint64_t blocks_reclaimed_ = 0;
+  uint64_t blocks_allocated_ = 0;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_ARENA_H_

@@ -42,6 +42,10 @@ struct StateMetricsSnapshot {
   uint64_t probes = 0;
   uint64_t probe_allocs = 0;
   uint64_t index_compactions = 0;
+  uint64_t insert_allocs = 0;
+  uint64_t arena_blocks_reclaimed = 0;
+  size_t arena_bytes_reserved = 0;
+  size_t arena_bytes_live = 0;
   size_t live = 0;
   size_t high_water = 0;
 
@@ -56,6 +60,10 @@ struct StateMetricsSnapshot {
     probes += other.probes;
     probe_allocs += other.probe_allocs;
     index_compactions += other.index_compactions;
+    insert_allocs += other.insert_allocs;
+    arena_blocks_reclaimed += other.arena_blocks_reclaimed;
+    arena_bytes_reserved += other.arena_bytes_reserved;
+    arena_bytes_live += other.arena_bytes_live;
     live += other.live;
     high_water += other.high_water;
     return *this;
@@ -75,6 +83,21 @@ struct StateMetrics {
   /// (pinned in tests/tuple_store_test.cc).
   std::atomic<uint64_t> probe_allocs{0};
   std::atomic<uint64_t> index_compactions{0};  ///< dead-slot index rebuilds
+  /// Heap/system allocations performed by Insert for tuple storage.
+  /// Without an arena every insert allocates (one per tuple, plus its
+  /// strings); with the arena only fresh block mallocs count, so once
+  /// the block working set has warmed up `insert_allocs` stops moving
+  /// — the steady-state "no alloc per insert" property benchmarked in
+  /// bench_arena (E17) and pinned in tests/tuple_store_test.cc.
+  std::atomic<uint64_t> insert_allocs{0};
+  /// Arena blocks reclaimed wholesale at epoch boundaries (0 without
+  /// an arena).
+  std::atomic<uint64_t> arena_blocks_reclaimed{0};
+  /// Gauges mirroring EpochArena::bytes_reserved/bytes_live (0 without
+  /// an arena); refreshed by the owning store after inserts and epoch
+  /// advances.
+  std::atomic<size_t> arena_bytes_reserved{0};
+  std::atomic<size_t> arena_bytes_live{0};
   std::atomic<size_t> live{0};             ///< currently stored tuples
   std::atomic<size_t> high_water{0};       ///< max live ever observed
 
@@ -84,6 +107,17 @@ struct StateMetrics {
   }
   void OnIndexCompaction() {
     index_compactions.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnInsertAllocs(uint64_t count) {
+    if (count != 0) insert_allocs.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnArenaEpoch(uint64_t reclaimed, size_t bytes_reserved,
+                    size_t bytes_live) {
+    if (reclaimed != 0) {
+      arena_blocks_reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+    }
+    arena_bytes_reserved.store(bytes_reserved, std::memory_order_relaxed);
+    arena_bytes_live.store(bytes_live, std::memory_order_relaxed);
   }
 
   void OnInsert() {
@@ -114,6 +148,12 @@ struct StateMetrics {
     s.probe_allocs = probe_allocs.load(std::memory_order_relaxed);
     s.index_compactions =
         index_compactions.load(std::memory_order_relaxed);
+    s.insert_allocs = insert_allocs.load(std::memory_order_relaxed);
+    s.arena_blocks_reclaimed =
+        arena_blocks_reclaimed.load(std::memory_order_relaxed);
+    s.arena_bytes_reserved =
+        arena_bytes_reserved.load(std::memory_order_relaxed);
+    s.arena_bytes_live = arena_bytes_live.load(std::memory_order_relaxed);
     s.live = live.load(std::memory_order_relaxed);
     s.high_water = high_water.load(std::memory_order_relaxed);
     return s;

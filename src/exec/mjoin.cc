@@ -138,7 +138,8 @@ Result<std::unique_ptr<MJoinOperator>> MJoinOperator::Create(
     std::sort(indexed[k].begin(), indexed[k].end());
     indexed[k].erase(std::unique(indexed[k].begin(), indexed[k].end()),
                      indexed[k].end());
-    op->states_.push_back(std::make_unique<TupleStore>(indexed[k]));
+    op->states_.push_back(std::make_unique<TupleStore>(
+        indexed[k], TupleStoreOptions{.arena = config.arena}));
     op->punct_stores_.push_back(
         std::make_unique<PunctuationStore>(config.punctuation_lifespan));
   }
@@ -268,31 +269,54 @@ void MJoinOperator::Expand(size_t v, const AssignmentBuffer& in,
     }
   }
   const size_t rows = in.size();
-  for (size_t r = 0; r < rows; ++r) {
-    const Tuple* const* a = in.Row(r);
-    auto matches = [&](const Tuple& candidate) {
-      for (size_t pi : verify_scratch_) {
-        const LocalPredicate& p = predicates_[pi];
-        size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
-        size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
-        size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
-        if (!(candidate.at(v_off) == a[o_in]->at(o_off))) return false;
+  if (probe_pred >= 0) {
+    const LocalPredicate& p = predicates_[probe_pred];
+    const size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
+    const size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
+    const size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
+    // Batch-aware probing: consecutive rows frequently carry the same
+    // probe key (all children of one parent row do), so the bucket
+    // lookup is done once per key *run*, not per row. The cached
+    // bucket pointer stays valid across the run because only
+    // FindBucket can trigger index compaction — ForBucketLive never
+    // mutates the index — and a run break re-resolves it.
+    const Value* run_key = nullptr;
+    const TupleStore::Bucket* bucket = nullptr;
+    for (size_t r = 0; r < rows; ++r) {
+      const Tuple* const* a = in.Row(r);
+      auto matches = [&](const Tuple& candidate) {
+        for (size_t pi : verify_scratch_) {
+          const LocalPredicate& vp = predicates_[pi];
+          size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
+          size_t vo_in = (vp.input_a == v) ? vp.input_b : vp.input_a;
+          size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
+          if (!(candidate.at(vv_off) == a[vo_in]->at(vo_off))) return false;
+        }
+        return true;
+      };
+      const Value& key = a[o_in]->at(o_off);
+      if (run_key == nullptr || !(*run_key == key)) {
+        bucket = states_[v]->FindBucket(v_off, key);
+        run_key = &key;
       }
-      return true;
-    };
-    if (probe_pred >= 0) {
-      const LocalPredicate& p = predicates_[probe_pred];
-      size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
-      size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
-      size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
-      states_[v]->ProbeEach(v_off, a[o_in]->at(o_off),
-                            [&](size_t, const Tuple& candidate) {
-                              if (matches(candidate)) {
-                                out->AppendWith(a, v, &candidate);
-                              }
-                            });
-    } else {
-      // No predicate to covered inputs: cross product.
+      states_[v]->ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
+        if (matches(candidate)) out->AppendWith(a, v, &candidate);
+      });
+    }
+  } else {
+    // No predicate to covered inputs: cross product.
+    for (size_t r = 0; r < rows; ++r) {
+      const Tuple* const* a = in.Row(r);
+      auto matches = [&](const Tuple& candidate) {
+        for (size_t pi : verify_scratch_) {
+          const LocalPredicate& vp = predicates_[pi];
+          size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
+          size_t vo_in = (vp.input_a == v) ? vp.input_b : vp.input_a;
+          size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
+          if (!(candidate.at(vv_off) == a[vo_in]->at(vo_off))) return false;
+        }
+        return true;
+      };
       states_[v]->ForEachLive([&](size_t, const Tuple& candidate) {
         if (matches(candidate)) out->AppendWith(a, v, &candidate);
       });
@@ -435,6 +459,10 @@ void MJoinOperator::Sweep(int64_t now) {
   }
   TryPropagate(now, changed);
   if (config_.purge_punctuations) PurgeObsoletePunctuations(now);
+  // Epoch boundary: no probe results from this sweep are in flight
+  // anymore, so purged payloads can be released and all-dead arena
+  // blocks reclaimed wholesale.
+  for (auto& state : states_) state->AdvanceEpoch();
 }
 
 void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
@@ -463,7 +491,8 @@ void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
         size_t u = (pred.input_a == v) ? pred.input_b : pred.input_a;
         size_t u_off = (pred.input_a == v) ? pred.offset_b : pred.offset_a;
         const Value& value = p.pattern(y).constant();
-        if (!punct_stores_[u]->CoversSubspace({u_off}, {value}, now)) {
+        if (!punct_stores_[u]->CoversSubspace(
+                {u_off}, std::span<const Value>(&value, 1), now)) {
           return false;  // future u tuples may still need p
         }
         if (states_[u]->AnyMatch(u_off, value,

@@ -68,6 +68,11 @@ struct MJoinConfig {
   /// its constrained attributes, the partner input is itself closed on
   /// the corresponding value and holds no matching live tuple.
   bool purge_punctuations = false;
+  /// Arena-backed tuple storage with epoch reclamation tied to purge
+  /// sweeps (TupleStoreOptions::arena); off = per-tuple heap
+  /// ownership. Results are identical either way — the differential
+  /// harness sweeps both.
+  bool arena = true;
 };
 
 class MJoinOperator : public JoinOperator {

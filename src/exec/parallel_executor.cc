@@ -92,6 +92,7 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
   PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
                              CheckPlanSafety(query, schemes, shape));
   if (config.shards == 0) config.shards = 1;
+  config.mjoin.arena = config.arena;
 
   auto exec = std::unique_ptr<ParallelExecutor>(new ParallelExecutor());
   exec->query_ = query;

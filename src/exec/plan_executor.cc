@@ -12,6 +12,7 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     const PlanShape& shape, ExecutorConfig config) {
   PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
                              CheckPlanSafety(query, schemes, shape));
+  config.mjoin.arena = config.arena;
 
   auto exec = std::unique_ptr<PlanExecutor>(new PlanExecutor());
   exec->query_ = query;

@@ -47,6 +47,12 @@ struct ExecutorConfig {
   /// thread count is (#operators x shards), so size against the
   /// machine's core count.
   size_t shards = 1;
+  /// Arena-backed tuple storage with epoch reclamation in every
+  /// operator state (copied into mjoin.arena at Create; arenas are
+  /// shard-local, so sharded execution needs no extra
+  /// synchronization). Off = per-tuple heap ownership; join results
+  /// are identical either way, which the differential harness sweeps.
+  bool arena = true;
 };
 
 class PlanExecutor {

@@ -43,7 +43,7 @@ bool PunctuationStore::Add(const Punctuation& punctuation, int64_t now) {
 }
 
 bool PunctuationStore::CoversSubspace(const std::vector<size_t>& attrs,
-                                      const std::vector<Value>& values,
+                                      std::span<const Value> values,
                                       int64_t now) const {
   for (const Group& group : groups_) {
     // Group applies iff its constrained attrs are a subset of `attrs`.

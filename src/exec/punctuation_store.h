@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +47,15 @@ class PunctuationStore {
   /// \brief True iff some stored, unexpired punctuation excludes every
   /// future tuple of the subspace {attrs[i] = values[i], rest = *}.
   bool CoversSubspace(const std::vector<size_t>& attrs,
-                      const std::vector<Value>& values, int64_t now) const;
+                      std::span<const Value> values, int64_t now) const;
+  // std::span has no initializer_list constructor; keep brace-list
+  // call sites working.
+  bool CoversSubspace(const std::vector<size_t>& attrs,
+                      std::initializer_list<Value> values,
+                      int64_t now) const {
+    return CoversSubspace(
+        attrs, std::span<const Value>(values.begin(), values.size()), now);
+  }
 
   /// \brief True iff a stored, unexpired punctuation matches the tuple
   /// (i.e. the tuple was promised never to arrive — contract

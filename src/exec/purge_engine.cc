@@ -30,8 +30,9 @@ Result<std::unique_ptr<PurgeEngine>> PurgeEngine::Create(
   for (size_t s = 0; s < query.num_streams(); ++s) {
     engine->stream_purgeable_.push_back(
         LocalInputPurgeable(s, query.num_streams(), engine->edges_));
-    engine->states_.push_back(
-        std::make_unique<TupleStore>(engine->query_.JoinAttrsOf(s)));
+    engine->states_.push_back(std::make_unique<TupleStore>(
+        engine->query_.JoinAttrsOf(s),
+        TupleStoreOptions{.arena = config.arena}));
     engine->punct_stores_.push_back(
         std::make_unique<PunctuationStore>(config.punctuation_lifespan));
   }
@@ -78,21 +79,31 @@ void PurgeEngine::Expand(size_t v, const AssignmentBuffer& in,
   const ResolvedPredicate& probe = query_.predicates()[probe_pred];
   size_t probe_other = probe.OtherStream(v);
   const size_t rows = in.size();
+  const size_t probe_attr = probe.AttrOn(v);
+  const size_t probe_other_attr = probe.AttrOn(probe_other);
+  // Batch-aware probing (same shape as MJoinOperator::Expand):
+  // consecutive rows sharing the probe key reuse one bucket lookup;
+  // only FindBucket can invalidate the cached pointer, and a run
+  // break re-resolves it.
+  const Value* run_key = nullptr;
+  const TupleStore::Bucket* bucket = nullptr;
   for (size_t r = 0; r < rows; ++r) {
     const Tuple* const* a = in.Row(r);
-    states_[v]->ProbeEach(
-        probe.AttrOn(v), a[probe_other]->at(probe.AttrOn(probe_other)),
-        [&](size_t, const Tuple& candidate) {
-          for (size_t pi : verify_scratch_) {
-            const ResolvedPredicate& p = query_.predicates()[pi];
-            size_t other = p.OtherStream(v);
-            if (!(candidate.at(p.AttrOn(v)) ==
-                  a[other]->at(p.AttrOn(other)))) {
-              return;
-            }
-          }
-          out->AppendWith(a, v, &candidate);
-        });
+    const Value& key = a[probe_other]->at(probe_other_attr);
+    if (run_key == nullptr || !(*run_key == key)) {
+      bucket = states_[v]->FindBucket(probe_attr, key);
+      run_key = &key;
+    }
+    states_[v]->ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
+      for (size_t pi : verify_scratch_) {
+        const ResolvedPredicate& p = query_.predicates()[pi];
+        size_t other = p.OtherStream(v);
+        if (!(candidate.at(p.AttrOn(v)) == a[other]->at(p.AttrOn(other)))) {
+          return;
+        }
+      }
+      out->AppendWith(a, v, &candidate);
+    });
   }
 }
 
@@ -167,6 +178,9 @@ std::vector<std::pair<size_t, size_t>> PurgeEngine::Sweep(int64_t now) {
     for (size_t slot : sweep_scratch_) released.emplace_back(s, slot);
     states_[s]->PurgeSlots(sweep_scratch_);
   }
+  // Epoch boundary: release purged payloads and reclaim all-dead
+  // arena blocks.
+  for (auto& state : states_) state->AdvanceEpoch();
   return released;
 }
 

@@ -48,7 +48,8 @@ SymmetricHashJoinOperator::Create(const ContinuousJoinQuery& query,
     std::vector<size_t> indexed = op->my_attrs_[side];
     std::sort(indexed.begin(), indexed.end());
     indexed.erase(std::unique(indexed.begin(), indexed.end()), indexed.end());
-    op->states_[side] = std::make_unique<TupleStore>(indexed);
+    op->states_[side] = std::make_unique<TupleStore>(
+        indexed, TupleStoreOptions{.arena = config.arena});
     op->punct_stores_[side] =
         std::make_unique<PunctuationStore>(config.punctuation_lifespan);
   }
@@ -131,13 +132,31 @@ void SymmetricHashJoinOperator::Sweep(int64_t now) {
   punctuations_since_sweep_ = 0;
   for (size_t side = 0; side < 2; ++side) {
     if (!purgeable_[side]) continue;
+    size_t other = 1 - side;
     sweep_scratch_.clear();
+    // Run-length verdict cache: removability depends only on the
+    // tuple's join-attribute projection, so a run of tuples with the
+    // same projection (bursty keys) costs one punctuation-store
+    // lookup, not one per tuple.
+    bool have_run = false;
+    bool run_removable = false;
     states_[side]->ForEachLive([&](size_t slot, const Tuple& t) {
       ++metrics_.removability_checks;
-      if (Removable(side, t, now)) sweep_scratch_.push_back(slot);
+      waiting_scratch_.clear();
+      for (size_t a : my_attrs_[side]) waiting_scratch_.push_back(t.at(a));
+      if (!have_run || waiting_scratch_ != sweep_key_scratch_) {
+        run_removable = punct_stores_[other]->CoversSubspace(
+            partner_attrs_[side], waiting_scratch_, now);
+        std::swap(sweep_key_scratch_, waiting_scratch_);
+        have_run = true;
+      }
+      if (run_removable) sweep_scratch_.push_back(slot);
     });
     states_[side]->PurgeSlots(sweep_scratch_);
   }
+  // Epoch boundary: release purged payloads and reclaim all-dead
+  // arena blocks (no probe results are in flight here).
+  for (auto& state : states_) state->AdvanceEpoch();
 }
 
 StateMetricsSnapshot SymmetricHashJoinOperator::AggregateStateSnapshot()

@@ -30,6 +30,9 @@ struct SymmetricHashJoinConfig {
   size_t lazy_batch = 64;
   std::optional<int64_t> punctuation_lifespan;
   bool drop_excluded_arrivals = true;
+  /// Arena-backed tuple storage with epoch reclamation (see
+  /// TupleStoreOptions::arena); results are identical on or off.
+  bool arena = true;
 };
 
 class SymmetricHashJoinOperator : public JoinOperator {
@@ -81,6 +84,7 @@ class SymmetricHashJoinOperator : public JoinOperator {
   // Removable is const): the per-arrival/per-sweep loops must not
   // allocate in steady state.
   mutable std::vector<Value> waiting_scratch_;
+  std::vector<Value> sweep_key_scratch_;
   std::vector<size_t> sweep_scratch_;
 };
 

@@ -1,12 +1,14 @@
 #include "exec/tuple_store.h"
 
-#include <algorithm>
+#include <cstring>
+#include <new>
 
 #include "util/logging.h"
 
 namespace punctsafe {
 
-TupleStore::TupleStore(std::vector<size_t> indexed_offsets)
+TupleStore::TupleStore(std::vector<size_t> indexed_offsets,
+                       TupleStoreOptions options)
     : indexed_offsets_(std::move(indexed_offsets)) {
   indexes_.resize(indexed_offsets_.size());
   for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
@@ -18,18 +20,64 @@ TupleStore::TupleStore(std::vector<size_t> indexed_offsets)
         << "duplicate indexed offset " << offset;
     offset_to_index_[offset] = i;
   }
+  if (options.arena) {
+    arena_ = std::make_unique<EpochArena>(options.arena_block_bytes);
+  }
 }
 
-size_t TupleStore::Insert(Tuple tuple) {
-  size_t slot = tuples_.size();
+size_t TupleStore::Insert(const Tuple& tuple) {
+  size_t slot = handles_.size();
   for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
     PUNCTSAFE_CHECK(indexed_offsets_[i] < tuple.size())
         << "indexed offset beyond tuple arity";
     // The cached hash makes this O(1) even for string keys; the Value
-    // key is copied only the first time a key appears in the index.
+    // key is copied (into owning storage) only the first time a key
+    // appears in the index.
     indexes_[i][tuple.at(indexed_offsets_[i])].push_back(slot);
   }
-  tuples_.push_back(std::move(tuple));
+  if (arena_) {
+    // One bump allocation holds the whole tuple: the Value array
+    // first, then the payload bytes of every string too long for
+    // Value's inline buffer. One allocation means one owning block per
+    // tuple, which is what makes per-block live counting exact.
+    size_t n = tuple.size();
+    size_t payload = 0;
+    for (const Value& v : tuple.values()) payload += v.ExternalBytes();
+    EpochArena::Allocation alloc =
+        arena_->Allocate(n * sizeof(Value) + payload);
+    Value* values = reinterpret_cast<Value*>(alloc.ptr);
+    char* bytes = alloc.ptr + n * sizeof(Value);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& src = tuple.at(i);
+      size_t extern_bytes = src.ExternalBytes();
+      if (extern_bytes > 0) {
+        std::string_view sv = src.AsString();
+        std::memcpy(bytes, sv.data(), extern_bytes);
+        new (values + i) Value(Value::ExternalString(
+            bytes, static_cast<uint32_t>(extern_bytes), src.Hash()));
+        bytes += extern_bytes;
+      } else {
+        // Scalars and inline-capable strings are self-contained; the
+        // copy is a plain payload copy, no allocation.
+        new (values + i) Value(src);
+      }
+    }
+    handles_.emplace_back(Tuple::ExternalRef{}, values, n);
+    slot_block_.push_back(alloc.block);
+    uint64_t block_allocs = arena_->blocks_allocated();
+    metrics_.OnInsertAllocs(block_allocs - last_block_allocs_);
+    last_block_allocs_ = block_allocs;
+    metrics_.OnArenaEpoch(0, arena_->bytes_reserved(), arena_->bytes_live());
+  } else {
+    // Heap mode: the handle owns a fresh value vector (one allocation)
+    // plus one per string that exceeds the inline buffer.
+    uint64_t allocs = 1;
+    for (const Value& v : tuple.values()) {
+      if (v.ExternalBytes() > 0) ++allocs;
+    }
+    handles_.push_back(tuple);
+    metrics_.OnInsertAllocs(allocs);
+  }
   live_.push_back(true);
   pos_in_live_.push_back(live_slots_.size());
   live_slots_.push_back(slot);
@@ -50,18 +98,37 @@ void TupleStore::Remove(size_t slot) {
   live_slots_.pop_back();
   --live_count_;
   ++dead_count_;
+  // Payload release is deferred to the epoch boundary: probe results
+  // referencing this slot stay valid for the rest of the step.
+  released_.push_back(slot);
   MaybeCompactIndexes();
+}
+
+void TupleStore::AdvanceEpoch() {
+  for (size_t slot : released_) {
+    if (arena_) arena_->NoteDead(slot_block_[slot]);
+    // Clear the handle: the slot id stays tombstoned forever, but the
+    // payload (heap mode) or the block's claim on it (arena mode) goes
+    // now.
+    handles_[slot] = Tuple();
+  }
+  released_.clear();
+  if (arena_) {
+    size_t reclaimed = arena_->AdvanceEpoch();
+    metrics_.OnArenaEpoch(reclaimed, arena_->bytes_reserved(),
+                          arena_->bytes_live());
+  }
 }
 
 void TupleStore::ForEachLive(
     const std::function<void(size_t, const Tuple&)>& fn) const {
-  for (size_t slot : live_slots_) fn(slot, tuples_[slot]);
+  for (size_t slot : live_slots_) fn(slot, handles_[slot]);
 }
 
 bool TupleStore::AnyLive(
     const std::function<bool(const Tuple&)>& pred) const {
   for (size_t slot : live_slots_) {
-    if (pred(tuples_[slot])) return true;
+    if (pred(handles_[slot])) return true;
   }
   return false;
 }
@@ -104,18 +171,22 @@ void TupleStore::MaybeCompactIndexes() {
 }
 
 void TupleStore::CompactIndexes() const {
-  // Dead tuples stay in `tuples_` (slot ids must remain stable); only
-  // index buckets are cleaned.
+  // Dead slots stay tombstoned in `live_` (slot ids must remain
+  // stable); only index buckets are cleaned, in place: compact the
+  // survivors to the front, then truncate (SmallVector keeps its
+  // storage — inline buckets never touch the heap here).
   metrics_.OnIndexCompaction();
   for (size_t i = 0; i < indexes_.size(); ++i) {
     for (auto it = indexes_[i].begin(); it != indexes_[i].end();) {
-      auto& slots = it->second;
-      slots.erase(std::remove_if(slots.begin(), slots.end(),
-                                 [this](size_t s) { return !live_[s]; }),
-                  slots.end());
-      if (slots.empty()) {
+      Bucket& slots = it->second;
+      size_t keep = 0;
+      for (size_t r = 0; r < slots.size(); ++r) {
+        if (live_[slots[r]]) slots[keep++] = slots[r];
+      }
+      if (keep == 0) {
         it = indexes_[i].erase(it);
       } else {
+        slots.truncate(keep);
         ++it;
       }
     }

@@ -6,17 +6,31 @@
 // standard symmetric-hash-join bookkeeping [Wilschut & Apers 1991].
 //
 // Hot-path layout (docs/PERF.md):
-//  * index buckets are keyed by Value under the *cached* hash
-//    (stream/value.h) — inserting or probing a string key never
-//    re-walks its bytes, the map's find does exactly one key equality,
-//    and bucket members need no per-slot equality re-check (each
-//    bucket is exact for its key, modulo tombstones);
+//  * tuple payloads live in a per-store **epoch arena** (exec/arena.h,
+//    on by default): Insert lays out the value array plus any long
+//    string bytes as ONE bump allocation, and purge sweeps release
+//    whole blocks at epoch boundaries instead of freeing tuples one by
+//    one. `TupleStoreOptions::arena = false` falls back to per-tuple
+//    heap ownership (the differential harness sweeps both);
+//  * index buckets are SmallVector<size_t, 4> — the common few-slot
+//    bucket lives inline in the map node, no pointer chase — keyed by
+//    Value under the *cached* hash (stream/value.h): inserting or
+//    probing a string key never re-walks its bytes, the map's find
+//    does exactly one key equality, and bucket members need no
+//    per-slot equality re-check (each bucket is exact for its key,
+//    modulo tombstones);
 //  * `offset_to_index_` maps attribute offset -> index position in
 //    O(1), replacing the old linear scan of `indexed_offsets_`;
 //  * ProbeEach / AnyMatch / ProbeInto are the allocation-free probe
-//    cursors the operators use; the legacy Probe() (which allocates a
-//    fresh result vector) remains for tests and cold paths and is the
-//    only probe flavor that bumps StateMetrics::probe_allocs.
+//    cursors the operators use; FindBucket/ForBucketLive split the
+//    cursor so batch-aware expansion can reuse one bucket lookup
+//    across a run of same-key rows.
+//
+// Lifetime contract: `const Tuple&`/`const Value&` references obtained
+// from At() or probes stay valid until the *next* AdvanceEpoch() —
+// removal only tombstones; payload release (and arena block reuse) is
+// deferred to the epoch boundary, which operators place at the end of
+// a purge sweep. References must not be held across AdvanceEpoch.
 //
 // Not thread-safe: each store is owned by exactly one operator (one
 // shard worker under the parallel executor). Probes are logically
@@ -28,14 +42,24 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/arena.h"
 #include "exec/metrics.h"
 #include "stream/tuple.h"
 #include "util/logging.h"
+#include "util/small_vector.h"
 
 namespace punctsafe {
+
+struct TupleStoreOptions {
+  /// Arena-backed tuple storage with epoch reclamation (default).
+  /// Off: every stored tuple owns its values individually on the heap.
+  bool arena = true;
+  size_t arena_block_bytes = EpochArena::kDefaultBlockBytes;
+};
 
 class TupleStore {
  public:
@@ -48,23 +72,37 @@ class TupleStore {
   static constexpr size_t kCompactMinDead = 64;
   static constexpr size_t kCompactDeadFactor = 2;
 
+  /// Inline bucket capacity: most buckets hold a handful of slots, so
+  /// they fit inside the map node with no heap spill.
+  using Bucket = SmallVector<size_t, 4>;
+
   /// \param indexed_offsets attribute positions to maintain hash
   ///        indexes on (the input's join attributes).
-  explicit TupleStore(std::vector<size_t> indexed_offsets);
+  explicit TupleStore(std::vector<size_t> indexed_offsets,
+                      TupleStoreOptions options = {});
 
-  /// \brief Stores a tuple; returns its slot id.
-  size_t Insert(Tuple tuple);
+  /// \brief Stores a copy of the tuple (arena-laid-out when the arena
+  /// is on); returns its slot id.
+  size_t Insert(const Tuple& tuple);
 
-  /// \brief Tombstones a slot (idempotent).
+  /// \brief Tombstones a slot (idempotent). The payload stays
+  /// addressable until the next AdvanceEpoch (see lifetime contract).
   void Remove(size_t slot);
+
+  /// \brief Epoch boundary: releases the payloads of every slot
+  /// removed since the previous call and lets the arena reclaim
+  /// all-dead blocks wholesale. Operators call this at the end of a
+  /// purge sweep — the one point where no probe results are in flight.
+  void AdvanceEpoch();
 
   bool IsLive(size_t slot) const {
     return slot < live_.size() && live_[slot];
   }
-  const Tuple& At(size_t slot) const { return tuples_[slot]; }
+  const Tuple& At(size_t slot) const { return handles_[slot]; }
 
   size_t live_count() const { return live_count_; }
   const StateMetrics& metrics() const { return metrics_; }
+  bool arena_enabled() const { return arena_ != nullptr; }
 
   /// \brief Counts an arriving tuple that was never stored because its
   /// removability already held ("purging future tuples", Sec 5.1).
@@ -84,14 +122,27 @@ class TupleStore {
            offset_to_index_[offset] != kNoIndex;
   }
 
-  /// \brief Allocation-free probe cursor: calls fn(slot, tuple) for
-  /// every live tuple whose `offset` attribute equals `value`, via the
-  /// hash index. `offset` must be indexed. The callback must not
-  /// mutate the store (the bucket being walked would be invalidated).
+  /// \brief Resolves the index bucket for (offset, value); nullptr
+  /// when no key matches. Runs any pending probe-triggered compaction
+  /// first, so the returned pointer is valid until the next FindBucket
+  /// / Remove / Insert on this store — which is what lets batch-aware
+  /// expansion visit one bucket for a whole run of same-key rows
+  /// (ForBucketLive never invalidates it).
+  const Bucket* FindBucket(size_t offset, const Value& value) const {
+    if (pending_compact_) CompactIndexes();
+    PUNCTSAFE_CHECK(HasIndexOn(offset))
+        << "probe on non-indexed offset " << offset;
+    const HashIndex& index = indexes_[offset_to_index_[offset]];
+    auto it = index.find(value);
+    return it == index.end() ? nullptr : &it->second;
+  }
+
+  /// \brief Visits every live member of a FindBucket result (nullptr
+  /// allowed: counts the probe, visits nothing). The callback must not
+  /// mutate the store.
   template <typename Fn>
-  void ProbeEach(size_t offset, const Value& value, Fn&& fn) const {
+  void ForBucketLive(const Bucket* bucket, Fn&& fn) const {
     metrics_.OnProbe();
-    const std::vector<size_t>* bucket = BucketFor(offset, value);
     if (bucket == nullptr) return;
     size_t dead = 0;
     size_t hit = 0;
@@ -100,12 +151,21 @@ class TupleStore {
         ++dead;
         continue;
       }
-      // The bucket is exact for `value` (Value-keyed index), so every
+      // The bucket is exact for its key (Value-keyed index), so every
       // live member is a match.
       ++hit;
-      fn(slot, tuples_[slot]);
+      fn(slot, handles_[slot]);
     }
     NoteProbeFilter(dead, hit);
+  }
+
+  /// \brief Allocation-free probe cursor: calls fn(slot, tuple) for
+  /// every live tuple whose `offset` attribute equals `value`, via the
+  /// hash index. `offset` must be indexed. The callback must not
+  /// mutate the store (the bucket being walked would be invalidated).
+  template <typename Fn>
+  void ProbeEach(size_t offset, const Value& value, Fn&& fn) const {
+    ForBucketLive(FindBucket(offset, value), std::forward<Fn>(fn));
   }
 
   /// \brief Early-exit probe: true iff some live matching tuple
@@ -113,10 +173,10 @@ class TupleStore {
   template <typename Pred>
   bool AnyMatch(size_t offset, const Value& value, Pred&& pred) const {
     metrics_.OnProbe();
-    const std::vector<size_t>* bucket = BucketFor(offset, value);
+    const Bucket* bucket = FindBucket(offset, value);
     if (bucket == nullptr) return false;
     for (size_t slot : *bucket) {
-      if (live_[slot] && pred(tuples_[slot])) return true;
+      if (live_[slot] && pred(handles_[slot])) return true;
     }
     return false;
   }
@@ -127,10 +187,15 @@ class TupleStore {
   void ProbeInto(size_t offset, const Value& value,
                  std::vector<size_t>* out) const;
 
-  /// \brief Live slots whose `offset` attribute equals `value`. Legacy
-  /// allocating flavor — a fresh vector per call (counted in
-  /// StateMetrics::probe_allocs); prefer ProbeEach/ProbeInto on hot
-  /// paths.
+  /// \brief Live slots whose `offset` attribute equals `value`.
+  ///
+  /// Deprecated for production use: this legacy flavor heap-allocates
+  /// a fresh result vector per call and is the only probe that bumps
+  /// StateMetrics::probe_allocs — `probe_allocs == 0` is the pinned
+  /// steady-state invariant, so any nonzero reading means a hot path
+  /// regressed onto this API. Kept for tests and as the comparison
+  /// baseline in bench_hot_path; new operator code must use
+  /// ProbeEach / AnyMatch / ProbeInto / FindBucket+ForBucketLive.
   std::vector<size_t> Probe(size_t offset, const Value& value) const;
 
   /// \brief Marks `slots` purged and updates metrics.
@@ -142,25 +207,14 @@ class TupleStore {
   // Keyed by Value so a bucket's slots all carry exactly that key (no
   // per-slot re-check on probes); ValueHash reads the cached hash, so
   // neither insert nor probe ever re-hashes the key bytes. Type-strict
-  // Value equality keeps int64/double/string keys disjoint.
-  using HashIndex =
-      std::unordered_map<Value, std::vector<size_t>, ValueHash>;
-
-  /// Runs a pending probe-triggered compaction, then resolves the
-  /// bucket for (offset, value); nullptr when no key matches.
-  const std::vector<size_t>* BucketFor(size_t offset,
-                                       const Value& value) const {
-    if (pending_compact_) CompactIndexes();
-    PUNCTSAFE_CHECK(HasIndexOn(offset))
-        << "probe on non-indexed offset " << offset;
-    const HashIndex& index = indexes_[offset_to_index_[offset]];
-    auto it = index.find(value);
-    return it == index.end() ? nullptr : &it->second;
-  }
+  // Value equality keeps int64/double/string keys disjoint. The key
+  // Value is a *copy* (owning — Value's copy constructor re-owns
+  // external string bytes), so index keys never dangle into the arena.
+  using HashIndex = std::unordered_map<Value, Bucket, ValueHash>;
 
   /// Probe-path compaction trigger: a probe that filtered out more
   /// dead than live slots schedules a rebuild, executed at the next
-  /// probe entry (never mid-iteration).
+  /// FindBucket entry (never mid-iteration).
   void NoteProbeFilter(size_t dead, size_t live_hits) const {
     if (dead >= kCompactMinDead && dead > live_hits) {
       pending_compact_ = true;
@@ -173,13 +227,25 @@ class TupleStore {
   std::vector<size_t> indexed_offsets_;
   // offset -> position in indexes_ (kNoIndex when not indexed).
   std::vector<size_t> offset_to_index_;
-  std::vector<Tuple> tuples_;
+  // Per-slot tuple handles. With the arena on these are non-owning
+  // views into arena blocks; without it, owning tuples. Either way a
+  // removed slot's handle is cleared at the next AdvanceEpoch (slot
+  // ids stay stable; payload memory does not outlive the epoch).
+  std::vector<Tuple> handles_;
   std::vector<bool> live_;
   // Dense list of live slots (swap-remove maintained) so iteration
   // costs O(live), not O(ever inserted).
   std::vector<size_t> live_slots_;
   std::vector<size_t> pos_in_live_;
   size_t live_count_ = 0;
+  // Arena storage (nullptr when options.arena is false).
+  std::unique_ptr<EpochArena> arena_;
+  // Slot -> arena block owning its payload (arena mode only).
+  std::vector<uint32_t> slot_block_;
+  // Slots removed since the last AdvanceEpoch, awaiting payload
+  // release at the epoch boundary.
+  std::vector<size_t> released_;
+  uint64_t last_block_allocs_ = 0;
   // One index per indexed offset: key Value -> slots (buckets may
   // contain dead slots until compaction; never slots with a different
   // key). `mutable` because logically-const probes trigger the lazy

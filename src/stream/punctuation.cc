@@ -34,7 +34,7 @@ bool Punctuation::Matches(const Tuple& t) const {
 }
 
 bool Punctuation::ExcludesSubspace(const std::vector<size_t>& attrs,
-                                   const std::vector<Value>& values) const {
+                                   std::span<const Value> values) const {
   PUNCTSAFE_CHECK(attrs.size() == values.size());
   for (size_t i = 0; i < patterns_.size(); ++i) {
     if (patterns_[i].is_wildcard()) continue;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,7 +88,14 @@ class Punctuation {
   /// slice of the subspace, not all of it. This is the primitive the
   /// chained purge strategy (paper Sec 3.2) is built on.
   bool ExcludesSubspace(const std::vector<size_t>& attrs,
-                        const std::vector<Value>& values) const;
+                        std::span<const Value> values) const;
+  // std::span has no initializer_list constructor; keep brace-list
+  // call sites working.
+  bool ExcludesSubspace(const std::vector<size_t>& attrs,
+                        std::initializer_list<Value> values) const {
+    return ExcludesSubspace(
+        attrs, std::span<const Value>(values.begin(), values.size()));
+  }
 
   bool operator==(const Punctuation& other) const {
     return patterns_ == other.patterns_;

@@ -5,18 +5,18 @@
 namespace punctsafe {
 
 Status Tuple::MatchesSchema(const Schema& schema) const {
-  if (values_.size() != schema.num_attributes()) {
+  if (size_ != schema.num_attributes()) {
     return Status::InvalidArgument(
-        StrCat("tuple arity ", values_.size(), " != schema arity ",
+        StrCat("tuple arity ", size_, " != schema arity ",
                schema.num_attributes()));
   }
-  for (size_t i = 0; i < values_.size(); ++i) {
-    if (values_[i].is_null()) continue;
-    if (values_[i].type() != schema.attribute(i).type) {
+  for (size_t i = 0; i < size_; ++i) {
+    if (data_[i].is_null()) continue;
+    if (data_[i].type() != schema.attribute(i).type) {
       return Status::InvalidArgument(
           StrCat("attribute '", schema.attribute(i).name, "' expects ",
                  ValueTypeToString(schema.attribute(i).type), ", got ",
-                 ValueTypeToString(values_[i].type())));
+                 ValueTypeToString(data_[i].type())));
     }
   }
   return Status::OK();
@@ -24,13 +24,14 @@ Status Tuple::MatchesSchema(const Schema& schema) const {
 
 size_t Tuple::Hash() const {
   size_t seed = kTupleHashSeed;
-  for (const auto& v : values_) seed = TupleHashStep(seed, v.Hash());
+  for (size_t i = 0; i < size_; ++i) seed = TupleHashStep(seed, data_[i].Hash());
   return seed;
 }
 
 std::string Tuple::ToString() const {
   return StrCat(
-      "(", JoinMapped(values_, ", ", [](const Value& v) { return v.ToString(); }),
+      "(",
+      JoinMapped(values(), ", ", [](const Value& v) { return v.ToString(); }),
       ")");
 }
 

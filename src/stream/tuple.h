@@ -4,6 +4,7 @@
 #define PUNCTSAFE_STREAM_TUPLE_H_
 
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,19 +25,89 @@ inline size_t TupleHashStep(size_t seed, size_t value_hash) {
 /// \brief A positional row. Tuples are schema-agnostic containers;
 /// conformance is checked via MatchesSchema where it matters
 /// (operator input boundaries, workload generators).
+///
+/// A Tuple either owns its values (the default: a vector) or is a
+/// non-owning *view* of a Value array laid out elsewhere — the
+/// arena-resident form TupleStore keeps for stored state
+/// (exec/arena.h). Copying any Tuple produces an owning copy (the
+/// Value copy constructor likewise re-owns external string bytes), so
+/// views never escape their arena's lifetime through the value API.
 class Tuple {
  public:
-  Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  /// Tag for constructing a non-owning view over externally managed
+  /// values (TupleStore's arena layout).
+  struct ExternalRef {};
 
-  size_t size() const { return values_.size(); }
-  const Value& at(size_t i) const { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : owned_(std::move(values)) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  Tuple(std::initializer_list<Value> values) : owned_(values) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  Tuple(ExternalRef, const Value* data, size_t size)
+      : data_(data), size_(size) {}
+
+  Tuple(const Tuple& other) : owned_(other.begin(), other.end()) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  Tuple(Tuple&& other) noexcept {
+    bool view = other.is_external();  // decide before owned_ moves
+    owned_ = std::move(other.owned_);
+    if (view) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      owned_.assign(other.begin(), other.end());
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      bool view = other.is_external();
+      owned_ = std::move(other.owned_);
+      if (view) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        data_ = owned_.data();
+        size_ = owned_.size();
+      }
+      other.owned_.clear();
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~Tuple() = default;
+
+  /// \brief Whether this Tuple views externally managed values (its
+  /// data lives in an arena, valid only while that storage is).
+  bool is_external() const { return data_ != nullptr && !was_owning(); }
+
+  size_t size() const { return size_; }
+  const Value& at(size_t i) const { return data_[i]; }
+  std::span<const Value> values() const { return {data_, size_}; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
 
   /// \brief Cached hash of the value at position i (the per-offset
   /// key-hash accessor the join indexes key on; O(1), no re-hashing).
-  size_t HashAt(size_t i) const { return values_[i].Hash(); }
+  size_t HashAt(size_t i) const { return data_[i].Hash(); }
 
   /// \brief Arity and per-position type conformance (null allowed
   /// anywhere; the paper's model has no null semantics so workloads do
@@ -44,10 +115,19 @@ class Tuple {
   Status MatchesSchema(const Schema& schema) const;
 
   bool operator==(const Tuple& other) const {
-    return values_ == other.values_;
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == other.data_[i])) return false;
+    }
+    return true;
   }
   bool operator<(const Tuple& other) const {
-    return values_ < other.values_;
+    size_t n = size_ < other.size_ ? size_ : other.size_;
+    for (size_t i = 0; i < n; ++i) {
+      if (data_[i] < other.data_[i]) return true;
+      if (other.data_[i] < data_[i]) return false;
+    }
+    return size_ < other.size_;
   }
 
   size_t Hash() const;
@@ -55,7 +135,14 @@ class Tuple {
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;
+  // An owning tuple keeps data_ pointing into owned_; a view keeps
+  // owned_ empty. A default-constructed (empty) tuple has data_ ==
+  // nullptr, size_ == 0 and counts as owning.
+  bool was_owning() const { return data_ == owned_.data(); }
+
+  std::vector<Value> owned_;
+  const Value* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 struct TupleHash {

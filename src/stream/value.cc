@@ -6,6 +6,20 @@
 
 namespace punctsafe {
 
+namespace {
+// Per-type hash seeds and mixing match the historical recipe: seed the
+// type index with a golden-ratio multiple, then fold in the payload
+// hash boost-combine style. Equal values hash equally across all
+// storage modes because string hashing runs over the bytes
+// (std::hash<std::string_view> hashes bytes, mode-independent).
+inline size_t TypeSeed(ValueType type) {
+  return static_cast<size_t>(type) * 0x9E3779B97F4A7C15ULL;
+}
+inline size_t Mix(size_t seed, size_t payload_hash) {
+  return seed ^ (payload_hash + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
 const char* ValueTypeToString(ValueType type) {
   switch (type) {
     case ValueType::kNull:
@@ -20,44 +34,95 @@ const char* ValueTypeToString(ValueType type) {
   return "?";
 }
 
+size_t Value::HashNull() { return TypeSeed(ValueType::kNull); }
+
+size_t Value::HashInt64(int64_t v) {
+  return Mix(TypeSeed(ValueType::kInt64), std::hash<int64_t>{}(v));
+}
+
+size_t Value::HashDouble(double v) {
+  return Mix(TypeSeed(ValueType::kDouble), std::hash<double>{}(v));
+}
+
+size_t Value::HashString(std::string_view v) {
+  return Mix(TypeSeed(ValueType::kString), std::hash<std::string_view>{}(v));
+}
+
+void Value::SetString(const char* data, uint32_t len, size_t hash) {
+  len_ = len;
+  hash_ = hash;
+  if (len <= kInlineStringCap) {
+    mode_ = Mode::kInlineStr;
+    if (len > 0) std::memcpy(payload_.inline_str, data, len);
+  } else {
+    mode_ = Mode::kOwnedStr;
+    payload_.owned_str = new char[len];
+    std::memcpy(payload_.owned_str, data, len);
+  }
+}
+
+Value Value::ExternalString(const char* data, uint32_t len, size_t hash) {
+  Value v;
+  v.len_ = len;
+  v.hash_ = hash;
+  if (len <= kInlineStringCap) {
+    v.mode_ = Mode::kInlineStr;
+    if (len > 0) std::memcpy(v.payload_.inline_str, data, len);
+  } else {
+    v.mode_ = Mode::kExternalStr;
+    v.payload_.external_str = data;
+  }
+  return v;
+}
+
+void Value::FreeOwned() noexcept { delete[] payload_.owned_str; }
+
+void Value::CopyFrom(const Value& other) {
+  switch (other.mode_) {
+    case Mode::kOwnedStr:
+    case Mode::kExternalStr:
+      // Deep-copy: an external (arena-resident) source must not leak
+      // its non-owning pointer into the copy.
+      SetString(other.string_view().data(), other.len_, other.hash_);
+      break;
+    default:
+      payload_ = other.payload_;
+      mode_ = other.mode_;
+      len_ = other.len_;
+      hash_ = other.hash_;
+      break;
+  }
+}
+
+void Value::MoveFrom(Value& other) noexcept {
+  payload_ = other.payload_;
+  mode_ = other.mode_;
+  len_ = other.len_;
+  hash_ = other.hash_;
+  if (other.mode_ == Mode::kOwnedStr) {
+    // Ownership transferred; neuter the source.
+    other.mode_ = Mode::kNull;
+    other.len_ = 0;
+    other.hash_ = HashNull();
+  }
+}
+
 int64_t Value::AsInt64() const {
   PUNCTSAFE_CHECK(type() == ValueType::kInt64)
       << "AsInt64 on " << ValueTypeToString(type());
-  return std::get<int64_t>(repr_);
+  return payload_.i;
 }
 
 double Value::AsDouble() const {
   PUNCTSAFE_CHECK(type() == ValueType::kDouble)
       << "AsDouble on " << ValueTypeToString(type());
-  return std::get<double>(repr_);
+  return payload_.d;
 }
 
-const std::string& Value::AsString() const {
+std::string_view Value::AsString() const {
   PUNCTSAFE_CHECK(type() == ValueType::kString)
       << "AsString on " << ValueTypeToString(type());
-  return std::get<std::string>(repr_);
-}
-
-size_t Value::ComputeHash(const Repr& repr) {
-  auto type = static_cast<ValueType>(repr.index());
-  size_t seed = static_cast<size_t>(type) * 0x9E3779B97F4A7C15ULL;
-  switch (type) {
-    case ValueType::kNull:
-      break;
-    case ValueType::kInt64:
-      seed ^= std::hash<int64_t>{}(std::get<int64_t>(repr)) +
-              0x9E3779B9u + (seed << 6) + (seed >> 2);
-      break;
-    case ValueType::kDouble:
-      seed ^= std::hash<double>{}(std::get<double>(repr)) + 0x9E3779B9u +
-              (seed << 6) + (seed >> 2);
-      break;
-    case ValueType::kString:
-      seed ^= std::hash<std::string>{}(std::get<std::string>(repr)) +
-              0x9E3779B9u + (seed << 6) + (seed >> 2);
-      break;
-  }
-  return seed;
+  return string_view();
 }
 
 std::string Value::ToString() const {
@@ -67,13 +132,13 @@ std::string Value::ToString() const {
       out << "null";
       break;
     case ValueType::kInt64:
-      out << std::get<int64_t>(repr_);
+      out << payload_.i;
       break;
     case ValueType::kDouble:
-      out << std::get<double>(repr_);
+      out << payload_.d;
       break;
     case ValueType::kString:
-      out << '"' << std::get<std::string>(repr_) << '"';
+      out << '"' << string_view() << '"';
       break;
   }
   return out.str();

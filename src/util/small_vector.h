@@ -1,0 +1,191 @@
+// A vector with inline capacity: the first N elements live inside the
+// object, so small instances (the common case for join index buckets,
+// which usually hold a handful of slots) cost no heap allocation and
+// no pointer chase. Past N elements the storage spills to the heap
+// with the usual doubling growth; it never moves back inline.
+//
+// The interface is the subset the tuple-store buckets need —
+// push_back, indexed access, iteration, swap-remove (`erase_unordered`,
+// the bucket-maintenance primitive), `truncate` for in-place filtering
+// — plus copy/move so instances can live in hash-map values.
+//
+// Not thread-safe; elements must be movable. Intended for small
+// trivially-relocatable payloads (slot ids); move construction of
+// an inline instance moves element-by-element.
+
+#ifndef PUNCTSAFE_UTIL_SMALL_VECTOR_H_
+#define PUNCTSAFE_UTIL_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace punctsafe {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned element types are not supported");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() : data_(inline_ptr()), size_(0), capacity_(N) {}
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    if (other.is_heap()) {
+      // Steal the heap buffer wholesale.
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_ptr();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (data_ + i) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (data_ + i) T(other.data_[i]);
+      }
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      if (other.is_heap()) {
+        data_ = other.data_;
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        other.data_ = other.inline_ptr();
+        other.size_ = 0;
+        other.capacity_ = N;
+      } else {
+        data_ = inline_ptr();
+        capacity_ = N;
+        size_ = other.size_;
+        for (size_t i = 0; i < other.size_; ++i) {
+          new (data_ + i) T(std::move(other.data_[i]));
+          other.data_[i].~T();
+        }
+        other.size_ = 0;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy_all(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// \brief Whether the elements spilled out of the inline buffer.
+  bool is_heap() const { return data_ != inline_ptr(); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    new (data_ + size_) T(v);
+    ++size_;
+  }
+  void push_back(T&& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    new (data_ + size_) T(std::move(v));
+    ++size_;
+  }
+
+  void pop_back() {
+    data_[size_ - 1].~T();
+    --size_;
+  }
+
+  /// \brief Removes element i by swapping the back into its place —
+  /// O(1), order not preserved (bucket order carries no meaning).
+  void erase_unordered(size_t i) {
+    if (i + 1 != size_) data_[i] = std::move(data_[size_ - 1]);
+    pop_back();
+  }
+
+  /// \brief Drops every element at index >= n (for in-place filtering:
+  /// compact the survivors to the front, then truncate).
+  void truncate(size_t n) {
+    while (size_ > n) pop_back();
+  }
+
+  void clear() { truncate(0); }
+
+  void reserve(size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+ private:
+  T* inline_ptr() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_ptr() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void destroy_all() {
+    clear();
+    if (is_heap()) {
+      ::operator delete(data_);
+      data_ = inline_ptr();
+      capacity_ = N;
+    }
+  }
+
+  void grow(size_t want) {
+    size_t cap = capacity_;
+    while (cap < want) cap *= 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (is_heap()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_;
+  size_t size_;
+  size_t capacity_;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_UTIL_SMALL_VECTOR_H_

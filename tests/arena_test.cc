@@ -1,0 +1,120 @@
+#include "exec/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace punctsafe {
+namespace {
+
+TEST(EpochArenaTest, AllocationsAreAlignedAndDistinct) {
+  EpochArena arena(1024);
+  std::set<char*> seen;
+  for (int i = 0; i < 16; ++i) {
+    EpochArena::Allocation a = arena.Allocate(24);
+    ASSERT_NE(a.ptr, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a.ptr) % 8, 0u);
+    EXPECT_TRUE(seen.insert(a.ptr).second) << "allocations must not overlap";
+    std::memset(a.ptr, 0xAB, 24);  // ASan catches any overlap/overflow
+  }
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_GT(arena.bytes_live(), 0u);
+}
+
+TEST(EpochArenaTest, ReclaimsOnlyAtEpochBoundary) {
+  EpochArena arena(256);
+  // Fill past the first block so block 0 is no longer current.
+  std::vector<EpochArena::Allocation> allocs;
+  while (allocs.size() < 2 || allocs.back().block == allocs.front().block) {
+    allocs.push_back(arena.Allocate(64));
+  }
+  uint32_t first = allocs.front().block;
+  size_t in_first = 0;
+  for (const auto& a : allocs) {
+    if (a.block == first) ++in_first;
+  }
+  ASSERT_GE(in_first, 1u);
+
+  for (const auto& a : allocs) {
+    if (a.block == first) arena.NoteDead(a.block);
+  }
+  // Dead but not past an epoch boundary: nothing reclaimed yet.
+  EXPECT_EQ(arena.blocks_reclaimed(), 0u);
+
+  size_t reclaimed = arena.AdvanceEpoch();
+  EXPECT_EQ(reclaimed, 1u);
+  EXPECT_EQ(arena.blocks_reclaimed(), 1u);
+  EXPECT_EQ(arena.epoch(), 1u);
+}
+
+TEST(EpochArenaTest, FreeListReuseAvoidsFreshMallocs) {
+  EpochArena arena(256);
+  // Build a working set of blocks, kill everything, advance, then
+  // refill: the second wave must come entirely off the free list.
+  std::vector<EpochArena::Allocation> allocs;
+  for (int i = 0; i < 32; ++i) allocs.push_back(arena.Allocate(64));
+  uint64_t mallocs_after_warmup = arena.blocks_allocated();
+  size_t reserved_after_warmup = arena.bytes_reserved();
+
+  for (const auto& a : allocs) arena.NoteDead(a.block);
+  arena.AdvanceEpoch();
+
+  for (int i = 0; i < 32; ++i) arena.Allocate(64);
+  EXPECT_EQ(arena.blocks_allocated(), mallocs_after_warmup)
+      << "steady-state refill must reuse free-listed blocks";
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_warmup)
+      << "free-listed blocks stay reserved for reuse";
+}
+
+TEST(EpochArenaTest, CurrentBlockRefilledBeforeAdvanceIsKept) {
+  EpochArena arena(256);
+  EpochArena::Allocation a = arena.Allocate(64);
+  arena.NoteDead(a.block);  // current block becomes a candidate...
+  EpochArena::Allocation b = arena.Allocate(64);  // ...then refills
+  ASSERT_EQ(a.block, b.block);
+  size_t reclaimed = arena.AdvanceEpoch();
+  EXPECT_EQ(reclaimed, 0u) << "advance must re-check the live counter";
+  // The refilled allocation is still addressable.
+  std::memset(b.ptr, 0xCD, 64);
+}
+
+TEST(EpochArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  EpochArena arena(256);
+  EpochArena::Allocation small = arena.Allocate(32);
+  EpochArena::Allocation big = arena.Allocate(4096);
+  ASSERT_NE(big.ptr, nullptr);
+  EXPECT_NE(big.block, small.block);
+  std::memset(big.ptr, 0xEF, 4096);
+  size_t reserved_with_big = arena.bytes_reserved();
+
+  arena.NoteDead(big.block);
+  arena.AdvanceEpoch();
+  // Oversized blocks are returned to the system, not free-listed.
+  EXPECT_LT(arena.bytes_reserved(), reserved_with_big);
+}
+
+TEST(EpochArenaTest, GaugesTrackLiveBytes) {
+  EpochArena arena(256);
+  std::vector<EpochArena::Allocation> allocs;
+  for (int i = 0; i < 8; ++i) allocs.push_back(arena.Allocate(64));
+  size_t live_full = arena.bytes_live();
+  EXPECT_GE(live_full, 8u * 64u);
+
+  for (const auto& a : allocs) arena.NoteDead(a.block);
+  arena.AdvanceEpoch();
+  EXPECT_EQ(arena.bytes_live(), 0u);
+  EXPECT_GT(arena.bytes_reserved(), 0u) << "standard blocks are retained";
+}
+
+TEST(EpochArenaTest, EpochCounterAdvancesEvenWhenNothingDies) {
+  EpochArena arena;
+  EXPECT_EQ(arena.epoch(), 0u);
+  EXPECT_EQ(arena.AdvanceEpoch(), 0u);
+  EXPECT_EQ(arena.AdvanceEpoch(), 0u);
+  EXPECT_EQ(arena.epoch(), 2u);
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -7,8 +7,10 @@
 // number of tuples (purged + dropped-on-arrival — the split between
 // the two can differ because the parallel interleaving may detect
 // removability at arrival where the serial order stores first, and
-// vice versa). Each trial sweeps shards in {1, 2, 4}; the failure
-// message logs the RNG seed and shard count for replay.
+// vice versa). Each trial sweeps shards in {1, 2, 4} crossed with
+// arena storage in {off, on} (the serial reference runs arena-off, so
+// the sweep also proves the arena changes no answers); the failure
+// message logs the RNG seed, shard count, and arena flag for replay.
 //
 // tools/ci.sh runs this suite under both TSan and ASan.
 
@@ -147,30 +149,52 @@ TEST(ParallelDifferentialTest, HundredRandomTrialsMatchSerialExecutor) {
     config.mjoin.lazy_batch = 4;
     config.queue_capacity = 1 + seed % 64;  // exercise tight backpressure
 
+    // The reference runs serial with per-tuple heap storage — the
+    // simplest configuration, against which both the arena and every
+    // parallel interleaving must be observationally identical.
+    config.arena = false;
     Observation serial = RunSerial(*inst, shape, trace, config);
 
-    // Every shard count must reproduce the serial answer exactly —
-    // partitioning is an implementation detail, not a semantics knob.
-    // (Operators whose predicates don't admit an exact partitioning
-    // silently fall back to one shard, so this also covers mixed
-    // partitioned/unpartitioned plans.)
-    for (size_t shards : {1u, 2u, 4u}) {
+    // The serial executor with arena storage must already agree.
+    config.arena = true;
+    Observation serial_arena = RunSerial(*inst, shape, trace, config);
+    {
       SCOPED_TRACE(::testing::Message()
-                   << "seed=" << seed << " shards=" << shards << " query="
-                   << inst->query.ToString()
-                   << " shape=" << shape.ToString(inst->query));
-      config.shards = shards;
-      Observation parallel = RunParallel(*inst, shape, trace, config);
-
-      ASSERT_EQ(parallel.results, serial.results)
+                   << "seed=" << seed << " serial arena=on query="
+                   << inst->query.ToString());
+      ASSERT_EQ(serial_arena.results, serial.results)
           << "result multiset diverged";
-      EXPECT_EQ(parallel.num_results, serial.num_results);
-      EXPECT_EQ(parallel.live_tuples, serial.live_tuples)
-          << "final live state diverged";
-      EXPECT_EQ(parallel.live_punctuations, serial.live_punctuations)
-          << "final punctuation state diverged";
-      EXPECT_EQ(parallel.removed, serial.removed)
-          << "total purge count diverged";
+      EXPECT_EQ(serial_arena.live_tuples, serial.live_tuples);
+      EXPECT_EQ(serial_arena.live_punctuations, serial.live_punctuations);
+      EXPECT_EQ(serial_arena.removed, serial.removed);
+    }
+
+    // Every (arena, shard count) pair must reproduce the serial answer
+    // exactly — storage backend and partitioning are implementation
+    // details, not semantics knobs. (Operators whose predicates don't
+    // admit an exact partitioning silently fall back to one shard, so
+    // this also covers mixed partitioned/unpartitioned plans.)
+    for (bool arena : {false, true}) {
+      for (size_t shards : {1u, 2u, 4u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " shards=" << shards
+                     << " arena=" << (arena ? "on" : "off") << " query="
+                     << inst->query.ToString()
+                     << " shape=" << shape.ToString(inst->query));
+        config.shards = shards;
+        config.arena = arena;
+        Observation parallel = RunParallel(*inst, shape, trace, config);
+
+        ASSERT_EQ(parallel.results, serial.results)
+            << "result multiset diverged";
+        EXPECT_EQ(parallel.num_results, serial.num_results);
+        EXPECT_EQ(parallel.live_tuples, serial.live_tuples)
+            << "final live state diverged";
+        EXPECT_EQ(parallel.live_punctuations, serial.live_punctuations)
+            << "final punctuation state diverged";
+        EXPECT_EQ(parallel.removed, serial.removed)
+            << "total purge count diverged";
+      }
     }
   }
 }

@@ -1,0 +1,141 @@
+#include "util/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace punctsafe {
+namespace {
+
+TEST(SmallVectorTest, StartsInlineAndEmpty) {
+  SmallVector<size_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.is_heap());
+}
+
+TEST(SmallVectorTest, InlineToHeapSpill) {
+  SmallVector<size_t, 4> v;
+  for (size_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_heap()) << "N elements must still be inline";
+  EXPECT_EQ(v.size(), 4u);
+
+  v.push_back(4);  // the spill
+  EXPECT_TRUE(v.is_heap());
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_GE(v.capacity(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+
+  // Keep growing through several doublings.
+  for (size_t i = 5; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, EraseUnorderedSwapsBackIn) {
+  // The bucket-maintenance primitive: O(1) removal, order not
+  // preserved — the back element takes the erased position.
+  SmallVector<size_t, 4> v;
+  for (size_t i = 0; i < 3; ++i) v.push_back(i * 10);
+  v.erase_unordered(0);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 20u);  // back moved into position 0
+  EXPECT_EQ(v[1], 10u);
+
+  // Erasing the last element is a plain pop.
+  v.erase_unordered(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 20u);
+  v.erase_unordered(0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, EraseUnorderedOnHeap) {
+  SmallVector<size_t, 2> v;
+  for (size_t i = 0; i < 10; ++i) v.push_back(i);
+  ASSERT_TRUE(v.is_heap());
+  v.erase_unordered(3);
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_EQ(v[3], 9u);
+  std::vector<size_t> got(v.begin(), v.end());
+  std::vector<size_t> want = {0, 1, 2, 9, 4, 5, 6, 7, 8};
+  EXPECT_EQ(got, want);
+}
+
+TEST(SmallVectorTest, TruncateAndClear) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back("x" + std::to_string(i));
+  v.truncate(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "x2");
+  v.truncate(5);  // no-op when already shorter
+  EXPECT_EQ(v.size(), 3u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_heap()) << "clear keeps the spilled storage";
+}
+
+TEST(SmallVectorTest, CopySemantics) {
+  SmallVector<std::string, 2> inline_v;
+  inline_v.push_back("a");
+  SmallVector<std::string, 2> inline_copy(inline_v);
+  EXPECT_EQ(inline_copy.size(), 1u);
+  EXPECT_EQ(inline_copy[0], "a");
+  inline_copy.push_back("b");
+  EXPECT_EQ(inline_v.size(), 1u) << "copies must not share storage";
+
+  SmallVector<std::string, 2> heap_v;
+  for (int i = 0; i < 5; ++i) heap_v.push_back(std::to_string(i));
+  SmallVector<std::string, 2> heap_copy;
+  heap_copy = heap_v;
+  EXPECT_EQ(heap_copy.size(), 5u);
+  heap_copy[0] = "changed";
+  EXPECT_EQ(heap_v[0], "0");
+}
+
+TEST(SmallVectorTest, MoveStealsHeapBuffer) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(std::to_string(i));
+  const std::string* data_before = &v[0];
+  SmallVector<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 5u);
+  EXPECT_EQ(&moved[0], data_before) << "heap move must steal the buffer";
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): pinned state
+  EXPECT_FALSE(v.is_heap());
+  v.push_back("reuse");  // moved-from object stays usable
+  EXPECT_EQ(v[0], "reuse");
+}
+
+TEST(SmallVectorTest, MoveInlineMovesElements) {
+  SmallVector<std::string, 4> v;
+  v.push_back("hello");
+  SmallVector<std::string, 4> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], "hello");
+  EXPECT_FALSE(moved.is_heap());
+}
+
+TEST(SmallVectorTest, PopBackAndBack) {
+  SmallVector<size_t, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.back(), 2u);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVectorTest, ReserveNeverShrinks) {
+  SmallVector<size_t, 4> v;
+  v.reserve(2);
+  EXPECT_EQ(v.capacity(), 4u);
+  v.reserve(20);
+  EXPECT_GE(v.capacity(), 20u);
+  EXPECT_TRUE(v.is_heap());
+}
+
+}  // namespace
+}  // namespace punctsafe

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace punctsafe {
 namespace {
@@ -235,6 +238,140 @@ TEST(TupleStoreTest, NoIndexes) {
   size_t count = 0;
   store.ForEachLive([&](size_t, const Tuple&) { ++count; });
   EXPECT_EQ(count, 2u);
+}
+
+// A string longer than Value::kInlineStringCap, so arena mode stores
+// its bytes as external payload in the arena block.
+std::string LongKey(int i) {
+  return "long-string-payload-well-past-inline-" + std::to_string(i);
+}
+
+TEST(TupleStoreTest, StringValuesSurviveCompactionAndEpochReclaim) {
+  // The lifetime contract under ASan: string views obtained from
+  // probes stay valid across index compaction and across the removal
+  // of *other* tuples, until the next AdvanceEpoch. Survivors keep
+  // their bytes across epoch advances too.
+  TupleStore store({0});
+  ASSERT_TRUE(store.arena_enabled());
+
+  // One survivor, then enough doomed same-key tuples to trip the
+  // probe-path compaction trigger once they die.
+  size_t keeper = store.Insert(Tuple({Value(LongKey(-1)), Value(1)}));
+  std::vector<size_t> doomed;
+  for (size_t i = 0; i < TupleStore::kCompactMinDead + 10; ++i) {
+    doomed.push_back(
+        store.Insert(Tuple({Value(LongKey(static_cast<int>(i))), Value(2)})));
+  }
+
+  // Capture a view of the survivor's string before anything dies.
+  std::string_view held;
+  store.ProbeEach(0, Value(LongKey(-1)),
+                  [&](size_t, const Tuple& t) { held = t.at(0).AsString(); });
+  ASSERT_EQ(held, LongKey(-1));
+
+  for (size_t slot : doomed) store.Remove(slot);
+  // Probing a doomed key filters >= kCompactMinDead tombstones and
+  // compacts the index; the held view must still read cleanly
+  // (compaction touches index buckets, never tuple payloads).
+  store.ProbeEach(0, Value(LongKey(0)), [](size_t, const Tuple&) { FAIL(); });
+  store.ProbeEach(0, Value(LongKey(0)), [](size_t, const Tuple&) { FAIL(); });
+  EXPECT_EQ(held, LongKey(-1));
+
+  // Epoch boundary: doomed payloads are reclaimed wholesale, the
+  // survivor's bytes must be untouched (its block still has live
+  // units).
+  store.AdvanceEpoch();
+  EXPECT_EQ(store.At(keeper).at(0).AsString(), LongKey(-1));
+  size_t hits = 0;
+  store.ProbeEach(0, Value(LongKey(-1)), [&](size_t, const Tuple& t) {
+    EXPECT_EQ(t.at(0).AsString(), LongKey(-1));
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1u);
+  // Dead slots read as empty after the epoch advance, not as garbage.
+  EXPECT_EQ(store.At(doomed[0]).size(), 0u);
+}
+
+TEST(TupleStoreTest, RemovedStringsStayReadableUntilEpochAdvance) {
+  // Within a processing step, even a *removed* tuple's payload is
+  // addressable (deferred release) — MJoin may still hold a reference
+  // from the probe that matched it earlier in the step.
+  TupleStore store({0});
+  ASSERT_TRUE(store.arena_enabled());
+  size_t slot = store.Insert(Tuple({Value(LongKey(42)), Value(7)}));
+  const Tuple& ref = store.At(slot);
+  std::string_view view = ref.at(0).AsString();
+  store.Remove(slot);
+  EXPECT_EQ(view, LongKey(42));  // ASan would flag a premature free
+  EXPECT_EQ(ref.at(1).AsInt64(), 7);
+  store.AdvanceEpoch();
+  EXPECT_EQ(store.At(slot).size(), 0u);
+}
+
+TEST(TupleStoreTest, SteadyStateInsertAllocsReachZeroWithArena) {
+  // The headline arena property: once the block working set exists,
+  // insert/purge cycles recycle blocks through the free list and
+  // inserts stop allocating entirely.
+  TupleStore store({0});
+  ASSERT_TRUE(store.arena_enabled());
+  auto run_round = [&store](int round) {
+    std::vector<size_t> slots;
+    for (int i = 0; i < 500; ++i) {
+      slots.push_back(store.Insert(
+          Tuple({Value(i % 17), Value(LongKey(i)), Value(round)})));
+    }
+    for (size_t slot : slots) store.Remove(slot);
+    store.AdvanceEpoch();
+  };
+  run_round(0);  // warmup builds the block working set
+  uint64_t allocs_after_warmup = store.metrics().Snapshot().insert_allocs;
+  for (int round = 1; round < 4; ++round) run_round(round);
+  StateMetricsSnapshot snap = store.metrics().Snapshot();
+  EXPECT_EQ(snap.insert_allocs, allocs_after_warmup)
+      << "steady-state inserts must not allocate";
+  EXPECT_GT(snap.arena_blocks_reclaimed, 0u);
+  EXPECT_EQ(snap.arena_bytes_live, 0u);
+  EXPECT_GT(snap.arena_bytes_reserved, 0u);
+}
+
+TEST(TupleStoreTest, HeapModeCountsPerInsertAllocs) {
+  TupleStore store({0}, TupleStoreOptions{.arena = false});
+  EXPECT_FALSE(store.arena_enabled());
+  store.Insert(Tuple({Value(1), Value(2)}));
+  StateMetricsSnapshot snap = store.metrics().Snapshot();
+  EXPECT_EQ(snap.insert_allocs, 1u);  // the value vector
+  store.Insert(Tuple({Value(LongKey(0)), Value(LongKey(1))}));
+  snap = store.metrics().Snapshot();
+  EXPECT_EQ(snap.insert_allocs, 4u);  // vector + two long strings
+  EXPECT_EQ(snap.arena_bytes_reserved, 0u);
+  EXPECT_EQ(snap.arena_blocks_reclaimed, 0u);
+}
+
+TEST(TupleStoreTest, ArenaOffOnParity) {
+  // Identical operation sequences must observe identical contents in
+  // both storage modes.
+  TupleStore with_arena({0});
+  TupleStore without({0}, TupleStoreOptions{.arena = false});
+  for (TupleStore* store : {&with_arena, &without}) {
+    std::vector<size_t> slots;
+    for (int i = 0; i < 200; ++i) {
+      slots.push_back(store->Insert(
+          Tuple({Value(i % 7), Value(LongKey(i % 13)), Value(i)})));
+    }
+    for (size_t i = 0; i < slots.size(); i += 3) store->Remove(slots[i]);
+    store->AdvanceEpoch();
+  }
+  ASSERT_EQ(with_arena.live_count(), without.live_count());
+  for (int key = 0; key < 7; ++key) {
+    std::multiset<std::string> a, b;
+    with_arena.ProbeEach(0, Value(key), [&](size_t, const Tuple& t) {
+      a.insert(t.ToString());
+    });
+    without.ProbeEach(0, Value(key), [&](size_t, const Tuple& t) {
+      b.insert(t.ToString());
+    });
+    EXPECT_EQ(a, b) << "key " << key;
+  }
 }
 
 }  // namespace

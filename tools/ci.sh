@@ -16,7 +16,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-${ROOT}/build-ci}"
 CONFIGS="${PUNCTSAFE_CI_CONFIGS:-plain asan tsan bench}"
-JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+JOBS="${PUNCTSAFE_CI_JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 run_config() {
   local name="$1" sanitize="$2"
@@ -31,6 +31,16 @@ run_config() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  # The arena storage sweep (parallel_differential_test crosses
+  # arena {off,on} x shards {1,2,4} against an arena-off serial
+  # reference) runs as part of ctest above; under ASan it is also the
+  # lifetime proof for epoch-deferred reclamation, so make its
+  # presence explicit rather than relying on the suite listing.
+  if [ "${name}" = "asan" ]; then
+    echo "=== [${name}] arena differential sweep (explicit) ==="
+    "${dir}/tests/parallel_differential_test" \
+      --gtest_filter='ParallelDifferentialTest.HundredRandomTrialsMatchSerialExecutor'
+  fi
 }
 
 # Release build with benchmarks ON, run on deliberately tiny inputs:
@@ -60,6 +70,13 @@ run_bench_smoke() {
   # BENCH_hot_path.json — a >25% hot-path regression.
   "${dir}/bench/bench_hot_path" --iters 1 \
     --baseline "${ROOT}/BENCH_hot_path.json" --min-ratio 0.75
+  echo "=== [bench] arena regression gate ==="
+  # Gates the arena insert and interleaved insert+purge micro rates at
+  # 75% of BENCH_arena.json; the binary additionally hard-CHECKs
+  # steady-state insert_allocs == 0 and arena-on/off end-to-end result
+  # equality on every run.
+  "${dir}/bench/bench_arena" --iters 1 \
+    --baseline "${ROOT}/BENCH_arena.json" --min-ratio 0.75
 }
 
 for config in ${CONFIGS}; do
