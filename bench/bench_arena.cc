@@ -14,8 +14,9 @@
 //
 // Emits one JSON object (checked-in baseline: BENCH_arena.json,
 // experiment E17 in EXPERIMENTS.md). With --baseline FILE it exits
-// non-zero if a tracked micro rate fell below --min-ratio (default
-// 0.75) of the baseline — the CI regression gate (tools/ci.sh,
+// non-zero if a tracked micro rate fell below the gate floor
+// (--min-ratio, else PUNCTSAFE_BENCH_MIN_RATIO, else 0.75; a failing
+// gate prints the ratio table) — the CI regression gate (tools/ci.sh,
 // bench-smoke config).
 //
 // Usage: bench_arena [--rows N] [--keys K] [--rounds R]
@@ -149,16 +150,6 @@ RunStats Best(size_t iters, const Fn& run) {
   return best;
 }
 
-// Pulls "key": number out of our own flat JSON.
-bool FindNumber(const std::string& text, const std::string& key,
-                double* out) {
-  std::string needle = "\"" + key + "\": ";
-  size_t pos = text.find(needle);
-  if (pos == std::string::npos) return false;
-  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
-  return true;
-}
-
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -168,7 +159,7 @@ int Main(int argc, char** argv) {
   size_t generations = 150;
   size_t iters = 3;
   std::string baseline_path;
-  double min_ratio = 0.75;
+  double min_ratio = -1;  // resolved below: flag > env > 0.75
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--rows") == 0) {
       rows_n = std::strtoull(argv[i + 1], nullptr, 10);
@@ -284,30 +275,15 @@ int Main(int argc, char** argv) {
     }
     std::stringstream ss;
     ss << in.rdbuf();
-    const std::string base = ss.str();
     // Gate on the arena micro rates (stable across runs); end-to-end
     // numbers are informational — they move with scheduler noise.
-    struct Tracked {
-      const char* key;
-      double current;
-    } tracked[] = {
-        {"arena_insert_per_sec", arena.insert_ps},
-        {"arena_interleaved_ops_per_sec", arena.interleaved_ps},
-    };
-    bool ok = true;
-    for (const Tracked& t : tracked) {
-      double want = 0;
-      if (!FindNumber(base, t.key, &want) || want <= 0) continue;
-      if (t.current < want * min_ratio) {
-        std::fprintf(stderr,
-                     "REGRESSION: %s = %.0f < %.2f x baseline %.0f\n",
-                     t.key, t.current, min_ratio, want);
-        ok = false;
-      }
+    if (!bench::CheckBaselineRates(
+            ss.str(),
+            {{"arena_insert_per_sec", arena.insert_ps},
+             {"arena_interleaved_ops_per_sec", arena.interleaved_ps}},
+            bench::ResolveMinRatio(min_ratio))) {
+      return 1;
     }
-    if (!ok) return 1;
-    std::fprintf(stderr, "baseline check passed (min-ratio %.2f)\n",
-                 min_ratio);
   }
   return 0;
 }

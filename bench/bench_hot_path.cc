@@ -11,8 +11,14 @@
 // Emits one JSON object (checked-in baseline: BENCH_hot_path.json,
 // experiment E16 in EXPERIMENTS.md). With --baseline FILE the binary
 // re-reads a checked-in baseline and exits non-zero if any tracked
-// throughput fell below --min-ratio (default 0.75) of it — the CI
-// regression gate (tools/ci.sh, bench-smoke config).
+// throughput fell below the gate floor of it — the CI regression gate
+// (tools/ci.sh, bench-smoke config). The floor is --min-ratio, else
+// the PUNCTSAFE_BENCH_MIN_RATIO environment variable, else 0.75; a
+// failing gate prints the full measured/baseline ratio table.
+//
+// Also measures the end-to-end runs with ExecutorConfig::observe on,
+// reporting observe_ratio_* (observe-off time / observe-on time) — the
+// observability overhead contract is >= 0.97.
 //
 // Usage: bench_hot_path [--store-tuples N] [--keys K]
 //                       [--probe-iters M] [--generations G] [--iters I]
@@ -149,8 +155,10 @@ struct RunStats {
 };
 
 RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
-                       const Trace& trace) {
-  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, {});
+                       const Trace& trace, bool observe = false) {
+  ExecutorConfig config;
+  config.observe.enabled = observe;
+  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
   PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
@@ -162,9 +170,11 @@ RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
 }
 
 RunStats RunParallelOnce(const bench::ChainFixture& fx, const PlanShape& shape,
-                         const Trace& trace, size_t shards) {
+                         const Trace& trace, size_t shards,
+                         bool observe = false) {
   ExecutorConfig config;
   config.shards = shards;
+  config.observe.enabled = observe;
   auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -177,29 +187,6 @@ RunStats RunParallelOnce(const bench::ChainFixture& fx, const PlanShape& shape,
   return stats;
 }
 
-template <typename Fn>
-RunStats Best(size_t iters, const Fn& run) {
-  RunStats best;
-  for (size_t i = 0; i < iters; ++i) {
-    RunStats stats = run();
-    if (i == 0 || stats.seconds < best.seconds) best = stats;
-  }
-  return best;
-}
-
-// -------------------------------------------------- baseline regression
-
-// Pulls "key": number out of our own flat JSON (no nested objects with
-// colliding key names are tracked).
-bool FindNumber(const std::string& text, const std::string& key,
-                double* out) {
-  std::string needle = "\"" + key + "\": ";
-  size_t pos = text.find(needle);
-  if (pos == std::string::npos) return false;
-  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
-  return true;
-}
-
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -209,7 +196,7 @@ int Main(int argc, char** argv) {
   size_t generations = 150;
   size_t iters = 3;
   std::string baseline_path;
-  double min_ratio = 0.75;
+  double min_ratio = -1;  // resolved below: flag > env > 0.75
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--store-tuples") == 0) {
       store_tuples = std::strtoull(argv[i + 1], nullptr, 10);
@@ -246,17 +233,31 @@ int Main(int argc, char** argv) {
   tconfig.tuples_per_generation = 60;
   Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
 
-  RunStats serial =
-      Best(iters, [&] { return RunSerialOnce(fx, shape, trace); });
-  RunStats shard1 =
-      Best(iters, [&] { return RunParallelOnce(fx, shape, trace, 1); });
-  RunStats shard2 =
-      Best(iters, [&] { return RunParallelOnce(fx, shape, trace, 2); });
+  // Observe-on runs ride in the same loop as observe-off ones
+  // (interleaved best-of, the bench_arena pattern) so thermal/clock
+  // drift hits both sides of the overhead ratio equally; the
+  // observability contract is observe_ratio_* >= ~0.97.
+  RunStats serial, shard1, shard2, serial_obs, shard2_obs;
+  auto keep_best = [](RunStats& best, const RunStats& s, size_t i) {
+    if (i == 0 || s.seconds < best.seconds) best = s;
+  };
+  for (size_t i = 0; i < iters; ++i) {
+    keep_best(serial, RunSerialOnce(fx, shape, trace), i);
+    keep_best(serial_obs, RunSerialOnce(fx, shape, trace, true), i);
+    keep_best(shard1, RunParallelOnce(fx, shape, trace, 1), i);
+    keep_best(shard2, RunParallelOnce(fx, shape, trace, 2), i);
+    keep_best(shard2_obs, RunParallelOnce(fx, shape, trace, 2, true), i);
+  }
 
   PUNCTSAFE_CHECK(shard1.results == serial.results &&
                   shard2.results == serial.results)
       << "executors disagree: serial=" << serial.results
       << " shard1=" << shard1.results << " shard2=" << shard2.results;
+  PUNCTSAFE_CHECK(serial_obs.results == serial.results &&
+                  shard2_obs.results == serial.results)
+      << "observability changed results: serial=" << serial.results
+      << " serial_obs=" << serial_obs.results
+      << " shard2_obs=" << shard2_obs.results;
 
   std::ostringstream json;
   char buf[256];
@@ -289,6 +290,24 @@ int Main(int argc, char** argv) {
        shard1.seconds > 0 ? trace.size() / shard1.seconds : 0);
   emit("sharded2_events_per_sec",
        shard2.seconds > 0 ? trace.size() / shard2.seconds : 0);
+  emit("serial_observed_events_per_sec",
+       serial_obs.seconds > 0 ? trace.size() / serial_obs.seconds : 0);
+  emit("sharded2_observed_events_per_sec",
+       shard2_obs.seconds > 0 ? trace.size() / shard2_obs.seconds : 0);
+  // observe-on / observe-off throughput ratios (1.0 = free; the
+  // overhead budget in docs/OBSERVABILITY.md is >= 0.97).
+  std::snprintf(buf, sizeof(buf),
+                "  \"observe_ratio_serial\": %.3f,\n",
+                serial_obs.seconds > 0 && serial.seconds > 0
+                    ? serial.seconds / serial_obs.seconds
+                    : 0.0);
+  json << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"observe_ratio_sharded2\": %.3f,\n",
+                shard2_obs.seconds > 0 && shard2.seconds > 0
+                    ? shard2.seconds / shard2_obs.seconds
+                    : 0.0);
+  json << buf;
   std::snprintf(buf, sizeof(buf), "  \"results\": %llu,\n",
                 static_cast<unsigned long long>(serial.results));
   json << buf;
@@ -308,32 +327,17 @@ int Main(int argc, char** argv) {
     }
     std::stringstream ss;
     ss << in.rdbuf();
-    const std::string base = ss.str();
     // Gate on the micro probe paths (stable across runs); end-to-end
     // numbers are informational — they depend on scheduler noise and
     // core count too much for a hard fail.
-    struct Tracked {
-      const char* key;
-      double current;
-    } tracked[] = {
-        {"int_probe_each_per_sec", int_micro.probe_each_ps},
-        {"str_probe_each_per_sec", str_micro.probe_each_ps},
-        {"int_purge_ops_per_sec", int_micro.purge_ps},
-    };
-    bool ok = true;
-    for (const Tracked& t : tracked) {
-      double want = 0;
-      if (!FindNumber(base, t.key, &want) || want <= 0) continue;
-      if (t.current < want * min_ratio) {
-        std::fprintf(stderr,
-                     "REGRESSION: %s = %.0f < %.2f x baseline %.0f\n",
-                     t.key, t.current, min_ratio, want);
-        ok = false;
-      }
+    if (!bench::CheckBaselineRates(
+            ss.str(),
+            {{"int_probe_each_per_sec", int_micro.probe_each_ps},
+             {"str_probe_each_per_sec", str_micro.probe_each_ps},
+             {"int_purge_ops_per_sec", int_micro.purge_ps}},
+            bench::ResolveMinRatio(min_ratio))) {
+      return 1;
     }
-    if (!ok) return 1;
-    std::fprintf(stderr, "baseline check passed (min-ratio %.2f)\n",
-                 min_ratio);
   }
   return 0;
 }

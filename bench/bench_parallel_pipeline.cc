@@ -5,7 +5,15 @@
 //
 // Usage: bench_parallel_pipeline [--streams N] [--generations G]
 //                                [--iters I] [--queue-capacity C]
-//                                [--shards K]
+//                                [--shards K] [--observe]
+//                                [--metrics-out FILE]
+//
+// --observe runs both executors with the runtime observability hooks
+// enabled (ExecutorConfig::observe); --metrics-out writes one
+// exporter JSONL line per run — per-shard-operator latency and
+// punctuation-lag quantiles included — which CI uploads as an
+// artifact (render with tools/obs_report.py). --metrics-out implies
+// --observe.
 //
 // Note: pipeline parallelism needs one hardware thread per operator to
 // pay off; the JSON records hardware_threads so a 1-core container's
@@ -16,12 +24,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "exec/parallel_executor.h"
+#include "obs/exporter.h"
 #include "workload/random_query.h"
 
 namespace punctsafe {
@@ -37,8 +47,11 @@ struct RunStats {
 using Clock = std::chrono::steady_clock;
 
 RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
-                       const Trace& trace) {
-  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, {});
+                       const Trace& trace, bool observe,
+                       obs::MetricsExporter* exporter) {
+  ExecutorConfig config;
+  config.observe.enabled = observe;
+  auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
   PUNCTSAFE_CHECK_OK(FeedTrace(exec.ValueOrDie().get(), trace));
@@ -48,15 +61,25 @@ RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
   stats.results = (*exec)->num_results();
   stats.state_hw = (*exec)->tuple_high_water();
   stats.final_live = (*exec)->TotalLiveTuples();
+  if (exporter != nullptr) {
+    obs::MetricsExporter::SnapshotFn source =
+        [&] { return (*exec)->ObservabilitySnapshot(); };
+    // One line per run at quiescence (no background thread: the run
+    // is short and the final state is the interesting one).
+    exporter->Rebind(std::move(source));
+    exporter->ExportNow();
+  }
   return stats;
 }
 
 RunStats RunParallelOnce(const bench::ChainFixture& fx,
                          const PlanShape& shape, const Trace& trace,
-                         size_t queue_capacity, size_t shards) {
+                         size_t queue_capacity, size_t shards, bool observe,
+                         obs::MetricsExporter* exporter) {
   ExecutorConfig config;
   config.queue_capacity = queue_capacity;
   config.shards = shards;
+  config.observe.enabled = observe;
   auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -67,6 +90,12 @@ RunStats RunParallelOnce(const bench::ChainFixture& fx,
   stats.results = (*exec)->num_results();
   stats.state_hw = (*exec)->tuple_high_water();
   stats.final_live = (*exec)->TotalLiveTuples();
+  if (exporter != nullptr) {
+    obs::MetricsExporter::SnapshotFn source =
+        [&] { return (*exec)->ObservabilitySnapshot(); };
+    exporter->Rebind(std::move(source));
+    exporter->ExportNow();
+  }
   (*exec)->Stop();
   return stats;
 }
@@ -97,7 +126,18 @@ int Main(int argc, char** argv) {
   size_t iters = 3;
   size_t queue_capacity = 1024;
   size_t shards = 1;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  bool observe = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--observe") == 0) {
+      observe = true;
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+      return 2;
+    }
     if (std::strcmp(argv[i], "--streams") == 0) {
       streams = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--generations") == 0) {
@@ -108,14 +148,19 @@ int Main(int argc, char** argv) {
       queue_capacity = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'; flags: --streams N --generations N "
-                   "--iters N --queue-capacity N --shards N\n",
+                   "--iters N --queue-capacity N --shards N --observe "
+                   "--metrics-out FILE\n",
                    argv[i]);
       return 2;
     }
+    i += 2;
   }
+  if (!metrics_out.empty()) observe = true;
 
   bench::ChainFixture fx = bench::MakeChain(streams);
   std::vector<size_t> order(streams);
@@ -128,10 +173,29 @@ int Main(int argc, char** argv) {
   tconfig.tuples_per_generation = 40;
   Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
 
-  RunStats serial =
-      Best(iters, [&] { return RunSerialOnce(fx, shape, trace); });
+  // One JSONL line per executor run (timed runs included: with
+  // --observe the measurement IS the instrumented configuration).
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!metrics_out.empty()) {
+    obs::ExporterOptions options;
+    options.interval_ms = 0;  // ExportNow only
+    options.export_on_stop = false;
+    exporter = std::make_unique<obs::MetricsExporter>(
+        obs::MetricsExporter::SnapshotFn{[] { return obs::ObsSnapshot{}; }},
+        metrics_out, options);
+    if (!exporter->ok()) {
+      std::fprintf(stderr, "cannot open metrics-out '%s'\n",
+                   metrics_out.c_str());
+      return 2;
+    }
+  }
+
+  RunStats serial = Best(iters, [&] {
+    return RunSerialOnce(fx, shape, trace, observe, exporter.get());
+  });
   RunStats parallel = Best(iters, [&] {
-    return RunParallelOnce(fx, shape, trace, queue_capacity, shards);
+    return RunParallelOnce(fx, shape, trace, queue_capacity, shards, observe,
+                           exporter.get());
   });
 
   PUNCTSAFE_CHECK(serial.results == parallel.results)
@@ -146,6 +210,7 @@ int Main(int argc, char** argv) {
   std::printf("  \"events\": %zu,\n", trace.size());
   std::printf("  \"queue_capacity\": %zu,\n", queue_capacity);
   std::printf("  \"shards\": %zu,\n", shards);
+  std::printf("  \"observe\": %s,\n", observe ? "true" : "false");
   std::printf("  \"hardware_threads\": %u,\n",
               std::thread::hardware_concurrency());
   PrintRun("serial", serial, trace.size(), /*trailing_comma=*/true);

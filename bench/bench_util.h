@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -152,6 +154,80 @@ inline ChainFixture MakeChain(size_t n) {
   PUNCTSAFE_CHECK_OK(q.status());
   fx.query = std::move(q).ValueOrDie();
   return fx;
+}
+
+// ------------------------------------------------ baseline regression
+
+/// One gated throughput: its flat-JSON key and this run's value.
+struct TrackedRate {
+  const char* key;
+  double current;
+};
+
+/// Pulls `"key": number` out of the benches' own flat JSON output (no
+/// nested objects with colliding key names are tracked).
+inline bool FindJsonNumber(const std::string& text, const std::string& key,
+                           double* out) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+/// Gate floor resolution: an explicit --min-ratio flag wins, then the
+/// PUNCTSAFE_BENCH_MIN_RATIO environment variable, then 0.75. Pass
+/// flag_value <= 0 for "flag not given".
+inline double ResolveMinRatio(double flag_value) {
+  if (flag_value > 0) return flag_value;
+  if (const char* env = std::getenv("PUNCTSAFE_BENCH_MIN_RATIO")) {
+    double v = std::strtod(env, nullptr);
+    if (v > 0) return v;
+    std::fprintf(stderr,
+                 "ignoring unparsable PUNCTSAFE_BENCH_MIN_RATIO='%s'\n",
+                 env);
+  }
+  return 0.75;
+}
+
+/// Checks every tracked rate against min_ratio x its baseline value.
+/// Keys absent from the baseline are skipped (new metrics gate only
+/// once re-baselined). On any regression, prints the full
+/// measured/baseline ratio table to stderr so the failing CI log shows
+/// how far off each rate is, not just which one tripped. Returns true
+/// iff all tracked rates pass.
+inline bool CheckBaselineRates(const std::string& baseline_json,
+                               const std::vector<TrackedRate>& tracked,
+                               double min_ratio) {
+  bool ok = true;
+  for (const TrackedRate& t : tracked) {
+    double want = 0;
+    if (!FindJsonNumber(baseline_json, t.key, &want) || want <= 0) continue;
+    if (t.current < want * min_ratio) ok = false;
+  }
+  if (ok) {
+    std::fprintf(stderr, "baseline check passed (min-ratio %.2f)\n",
+                 min_ratio);
+    return true;
+  }
+  std::fprintf(stderr,
+               "--- bench gate failed (min-ratio %.2f) ---\n"
+               "%-32s %14s %14s %7s  %s\n",
+               min_ratio, "key", "measured", "baseline", "ratio",
+               "status");
+  for (const TrackedRate& t : tracked) {
+    double want = 0;
+    if (!FindJsonNumber(baseline_json, t.key, &want) || want <= 0) {
+      std::fprintf(stderr, "%-32s %14.0f %14s %7s  %s\n", t.key,
+                   t.current, "-", "-", "SKIP (no baseline)");
+      continue;
+    }
+    double ratio = t.current / want;
+    std::fprintf(stderr, "%-32s %14.0f %14.0f %7.2f  %s\n", t.key,
+                 t.current, want, ratio,
+                 ratio < min_ratio ? "FAIL" : "ok");
+  }
+  return false;
 }
 
 }  // namespace bench

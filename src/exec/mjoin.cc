@@ -198,6 +198,7 @@ void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
   PUNCTSAFE_CHECK(tuple.size() == widths_[input])
       << "tuple arity " << tuple.size() << " != input width "
       << widths_[input];
+  if (obs::kCompiled && obs_ != nullptr) obs_->NoteTupleTs(ts);
 
   if (config_.drop_excluded_arrivals &&
       punct_stores_[input]->ExcludesTuple(tuple, ts)) {
@@ -206,6 +207,9 @@ void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
     return;
   }
 
+  // The kTupleIn ring event is recorded by the executors (serial leaf
+  // push / parallel Deliver), which already hold a fresh NowNs for the
+  // latency sample — keeping this path down to one clock-free hook.
   ProduceResults(input, tuple, ts);
 
   // Under the eager policy, test the chained purge plan before
@@ -402,6 +406,7 @@ void MJoinOperator::PushPunctuation(size_t input,
       << "punctuation arity " << punctuation.arity() << " != input width "
       << widths_[input];
   ++metrics_.punctuations_received;
+  if (obs::kCompiled && obs_ != nullptr) obs_->RecordPunctuation(input, ts);
 
   if (config_.punctuation_lifespan.has_value()) {
     for (auto& store : punct_stores_) {
@@ -444,9 +449,16 @@ void MJoinOperator::PushPunctuation(size_t input,
   TryPropagate(ts, changed);
 }
 
+void MJoinOperator::OnObserverSet() {
+  for (auto& state : states_) state->SetObserver(obs_);
+}
+
 void MJoinOperator::Sweep(int64_t now) {
   ++metrics_.purge_sweeps;
   punctuations_since_sweep_ = 0;
+  const bool observing = obs::kCompiled && obs_ != nullptr;
+  const int64_t sweep_start = observing ? obs::NowNs() : 0;
+  uint64_t purged_total = 0;
   std::vector<bool> changed(num_inputs(), false);
   for (size_t k = 0; k < num_inputs(); ++k) {
     if (!input_purgeable_[k]) continue;
@@ -455,6 +467,7 @@ void MJoinOperator::Sweep(int64_t now) {
       if (Removable(k, t, now)) sweep_scratch_.push_back(slot);
     });
     if (!sweep_scratch_.empty()) changed[k] = true;
+    purged_total += sweep_scratch_.size();
     states_[k]->PurgeSlots(sweep_scratch_);
   }
   TryPropagate(now, changed);
@@ -463,6 +476,7 @@ void MJoinOperator::Sweep(int64_t now) {
   // anymore, so purged payloads can be released and all-dead arena
   // blocks reclaimed wholesale.
   for (auto& state : states_) state->AdvanceEpoch();
+  if (observing) obs_->RecordSweep(obs::NowNs() - sweep_start, purged_total);
 }
 
 void MJoinOperator::PurgeObsoletePunctuations(int64_t now) {
@@ -553,6 +567,9 @@ void MJoinOperator::TryPropagate(int64_t now,
     }
     Emit(StreamElement::OfPunctuation(RebaseToOutput(it->input, p), now));
     ++metrics_.punctuations_propagated;
+    if (obs::kCompiled && obs_ != nullptr) {
+      obs_->Note(obs::TraceKind::kPunctOut, it->input);
+    }
     it = pending_propagations_.erase(it);
   }
 }

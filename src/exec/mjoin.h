@@ -125,6 +125,9 @@ class MJoinOperator : public JoinOperator {
   /// punctuation-purgeability pass.
   uint64_t punctuations_purged() const { return punctuations_purged_; }
 
+ protected:
+  void OnObserverSet() override;
+
  private:
   // A join predicate localized to operator inputs and composite
   // offsets.

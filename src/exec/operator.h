@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "exec/metrics.h"
+#include "obs/observability.h"
 #include "stream/element.h"
 
 namespace punctsafe {
@@ -47,6 +48,15 @@ class JoinOperator {
 
   void SetEmitter(Emitter emitter) { emitter_ = std::move(emitter); }
 
+  /// \brief Attaches this operator's observation point (may be null
+  /// to detach). The executor owns the OperatorObs; operators only
+  /// borrow it and treat null as "observability off".
+  void SetObserver(obs::OperatorObs* observer) {
+    obs_ = observer;
+    OnObserverSet();
+  }
+  obs::OperatorObs* observer() const { return obs_; }
+
   const OperatorMetrics& metrics() const { return metrics_; }
 
  protected:
@@ -55,8 +65,13 @@ class JoinOperator {
     if (emitter_) emitter_(element);
   }
 
+  /// \brief Hook for subclasses that forward the observer to owned
+  /// components (e.g. tuple stores reporting epoch advances).
+  virtual void OnObserverSet() {}
+
   Emitter emitter_;
   OperatorMetrics metrics_;
+  obs::OperatorObs* obs_ = nullptr;
 };
 
 }  // namespace punctsafe

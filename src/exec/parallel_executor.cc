@@ -33,6 +33,12 @@ struct OpMessage {
   bool drain = false;
   size_t input = 0;
   StreamElement element;
+  // Steady-clock stamp taken when the element entered the pipeline
+  // edge (enqueue or emit staging). Only populated while observability
+  // is on; Deliver turns it into the consumer's latency sample, so the
+  // measured latency covers queue wait + reorder buffering +
+  // processing. 0 when observability is off.
+  int64_t enqueue_ns = 0;
 };
 
 // One shard worker: exclusive owner of one MJoinOperator replica.
@@ -41,9 +47,16 @@ struct ParallelExecutor::Worker {
 
   MJoinOperator* op = nullptr;
   BoundedQueue<OpMessage> queue;
-  // Per-input FIFO reorder buffers for the timestamp merge.
-  std::vector<std::deque<StreamElement>> pending;
+  // Per-input FIFO reorder buffers for the timestamp merge (whole
+  // messages, so the enqueue stamp survives buffering and the latency
+  // sample charges reorder wait to this shard).
+  std::vector<std::deque<OpMessage>> pending;
   std::thread thread;
+
+  // This shard's observation point (null when observability is off).
+  // The worker thread is the trace ring's single producer; producers
+  // on other threads (router stalls) touch only its atomic counters.
+  obs::OperatorObs* obs = nullptr;
 
   // Owning group index, and the downstream emit staging: result
   // tuples this shard produces are buffered per *parent* shard and
@@ -162,6 +175,21 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     exec->leaf_route_[s] = tree.leaf_route[s];
   }
 
+  // Observation points: one per shard worker, registered before any
+  // worker thread starts (the registry is append-only afterwards).
+  if (obs::kCompiled && config.observe.enabled) {
+    exec->obs_ = std::make_unique<obs::Observability>(config.observe);
+    for (size_t j = 0; j < num_groups; ++j) {
+      OpGroup& group = *exec->groups_[j];
+      for (size_t s = 0; s < group.num_shards; ++s) {
+        obs::OperatorObs* point = exec->obs_->AddOperator(
+            static_cast<uint16_t>(j), static_cast<uint32_t>(s));
+        exec->workers_[group.first_worker + s]->obs = point;
+        exec->operators_[group.first_worker + s]->SetObserver(point);
+      }
+    }
+  }
+
   for (size_t i = 0; i < exec->workers_.size(); ++i) {
     exec->workers_[i]->thread =
         std::thread([raw, i] { raw->WorkerLoop(i); });
@@ -196,8 +224,12 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
             ? parent.spec.ShardOf(group.parent_input, element.tuple,
                                   parent.num_shards)
             : 0;
-    self.emit_buf[target].push_back(
-        OpMessage{false, group.parent_input, element});
+    OpMessage message{false, group.parent_input, element, 0};
+    if (obs::kCompiled && obs_ != nullptr) {
+      message.enqueue_ns = obs::NowNs();
+      workers_[parent.first_worker + target]->obs->IncRouted();
+    }
+    self.emit_buf[target].push_back(std::move(message));
     if (++self.emit_buffered >= kEmitFlushBatch) FlushEmits(self);
     return;
   }
@@ -238,8 +270,19 @@ bool ParallelExecutor::RouteTuple(OpGroup& group, size_t input,
                      ? group.spec.ShardOf(input, element.tuple,
                                           group.num_shards)
                      : 0;
-  return workers_[group.first_worker + shard]->queue.Push(
-      OpMessage{false, input, element});
+  Worker& target = *workers_[group.first_worker + shard];
+  OpMessage message{false, input, element, 0};
+  if (obs::kCompiled && obs_ != nullptr) {
+    message.enqueue_ns = obs::NowNs();
+    target.obs->IncRouted();
+    // Stall heuristic: the size check is racy against the consumer,
+    // but a full reading here means the blocking Push below almost
+    // certainly waited — good enough for a backpressure counter.
+    if (target.queue.size() >= target.queue.capacity()) {
+      target.obs->IncStall();
+    }
+  }
+  return target.queue.Push(std::move(message));
 }
 
 bool ParallelExecutor::Broadcast(OpGroup& group, size_t input,
@@ -251,8 +294,15 @@ bool ParallelExecutor::Broadcast(OpGroup& group, size_t input,
   std::lock_guard<std::mutex> lock(group.broadcast_mu);
   bool ok = true;
   for (size_t s = 0; s < group.num_shards; ++s) {
-    ok &= workers_[group.first_worker + s]->queue.Push(
-        OpMessage{false, input, element});
+    Worker& target = *workers_[group.first_worker + s];
+    OpMessage message{false, input, element, 0};
+    if (obs::kCompiled && obs_ != nullptr) {
+      message.enqueue_ns = obs::NowNs();
+      if (target.queue.size() >= target.queue.capacity()) {
+        target.obs->IncStall();
+      }
+    }
+    ok &= target.queue.Push(std::move(message));
   }
   return ok;
 }
@@ -265,6 +315,9 @@ void ParallelExecutor::WorkerLoop(size_t index) {
     // much context as possible.
     std::optional<std::deque<OpMessage>> batch = worker.queue.PopAll();
     if (!batch.has_value()) break;  // closed and fully drained
+    if (obs::kCompiled && worker.obs != nullptr) {
+      worker.obs->RecordQueueBatch(batch->size());
+    }
 
     size_t drains = 0;
     int64_t drain_ts = 0;
@@ -273,7 +326,7 @@ void ParallelExecutor::WorkerLoop(size_t index) {
         ++drains;
         drain_ts = m.element.timestamp;
       } else {
-        worker.pending[m.input].push_back(std::move(m.element));
+        worker.pending[m.input].push_back(std::move(m));
       }
     }
 
@@ -282,6 +335,9 @@ void ParallelExecutor::WorkerLoop(size_t index) {
     if (drains > 0) {
       worker.op->Sweep(drain_ts);
       SampleHighWater();
+      if (obs::kCompiled && worker.obs != nullptr) {
+        worker.obs->Note(obs::TraceKind::kDrain, drains);
+      }
     }
     // Flush staged downstream emits at every batch boundary — and,
     // crucially, *before* acking a drain: the drain contract promises
@@ -313,25 +369,43 @@ void ParallelExecutor::ProcessPending(Worker& worker) {
     int64_t best_ts = 0;
     for (size_t i = 0; i < worker.pending.size(); ++i) {
       if (worker.pending[i].empty()) continue;
-      int64_t ts = worker.pending[i].front().timestamp;
+      int64_t ts = worker.pending[i].front().element.timestamp;
       if (best == kNone || ts < best_ts) {
         best = i;
         best_ts = ts;
       }
     }
     if (best == kNone) return;
-    StreamElement element = std::move(worker.pending[best].front());
+    OpMessage message = std::move(worker.pending[best].front());
     worker.pending[best].pop_front();
-    Deliver(worker, best, element);
+    Deliver(worker, message);
   }
 }
 
-void ParallelExecutor::Deliver(Worker& worker, size_t input,
-                               const StreamElement& element) {
+void ParallelExecutor::Deliver(Worker& worker, const OpMessage& message) {
+  const StreamElement& element = message.element;
   if (element.is_tuple()) {
-    worker.op->PushTuple(input, element.tuple, element.timestamp);
+    if (obs::kCompiled && worker.obs != nullptr) {
+      const uint64_t results_before =
+          worker.op->metrics().results_emitted.load(std::memory_order_relaxed);
+      worker.op->PushTuple(message.input, element.tuple, element.timestamp);
+      // Latency sample: pipeline-edge enqueue -> processed by this
+      // shard (queue wait + reorder buffering + the operator's own
+      // work). One clock read covers both the sample and the trace.
+      const int64_t now = obs::NowNs();
+      if (message.enqueue_ns != 0) {
+        worker.obs->RecordLatencyNs(now - message.enqueue_ns);
+      }
+      worker.obs->NoteAt(
+          now, obs::TraceKind::kTupleIn, message.input,
+          worker.op->metrics().results_emitted.load(
+              std::memory_order_relaxed) -
+              results_before);
+    } else {
+      worker.op->PushTuple(message.input, element.tuple, element.timestamp);
+    }
   } else {
-    worker.op->PushPunctuation(input, element.punctuation,
+    worker.op->PushPunctuation(message.input, element.punctuation,
                                element.timestamp);
   }
   SampleHighWater();
@@ -490,6 +564,38 @@ ParallelExecutor::GroupSnapshots() const {
     out.push_back(std::move(snap));
   }
   return out;
+}
+
+obs::ObsSnapshot ParallelExecutor::ObservabilitySnapshot() const {
+  obs::ObsSnapshot snap;
+  snap.executor = "parallel";
+  snap.results = num_results();
+  snap.live_tuples = TotalLiveTuples();
+  snap.live_punctuations = TotalLivePunctuations();
+  snap.tuple_high_water = tuple_high_water();
+  snap.punctuation_high_water = punctuation_high_water();
+  if (obs_ == nullptr) return snap;
+  snap.operators.reserve(workers_.size());
+  for (const auto& group : groups_) {
+    const size_t aligner_pending = group->aligner.pending();
+    const size_t aligner_hw = group->aligner.pending_high_water();
+    for (size_t s = 0; s < group->num_shards; ++s) {
+      const size_t w = group->first_worker + s;
+      obs::OperatorObsEntry entry;
+      entry.CaptureFrom(*workers_[w]->obs);
+      entry.num_shards = group->num_shards;
+      entry.partitioned = group->num_shards > 1;
+      entry.partition_detail = group->spec.detail;
+      entry.state = operators_[w]->AggregateStateSnapshot();
+      entry.op_metrics = operators_[w]->metrics().Snapshot();
+      // Group-level gauges, replicated onto each shard entry (the
+      // aligner is per group; consumers should read shard 0's).
+      entry.aligner_pending = aligner_pending;
+      entry.aligner_pending_high_water = aligner_hw;
+      snap.operators.push_back(std::move(entry));
+    }
+  }
+  return snap;
 }
 
 std::vector<Tuple> ParallelExecutor::kept_results() const {

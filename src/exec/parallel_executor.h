@@ -56,6 +56,7 @@
 #include "exec/mjoin.h"
 #include "exec/partition_router.h"
 #include "exec/plan_executor.h"
+#include "obs/observability.h"
 #include "query/cjq.h"
 #include "query/plan_shape.h"
 #include "stream/element.h"
@@ -63,6 +64,8 @@
 #include "util/status.h"
 
 namespace punctsafe {
+
+struct OpMessage;
 
 class ParallelExecutor {
  public:
@@ -151,6 +154,16 @@ class ParallelExecutor {
   /// \brief Per logical operator: shard layout + aggregated metrics.
   std::vector<OperatorGroupSnapshot> GroupSnapshots() const;
 
+  /// \brief Full observability snapshot: one OperatorObsEntry per
+  /// shard worker (latency/punct-lag/sweep/queue histograms, routing
+  /// and stall counters, aligner gauges) plus executor-level totals.
+  /// Empty operator list when observability is off. Safe from any
+  /// thread (relaxed-atomic reads; exact at quiescence). Feed to
+  /// obs::MetricsExporter via a lambda.
+  obs::ObsSnapshot ObservabilitySnapshot() const;
+  /// \brief The observability registry, or nullptr when off.
+  obs::Observability* observability() const { return obs_.get(); }
+
  private:
   struct Worker;
   struct OpGroup;
@@ -158,7 +171,7 @@ class ParallelExecutor {
   ParallelExecutor() = default;
 
   void WorkerLoop(size_t index);
-  void Deliver(Worker& worker, size_t input, const StreamElement& element);
+  void Deliver(Worker& worker, const OpMessage& message);
   void ProcessPending(Worker& worker);
   void SampleHighWater();
   /// Child group `group_idx`, shard `shard` emitted `element`.
@@ -192,6 +205,9 @@ class ParallelExecutor {
   std::atomic<size_t> tuple_high_water_{0};
   std::atomic<size_t> punct_high_water_{0};
   std::atomic<bool> stopped_{false};
+  // One OperatorObs per shard worker, indexed in step with workers_.
+  // Null when observability is off.
+  std::unique_ptr<obs::Observability> obs_;
 };
 
 /// \brief Convenience: pushes a whole trace, then drains at the last

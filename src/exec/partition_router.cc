@@ -155,6 +155,7 @@ bool PunctuationAligner::Arrive(size_t shard, const Punctuation& p,
     ++entry.seen_count;
   }
   entry.max_ts = std::max(entry.max_ts, ts);
+  pending_high_water_ = std::max(pending_high_water_, entries_.size());
   if (entry.seen_count < num_shards_) return false;
   *forward_ts = entry.max_ts;
   entries_.erase(p);
@@ -164,6 +165,11 @@ bool PunctuationAligner::Arrive(size_t shard, const Punctuation& p,
 size_t PunctuationAligner::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PunctuationAligner::pending_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_high_water_;
 }
 
 }  // namespace punctsafe

@@ -102,6 +102,12 @@ class PunctuationAligner {
   /// \brief Punctuations currently waiting on at least one shard.
   size_t pending() const;
 
+  /// \brief Largest pending() ever observed (tracked under the same
+  /// mutex as Arrive, so it is exact): an alignment-backlog gauge for
+  /// the observability exporter — a growing high water means some
+  /// shard chronically trails its siblings in clearing matching state.
+  size_t pending_high_water() const;
+
  private:
   struct Entry {
     std::vector<bool> seen;
@@ -112,6 +118,7 @@ class PunctuationAligner {
   const size_t num_shards_;
   mutable std::mutex mu_;
   std::unordered_map<Punctuation, Entry, PunctuationHash> entries_;
+  size_t pending_high_water_ = 0;
 };
 
 }  // namespace punctsafe

@@ -54,6 +54,14 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     if (raw->config_.keep_results) raw->kept_results_.push_back(e.tuple);
   });
   exec->operators_ = std::move(tree.operators);
+
+  if (obs::kCompiled && config.observe.enabled) {
+    exec->obs_ = std::make_unique<obs::Observability>(config.observe);
+    for (size_t j = 0; j < exec->operators_.size(); ++j) {
+      exec->operators_[j]->SetObserver(
+          exec->obs_->AddOperator(static_cast<uint16_t>(j), 0));
+    }
+  }
   return exec;
 }
 
@@ -74,7 +82,23 @@ Status PlanExecutor::Push(const TraceEvent& event) {
 
 void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
   auto [op, input] = leaf_route_[stream];
-  op->PushTuple(input, tuple, ts);
+  // Under serial execution the push runs the whole synchronous
+  // cascade (probes, result emission, parent pushes), so the latency
+  // recorded at the leaf covers arrival -> last emit.
+  if (obs::kCompiled && op->observer() != nullptr) {
+    const uint64_t results_before =
+        op->metrics().results_emitted.load(std::memory_order_relaxed);
+    const int64_t start = obs::NowNs();
+    op->PushTuple(input, tuple, ts);
+    const int64_t end = obs::NowNs();
+    op->observer()->RecordLatencyNs(end - start);
+    op->observer()->NoteAt(
+        end, obs::TraceKind::kTupleIn, input,
+        op->metrics().results_emitted.load(std::memory_order_relaxed) -
+            results_before);
+  } else {
+    op->PushTuple(input, tuple, ts);
+  }
   RecordHighWater();
 }
 
@@ -106,6 +130,26 @@ size_t PlanExecutor::TotalLivePunctuations() const {
 void PlanExecutor::RecordHighWater() {
   tuple_high_water_ = std::max(tuple_high_water_, TotalLiveTuples());
   punct_high_water_ = std::max(punct_high_water_, TotalLivePunctuations());
+}
+
+obs::ObsSnapshot PlanExecutor::ObservabilitySnapshot() const {
+  obs::ObsSnapshot snap;
+  snap.executor = "serial";
+  snap.results = num_results_;
+  snap.live_tuples = TotalLiveTuples();
+  snap.live_punctuations = TotalLivePunctuations();
+  snap.tuple_high_water = tuple_high_water_;
+  snap.punctuation_high_water = punct_high_water_;
+  if (obs_ == nullptr) return snap;
+  snap.operators.reserve(operators_.size());
+  for (size_t j = 0; j < operators_.size(); ++j) {
+    obs::OperatorObsEntry entry;
+    entry.CaptureFrom(obs_->at(j));
+    entry.state = operators_[j]->AggregateStateSnapshot();
+    entry.op_metrics = operators_[j]->metrics().Snapshot();
+    snap.operators.push_back(std::move(entry));
+  }
+  return snap;
 }
 
 }  // namespace punctsafe

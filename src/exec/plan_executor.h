@@ -13,6 +13,7 @@
 
 #include "core/plan_safety.h"
 #include "exec/mjoin.h"
+#include "obs/observability.h"
 #include "query/cjq.h"
 #include "query/plan_shape.h"
 #include "stream/element.h"
@@ -53,6 +54,11 @@ struct ExecutorConfig {
   /// synchronization). Off = per-tuple heap ownership; join results
   /// are identical either way, which the differential harness sweeps.
   bool arena = true;
+  /// Runtime observability (src/obs/): trace rings + latency /
+  /// punctuation-lag / sweep / queue histograms per shard operator.
+  /// Off by default — every hook short-circuits on a null pointer —
+  /// and compiled out entirely under PUNCTSAFE_NO_OBS.
+  obs::ObserveOptions observe;
 };
 
 class PlanExecutor {
@@ -85,6 +91,13 @@ class PlanExecutor {
   uint64_t num_results() const { return num_results_; }
   const std::vector<Tuple>& kept_results() const { return kept_results_; }
 
+  /// \brief Full observability snapshot (null-safe: returns an empty
+  /// snapshot when observability is off). Feed to obs::MetricsExporter
+  /// via a lambda.
+  obs::ObsSnapshot ObservabilitySnapshot() const;
+  /// \brief The observability registry, or nullptr when off.
+  obs::Observability* observability() const { return obs_.get(); }
+
   const PlanSafetyReport& safety() const { return safety_; }
   const ContinuousJoinQuery& query() const { return query_; }
   const PlanShape& shape() const { return shape_; }
@@ -110,6 +123,9 @@ class PlanExecutor {
   std::vector<Tuple> kept_results_;
   size_t tuple_high_water_ = 0;
   size_t punct_high_water_ = 0;
+  // One OperatorObs per operator (shard 0: serial execution), indexed
+  // in step with operators_. Null when observability is off.
+  std::unique_ptr<obs::Observability> obs_;
 };
 
 }  // namespace punctsafe

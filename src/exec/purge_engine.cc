@@ -40,8 +40,12 @@ Result<std::unique_ptr<PurgeEngine>> PurgeEngine::Create(
 }
 
 size_t PurgeEngine::AddTuple(size_t stream, const Tuple& tuple,
-                             int64_t /*ts*/) {
+                             int64_t ts) {
   PUNCTSAFE_CHECK(stream < states_.size());
+  if (obs::kCompiled && obs_ != nullptr) {
+    obs_->NoteTupleTs(ts);
+    obs_->Note(obs::TraceKind::kTupleIn, stream, 0);
+  }
   return states_[stream]->Insert(tuple);
 }
 
@@ -49,6 +53,7 @@ void PurgeEngine::AddPunctuation(size_t stream,
                                  const Punctuation& punctuation,
                                  int64_t ts) {
   PUNCTSAFE_CHECK(stream < punct_stores_.size());
+  if (obs::kCompiled && obs_ != nullptr) obs_->RecordPunctuation(stream, ts);
   if (config_.punctuation_lifespan.has_value()) {
     for (auto& store : punct_stores_) store->ExpireBefore(ts);
   }
@@ -167,7 +172,14 @@ bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
   return covered_count == n;
 }
 
+void PurgeEngine::SetObserver(obs::OperatorObs* observer) {
+  obs_ = observer;
+  for (auto& state : states_) state->SetObserver(observer);
+}
+
 std::vector<std::pair<size_t, size_t>> PurgeEngine::Sweep(int64_t now) {
+  const bool observing = obs::kCompiled && obs_ != nullptr;
+  const int64_t sweep_start = observing ? obs::NowNs() : 0;
   std::vector<std::pair<size_t, size_t>> released;
   for (size_t s = 0; s < states_.size(); ++s) {
     if (!stream_purgeable_[s]) continue;
@@ -181,6 +193,9 @@ std::vector<std::pair<size_t, size_t>> PurgeEngine::Sweep(int64_t now) {
   // Epoch boundary: release purged payloads and reclaim all-dead
   // arena blocks.
   for (auto& state : states_) state->AdvanceEpoch();
+  if (observing) {
+    obs_->RecordSweep(obs::NowNs() - sweep_start, released.size());
+  }
   return released;
 }
 

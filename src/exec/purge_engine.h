@@ -25,6 +25,7 @@
 #include "exec/assignment_buffer.h"
 #include "exec/punctuation_store.h"
 #include "exec/tuple_store.h"
+#include "obs/observability.h"
 #include "query/cjq.h"
 #include "stream/scheme.h"
 #include "util/status.h"
@@ -75,6 +76,11 @@ class PurgeEngine {
     return states_[stream]->live_count();
   }
 
+  /// \brief Attaches an observation point (nullable); forwarded to the
+  /// per-stream tuple stores so their epoch advances trace too. The
+  /// engine is single-threaded, so one OperatorObs covers all streams.
+  void SetObserver(obs::OperatorObs* observer);
+
  private:
   PurgeEngine() = default;
 
@@ -93,6 +99,7 @@ class PurgeEngine {
   std::vector<bool> stream_purgeable_;
   std::vector<std::unique_ptr<TupleStore>> states_;
   std::vector<std::unique_ptr<PunctuationStore>> punct_stores_;
+  obs::OperatorObs* obs_ = nullptr;
 
   // Reused scratch for the chained-purge fixpoint (mutable: Removable
   // is const). The engine is single-threaded, like the operators.

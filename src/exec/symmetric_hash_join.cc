@@ -66,9 +66,14 @@ bool SymmetricHashJoinOperator::Removable(size_t input, const Tuple& t,
                                               waiting_scratch_, now);
 }
 
+void SymmetricHashJoinOperator::OnObserverSet() {
+  for (auto& state : states_) state->SetObserver(obs_);
+}
+
 void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
                                           int64_t ts) {
   PUNCTSAFE_CHECK(input < 2);
+  if (obs::kCompiled && obs_ != nullptr) obs_->NoteTupleTs(ts);
   if (config_.drop_excluded_arrivals &&
       punct_stores_[input]->ExcludesTuple(tuple, ts)) {
     states_[input]->CountDroppedArrival();
@@ -93,6 +98,9 @@ void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
         Emit(StreamElement::OfTuple(ConcatTuples({&left, &right}), ts));
       });
 
+  // The kTupleIn ring event is recorded by the executor at the leaf
+  // push, which already holds the NowNs taken for the latency sample.
+
   if (config_.purge_policy == PurgePolicy::kEager &&
       Removable(input, tuple, ts)) {
     states_[input]->CountDroppedArrival();
@@ -105,6 +113,7 @@ void SymmetricHashJoinOperator::PushPunctuation(
     size_t input, const Punctuation& punctuation, int64_t ts) {
   PUNCTSAFE_CHECK(input < 2);
   ++metrics_.punctuations_received;
+  if (obs::kCompiled && obs_ != nullptr) obs_->RecordPunctuation(input, ts);
   if (config_.punctuation_lifespan.has_value()) {
     for (auto& store : punct_stores_) {
       metrics_.punctuations_expired += store->ExpireBefore(ts);
@@ -130,6 +139,9 @@ void SymmetricHashJoinOperator::PushPunctuation(
 void SymmetricHashJoinOperator::Sweep(int64_t now) {
   ++metrics_.purge_sweeps;
   punctuations_since_sweep_ = 0;
+  const bool observing = obs::kCompiled && obs_ != nullptr;
+  const int64_t sweep_start = observing ? obs::NowNs() : 0;
+  uint64_t purged_total = 0;
   for (size_t side = 0; side < 2; ++side) {
     if (!purgeable_[side]) continue;
     size_t other = 1 - side;
@@ -152,11 +164,13 @@ void SymmetricHashJoinOperator::Sweep(int64_t now) {
       }
       if (run_removable) sweep_scratch_.push_back(slot);
     });
+    purged_total += sweep_scratch_.size();
     states_[side]->PurgeSlots(sweep_scratch_);
   }
   // Epoch boundary: release purged payloads and reclaim all-dead
   // arena blocks (no probe results are in flight here).
   for (auto& state : states_) state->AdvanceEpoch();
+  if (observing) obs_->RecordSweep(obs::NowNs() - sweep_start, purged_total);
 }
 
 StateMetricsSnapshot SymmetricHashJoinOperator::AggregateStateSnapshot()

@@ -65,6 +65,9 @@ class SymmetricHashJoinOperator : public JoinOperator {
 
   void Sweep(int64_t now);
 
+ protected:
+  void OnObserverSet() override;
+
  private:
   SymmetricHashJoinOperator() = default;
 

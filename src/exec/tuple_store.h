@@ -48,6 +48,7 @@
 
 #include "exec/arena.h"
 #include "exec/metrics.h"
+#include "obs/observability.h"
 #include "stream/tuple.h"
 #include "util/logging.h"
 #include "util/small_vector.h"
@@ -103,6 +104,12 @@ class TupleStore {
   size_t live_count() const { return live_count_; }
   const StateMetrics& metrics() const { return metrics_; }
   bool arena_enabled() const { return arena_ != nullptr; }
+
+  /// \brief Borrows the owning operator's observation point (nullable)
+  /// so epoch boundaries surface as trace events. Deliberately NOT
+  /// consulted on the per-probe path — probes are the hot loop and
+  /// stay counter-only (StateMetrics::probes).
+  void SetObserver(obs::OperatorObs* observer) { obs_ = observer; }
 
   /// \brief Counts an arriving tuple that was never stored because its
   /// removability already held ("purging future tuples", Sec 5.1).
@@ -254,6 +261,7 @@ class TupleStore {
   mutable size_t dead_count_ = 0;
   mutable bool pending_compact_ = false;
   mutable StateMetrics metrics_;
+  obs::OperatorObs* obs_ = nullptr;
 };
 
 }  // namespace punctsafe

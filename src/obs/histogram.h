@@ -1,0 +1,145 @@
+// HDR-style log-bucketed histogram for runtime observability
+// (latencies, punctuation lag, queue occupancy). Values are binned
+// into power-of-two octaves split into 2^kSubBits linear sub-buckets,
+// so the relative quantile error is bounded by 1/2^kSubBits (~6%)
+// while Record stays one shift, one mask, and one relaxed fetch_add —
+// cheap enough for per-tuple paths.
+//
+// Concurrency: Record uses relaxed atomics, so one recording thread
+// and any number of snapshotting threads coexist without locks (the
+// same quiescent-consistency contract as exec/metrics.h). Snapshots
+// are plain values; Merge is associative and commutative, which is
+// what lets per-shard histograms roll up into one logical-operator
+// view in any order (pinned in tests/histogram_test.cc).
+
+#ifndef PUNCTSAFE_OBS_HISTOGRAM_H_
+#define PUNCTSAFE_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace punctsafe {
+namespace obs {
+
+/// \brief Plain-value copy of a LogHistogram, mergeable across shards.
+struct HistogramSnapshot {
+  std::vector<uint64_t> counts;  ///< per log-bucket occupancy
+  uint64_t total = 0;            ///< sum of counts
+  uint64_t sum = 0;              ///< sum of recorded values (mean = sum/total)
+  uint64_t max = 0;              ///< exact maximum recorded value
+
+  /// \brief Element-wise accumulation (associative + commutative).
+  HistogramSnapshot& Merge(const HistogramSnapshot& other) {
+    if (counts.size() < other.counts.size()) {
+      counts.resize(other.counts.size(), 0);
+    }
+    for (size_t i = 0; i < other.counts.size(); ++i) {
+      counts[i] += other.counts[i];
+    }
+    total += other.total;
+    sum += other.sum;
+    max = std::max(max, other.max);
+    return *this;
+  }
+
+  /// \brief Value at quantile q in [0, 1]: the lower bound of the
+  /// first bucket whose cumulative count reaches q * total (so
+  /// Quantile is monotone in q). q >= 1 returns the exact max.
+  uint64_t Quantile(double q) const;
+
+  uint64_t Count() const { return total; }
+  double Mean() const {
+    return total > 0 ? static_cast<double>(sum) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class LogHistogram {
+ public:
+  /// Linear sub-buckets per octave: 2^4 = 16 (≈6% relative error).
+  static constexpr int kSubBits = 4;
+  static constexpr size_t kSubCount = size_t{1} << kSubBits;
+  /// Bucket index space: values < kSubCount map to themselves
+  /// (exact); above that, (octave, sub-bucket) pairs. 64-bit values
+  /// top out at index (63 - kSubBits + 1) * kSubCount + (kSubCount-1).
+  static constexpr size_t kNumBuckets = (64 - kSubBits) * kSubCount;
+
+  /// \brief Bucket index for a value (monotone in v).
+  static size_t BucketOf(uint64_t v) {
+    if (v < kSubCount) return static_cast<size_t>(v);
+    int msb = 63 - std::countl_zero(v);
+    size_t sub =
+        static_cast<size_t>(v >> (msb - kSubBits)) & (kSubCount - 1);
+    return static_cast<size_t>(msb - kSubBits + 1) * kSubCount + sub;
+  }
+
+  /// \brief Smallest value that maps to bucket `idx` (the quantile
+  /// representative; BucketOf(BucketLowerBound(i)) == i).
+  static uint64_t BucketLowerBound(size_t idx) {
+    if (idx < kSubCount) return idx;
+    size_t block = idx / kSubCount;
+    size_t sub = idx % kSubCount;
+    int msb = kSubBits + static_cast<int>(block) - 1;
+    return (uint64_t{1} << msb) | (static_cast<uint64_t>(sub)
+                                   << (msb - kSubBits));
+  }
+
+  /// \brief Records one value (negative inputs clamp to 0 so logical
+  /// lags that run "early" don't wrap the unsigned bin space).
+  void Record(int64_t value) {
+    uint64_t v = value > 0 ? static_cast<uint64_t>(value) : 0;
+    counts_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < v && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    s.counts.resize(kNumBuckets, 0);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      uint64_t c = counts_[i].load(std::memory_order_relaxed);
+      s.counts[i] = c;
+      s.total += c;
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> counts_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+inline uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (total == 0) return 0;
+  if (q >= 1.0) return max;
+  if (q < 0.0) q = 0.0;
+  // Rank of the q-th element (1-based, ceil) in the sorted multiset.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // The top bucket's lower bound can exceed the true max only in
+      // the exact-value range; clamp for a tidy invariant q<=1 -> <=max.
+      return std::min(LogHistogram::BucketLowerBound(i), max);
+    }
+  }
+  return max;
+}
+
+}  // namespace obs
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_OBS_HISTOGRAM_H_

@@ -1,0 +1,269 @@
+// Runtime observability context for one executor: a registry of
+// per-shard-operator observation points (OperatorObs), each bundling
+// a lock-free trace ring with the latency / punctuation-lag /
+// purge-sweep / queue-occupancy histograms the adaptive layers need
+// (skew rebalancing cannot rebalance what it cannot measure).
+//
+// Cost model: every hook is a handful of relaxed atomics; operators
+// hold a nullable OperatorObs* and skip the hooks entirely when
+// observability is off (ExecutorConfig::observe.enabled, the runtime
+// toggle). Building with -DPUNCTSAFE_OBSERVABILITY=OFF defines
+// PUNCTSAFE_NO_OBS, flips kCompiled to false, and lets the compiler
+// fold every `if (obs::kCompiled && ...)` call site to nothing — the
+// compile-time toggle. docs/OBSERVABILITY.md has the event taxonomy
+// and measured overhead.
+//
+// Thread contract: one OperatorObs belongs to one shard worker
+// thread (its ring's single producer). Histogram/counter reads and
+// ring drains may come from any other single thread concurrently
+// (the exporter); Observability::DrainTraces serializes drainers.
+
+#ifndef PUNCTSAFE_OBS_OBSERVABILITY_H_
+#define PUNCTSAFE_OBS_OBSERVABILITY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/metrics.h"
+#include "obs/histogram.h"
+#include "obs/trace_ring.h"
+
+namespace punctsafe {
+namespace obs {
+
+#ifdef PUNCTSAFE_NO_OBS
+inline constexpr bool kCompiled = false;
+#else
+inline constexpr bool kCompiled = true;
+#endif
+
+/// \brief Steady-clock nanoseconds (the trace/latency time base).
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Wall-clock milliseconds since epoch (exporter timestamps).
+inline int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace internal {
+
+/// \brief Relaxed atomic max for signed 64-bit (monotone).
+inline void AtomicMax64(std::atomic<int64_t>& target, int64_t value) {
+  int64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+struct ObserveOptions {
+  /// Master runtime switch; off means no OperatorObs is ever created
+  /// and every operator hook short-circuits on a null pointer.
+  bool enabled = false;
+  /// Trace-ring slots per shard worker (32 bytes each; rounded up to
+  /// a power of two). The ring is a recent-window buffer — overflow
+  /// drops the newest event and counts it, it never blocks.
+  size_t ring_capacity = TraceRing::kDefaultCapacity;
+};
+
+/// \brief One observation point: owned by exactly one shard worker.
+class OperatorObs {
+ public:
+  OperatorObs(uint16_t op, uint32_t shard, size_t ring_capacity)
+      : op_(op), shard_(shard), ring_(ring_capacity) {}
+
+  uint16_t op() const { return op_; }
+  uint32_t shard() const { return shard_; }
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+
+  /// \brief Appends a ring event (producer thread only).
+  void Note(TraceKind kind, uint64_t a = 0, uint64_t b = 0) {
+    NoteAt(NowNs(), kind, a, b);
+  }
+
+  /// \brief Note with a caller-supplied timestamp — the per-tuple hot
+  /// paths reuse the NowNs they already took for latency, so a tuple
+  /// event costs no extra clock read.
+  void NoteAt(int64_t t_ns, TraceKind kind, uint64_t a = 0,
+              uint64_t b = 0) {
+    ring_.TryPush(TraceRecord{t_ns, kind, op_, shard_, a, b});
+  }
+
+  /// \brief Folds an arriving tuple's logical timestamp into the
+  /// per-operator maximum (the reference point for punctuation lag).
+  void NoteTupleTs(int64_t ts) {
+    internal::AtomicMax64(max_tuple_ts_, ts);
+  }
+  int64_t max_tuple_ts() const {
+    return max_tuple_ts_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Tuple latency, arrival (executor ingress / parent-queue
+  /// enqueue) to the end of the operator's synchronous processing of
+  /// it — queue wait included under the parallel executor.
+  void RecordLatencyNs(int64_t ns) { latency_ns_.Record(ns); }
+
+  /// \brief Punctuation arrival: records its staleness relative to
+  /// the newest tuple timestamp this operator has seen (clamped at 0
+  /// — a punctuation "from the future" has no lag) and a ring event.
+  void RecordPunctuation(size_t input, int64_t punct_ts) {
+    int64_t lag = max_tuple_ts() - punct_ts;
+    if (lag < 0) lag = 0;
+    punct_lag_.Record(lag);
+    Note(TraceKind::kPunctIn, input, static_cast<uint64_t>(lag));
+  }
+
+  /// \brief Purge sweep finished: duration histogram + ring event.
+  void RecordSweep(int64_t dur_ns, uint64_t purged) {
+    sweep_ns_.Record(dur_ns);
+    Note(TraceKind::kPurgeSweep, purged, static_cast<uint64_t>(dur_ns));
+  }
+
+  /// \brief Worker popped a batch of `n` queued elements: occupancy
+  /// histogram + ring event (parallel executor only).
+  void RecordQueueBatch(uint64_t n) {
+    queue_depth_.Record(static_cast<int64_t>(n));
+    Note(TraceKind::kQueueBatch, n);
+  }
+
+  /// \brief A producer found this worker's queue full (backpressure).
+  /// Any thread (atomic counter; the ring belongs to the consumer).
+  void IncStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief A tuple was hash-routed to this shard (skew visibility).
+  void IncRouted() { routed_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t routed() const {
+    return routed_.load(std::memory_order_relaxed);
+  }
+
+  const LogHistogram& latency_ns() const { return latency_ns_; }
+  const LogHistogram& punct_lag() const { return punct_lag_; }
+  const LogHistogram& sweep_ns() const { return sweep_ns_; }
+  const LogHistogram& queue_depth() const { return queue_depth_; }
+
+ private:
+  const uint16_t op_;
+  const uint32_t shard_;
+  TraceRing ring_;
+  std::atomic<int64_t> max_tuple_ts_{
+      std::numeric_limits<int64_t>::min()};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> routed_{0};
+  LogHistogram latency_ns_;   // nanoseconds, arrival -> processed
+  LogHistogram punct_lag_;    // logical timestamp units
+  LogHistogram sweep_ns_;     // nanoseconds per purge sweep
+  LogHistogram queue_depth_;  // elements per popped batch
+};
+
+/// \brief One shard-operator's exported view (plain values).
+struct OperatorObsEntry {
+  uint16_t op = 0;
+  uint32_t shard = 0;
+  size_t num_shards = 1;
+  bool partitioned = false;
+  std::string partition_detail;
+  StateMetricsSnapshot state;
+  OperatorMetricsSnapshot op_metrics;
+  uint64_t routed_tuples = 0;
+  uint64_t queue_stalls = 0;
+  size_t aligner_pending = 0;
+  size_t aligner_pending_high_water = 0;
+  uint64_t trace_recorded = 0;
+  uint64_t trace_dropped = 0;
+  HistogramSnapshot latency_ns;
+  HistogramSnapshot punct_lag;
+  HistogramSnapshot sweep_ns;
+  HistogramSnapshot queue_depth;
+
+  /// \brief Copies the OperatorObs-owned fields (ids, trace-ring
+  /// accounting, counters, histograms); executors fill the rest
+  /// (state/op metrics, partitioning, aligner gauges) themselves.
+  void CaptureFrom(const OperatorObs& o) {
+    op = o.op();
+    shard = o.shard();
+    routed_tuples = o.routed();
+    queue_stalls = o.stalls();
+    trace_recorded = o.ring().recorded();
+    trace_dropped = o.ring().dropped();
+    latency_ns = o.latency_ns().Snapshot();
+    punct_lag = o.punct_lag().Snapshot();
+    sweep_ns = o.sweep_ns().Snapshot();
+    queue_depth = o.queue_depth().Snapshot();
+  }
+};
+
+/// \brief One executor-wide snapshot (one exporter JSONL line).
+struct ObsSnapshot {
+  int64_t wall_ms = 0;    ///< filled by the exporter
+  uint64_t seq = 0;       ///< filled by the exporter
+  std::string executor;   ///< "serial" | "parallel"
+  uint64_t results = 0;
+  size_t live_tuples = 0;
+  size_t live_punctuations = 0;
+  size_t tuple_high_water = 0;
+  size_t punctuation_high_water = 0;
+  std::vector<OperatorObsEntry> operators;
+};
+
+/// \brief The per-executor registry: owns every OperatorObs so their
+/// rings outlive the worker threads that feed them.
+class Observability {
+ public:
+  explicit Observability(ObserveOptions options)
+      : options_(options) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  /// \brief Registers the observation point for (op, shard). Called
+  /// during executor construction, before worker threads start.
+  OperatorObs* AddOperator(uint16_t op, uint32_t shard) {
+    operators_.push_back(
+        std::make_unique<OperatorObs>(op, shard, options_.ring_capacity));
+    return operators_.back().get();
+  }
+
+  size_t size() const { return operators_.size(); }
+  OperatorObs& at(size_t i) { return *operators_[i]; }
+  const OperatorObs& at(size_t i) const { return *operators_[i]; }
+
+  /// \brief Drains every ring into `*out` (serialized: the rings are
+  /// SPSC, so only one drainer may run at a time). Stop-the-world
+  /// free: producers keep writing while this runs. Returns the
+  /// number of records moved.
+  size_t DrainTraces(std::vector<TraceRecord>* out) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    size_t n = 0;
+    for (auto& op : operators_) n += op->ring().Drain(out);
+    return n;
+  }
+
+  const ObserveOptions& options() const { return options_; }
+
+ private:
+  ObserveOptions options_;
+  std::vector<std::unique_ptr<OperatorObs>> operators_;
+  std::mutex drain_mu_;
+};
+
+}  // namespace obs
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_OBS_OBSERVABILITY_H_

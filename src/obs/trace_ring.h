@@ -1,0 +1,127 @@
+// Lock-free per-thread trace ring: a fixed-size single-producer /
+// single-consumer ring of compact runtime events (tuple/punctuation
+// arrivals, purge sweeps, queue batches, epoch advances, ...). Each
+// shard worker owns one ring and is its only producer; the metrics
+// exporter (or a test) is the single consumer. Draining never stops
+// the producer: the reader only advances `tail_`, the writer only
+// advances `head_`, and a full ring *drops* the newest event (counted
+// in dropped()) rather than blocking or overwriting in-flight slots —
+// a trace ring is a recent-window debugging aid, not a reliable log.
+//
+// Memory ordering: the producer publishes a slot with a release store
+// of head_; the consumer acquires head_ before copying slots and
+// publishes consumption with a release store of tail_, which the
+// producer acquires before reusing a slot. TSan-clean by construction
+// (tests/trace_ring_test.cc stresses a concurrent writer/drainer
+// under -DPUNCTSAFE_SANITIZE=thread).
+
+#ifndef PUNCTSAFE_OBS_TRACE_RING_H_
+#define PUNCTSAFE_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace punctsafe {
+namespace obs {
+
+/// \brief What happened. Payload fields a/b are kind-specific.
+enum class TraceKind : uint16_t {
+  kNone = 0,
+  kTupleIn,       ///< tuple delivered to an operator (a=input, b=results)
+  kPunctIn,       ///< punctuation delivered (a=input, b=lag in logical ts)
+  kPunctOut,      ///< punctuation propagated downstream (a=input)
+  kPurgeSweep,    ///< purge sweep finished (a=tuples purged, b=duration ns)
+  kEpochAdvance,  ///< arena epoch boundary (a=blocks reclaimed, b=bytes live)
+  kQueueBatch,    ///< worker popped a queue batch (a=batch size)
+  kQueueStall,    ///< producer found the input queue full (a=shard queue)
+  kDrain,         ///< drain marker processed (a=drain count)
+};
+
+/// \brief One compact event (32 bytes).
+struct TraceRecord {
+  int64_t t_ns = 0;     ///< steady-clock nanoseconds
+  TraceKind kind = TraceKind::kNone;
+  uint16_t op = 0;      ///< logical operator (plan post-order index)
+  uint32_t shard = 0;   ///< shard replica within the operator group
+  uint64_t a = 0;       ///< kind-specific payload
+  uint64_t b = 0;       ///< kind-specific payload
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  /// \param capacity rounded up to a power of two (>= 2).
+  explicit TraceRing(size_t capacity = kDefaultCapacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        slots_(new TraceRecord[capacity_]) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// \brief Producer side (owning thread only): appends one record;
+  /// drops it (returning false) when the ring is full.
+  bool TryPush(const TraceRecord& record) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = record;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Consumer side (one drainer at a time): appends up to
+  /// `max` pending records to `*out` and returns how many were moved.
+  /// Never blocks the producer.
+  size_t Drain(std::vector<TraceRecord>* out,
+               size_t max = static_cast<size_t>(-1)) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    size_t n = 0;
+    while (tail != head && n < max) {
+      out->push_back(slots_[tail & mask_]);
+      ++tail;
+      ++n;
+    }
+    tail_.store(tail, std::memory_order_release);
+    return n;
+  }
+
+  /// \brief Events successfully recorded since construction.
+  uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// \brief Events dropped because the ring was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// \brief Records currently waiting to be drained.
+  size_t pending() const {
+    return static_cast<size_t>(head_.load(std::memory_order_relaxed) -
+                               tail_.load(std::memory_order_relaxed));
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<TraceRecord[]> slots_;
+  // Producer-written, consumer-read.
+  std::atomic<uint64_t> head_{0};
+  // Consumer-written, producer-read.
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace obs
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_OBS_TRACE_RING_H_

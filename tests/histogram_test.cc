@@ -1,0 +1,199 @@
+// LogHistogram invariants: the bucket map is monotone and
+// self-inverse at lower bounds, the relative quantile error is
+// bounded by the sub-bucket resolution, snapshot Merge is associative
+// and commutative (what lets shard histograms roll up in any order),
+// and Quantile is monotone in q with Quantile(1) exact.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace punctsafe {
+namespace obs {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < LogHistogram::kSubCount; ++v) {
+    EXPECT_EQ(LogHistogram::BucketOf(v), v);
+    EXPECT_EQ(LogHistogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(LogHistogramTest, BucketLowerBoundIsInverse) {
+  // Every reachable bucket index maps back to itself through its
+  // lower bound, and lower bounds strictly increase (monotone bins).
+  uint64_t prev = 0;
+  const size_t top = LogHistogram::BucketOf(~uint64_t{0});
+  for (size_t idx = 0; idx <= top; ++idx) {
+    uint64_t lb = LogHistogram::BucketLowerBound(idx);
+    EXPECT_EQ(LogHistogram::BucketOf(lb), idx) << "idx=" << idx;
+    if (idx > 0) {
+      EXPECT_GT(lb, prev) << "idx=" << idx;
+    }
+    prev = lb;
+  }
+}
+
+TEST(LogHistogramTest, BucketOfIsMonotone) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t a = rng() >> (rng() % 48);  // spread across magnitudes
+    uint64_t b = rng() >> (rng() % 48);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(LogHistogram::BucketOf(a), LogHistogram::BucketOf(b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(LogHistogramTest, OctaveBoundaries) {
+  // Around each power of two the bucket must step, never jump back.
+  for (int msb = 4; msb < 62; ++msb) {
+    uint64_t p = uint64_t{1} << msb;
+    EXPECT_LT(LogHistogram::BucketOf(p - 1), LogHistogram::BucketOf(p));
+    EXPECT_EQ(LogHistogram::BucketOf(p),
+              LogHistogram::BucketOf(p + (p >> LogHistogram::kSubBits) - 1))
+        << "sub-bucket width at 2^" << msb;
+  }
+}
+
+TEST(LogHistogramTest, RecordSnapshotCountsSumMax) {
+  LogHistogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(1000);
+  h.Record(-5);  // clamps to 0
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.sum, 3u + 3u + 1000u + 0u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 1006.0 / 4.0);
+}
+
+TEST(LogHistogramTest, QuantileRelativeErrorBounded) {
+  // For a point mass at v, every quantile must return a value within
+  // one sub-bucket below v (the lower-bound convention), i.e. a
+  // relative error of at most 2^-kSubBits.
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = (rng() >> (rng() % 40)) + 1;
+    LogHistogram h;
+    h.Record(static_cast<int64_t>(v & 0x7fffffffffffffffULL));
+    uint64_t vv = v & 0x7fffffffffffffffULL;
+    HistogramSnapshot s = h.Snapshot();
+    uint64_t q50 = s.Quantile(0.5);
+    EXPECT_LE(q50, vv);
+    double rel = vv > 0 ? double(vv - q50) / double(vv) : 0.0;
+    EXPECT_LE(rel, 1.0 / (1 << LogHistogram::kSubBits) + 1e-12)
+        << "v=" << vv << " q50=" << q50;
+  }
+}
+
+HistogramSnapshot RandomSnapshot(uint64_t seed, int n) {
+  LogHistogram h;
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    h.Record(static_cast<int64_t>(rng() >> (rng() % 50)));
+  }
+  return h.Snapshot();
+}
+
+void ExpectEqualSnapshots(const HistogramSnapshot& a,
+                          const HistogramSnapshot& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (size_t i = 0; i < a.counts.size(); ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << "bucket " << i;
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeAssociativeAndCommutative) {
+  HistogramSnapshot a = RandomSnapshot(1, 1000);
+  HistogramSnapshot b = RandomSnapshot(2, 500);
+  HistogramSnapshot c = RandomSnapshot(3, 2000);
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+
+  HistogramSnapshot bc = b;  // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.Merge(bc);
+
+  ExpectEqualSnapshots(ab_c, a_bc);
+
+  HistogramSnapshot ba = b;  // b + a == a + b
+  ba.Merge(a);
+  HistogramSnapshot ab = a;
+  ab.Merge(b);
+  ExpectEqualSnapshots(ab, ba);
+}
+
+TEST(HistogramSnapshotTest, MergeHandlesEmptyAndSizeMismatch) {
+  HistogramSnapshot empty;  // no buckets at all
+  HistogramSnapshot full = RandomSnapshot(4, 100);
+  HistogramSnapshot merged = empty;
+  merged.Merge(full);
+  ExpectEqualSnapshots(merged, full);
+
+  HistogramSnapshot full2 = full;
+  full2.Merge(empty);
+  ExpectEqualSnapshots(full2, full);
+}
+
+TEST(HistogramSnapshotTest, QuantileMonotoneInQ) {
+  HistogramSnapshot s = RandomSnapshot(5, 5000);
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0 + 1e-9; q += 0.01) {
+    uint64_t v = s.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_EQ(s.Quantile(1.0), s.max);
+  EXPECT_EQ(s.Quantile(2.0), s.max);
+}
+
+TEST(HistogramSnapshotTest, QuantileOfEmptyIsZero) {
+  HistogramSnapshot s;
+  EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_EQ(s.Quantile(1.0), 0u);
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramSnapshotTest, QuantileAgainstSortedReference) {
+  // Quantile must land within one bucket of the exact order
+  // statistic on a concrete multiset.
+  std::vector<uint64_t> values;
+  LogHistogram h;
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t v = rng() % 1000000;
+    values.push_back(v);
+    h.Record(static_cast<int64_t>(v));
+  }
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot s = h.Snapshot();
+  for (double q : {0.5, 0.95, 0.99}) {
+    uint64_t rank = static_cast<uint64_t>(q * values.size());
+    if (rank < 1) rank = 1;
+    uint64_t exact = values[rank - 1];
+    uint64_t approx = s.Quantile(q);
+    // The lower-bound convention under-reports by at most one
+    // sub-bucket; allow exactly that.
+    EXPECT_LE(approx, exact);
+    size_t b_exact = LogHistogram::BucketOf(exact);
+    size_t b_approx = LogHistogram::BucketOf(approx);
+    EXPECT_GE(b_approx + 1, b_exact) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace punctsafe

@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
-# CI driver: builds and ctests the plain, AddressSanitizer, and
-# ThreadSanitizer configurations (see -DPUNCTSAFE_SANITIZE in the
-# top-level CMakeLists.txt), then smoke-runs the standalone benchmark
-# binaries in a Release build on tiny inputs. The sanitizer runs are
-# what give the parallel executor's differential and queue stress
-# tests their teeth; the bench smoke keeps the JSON-emitting binaries
-# (and their internal result-equality CHECKs, including the sharded
-# executor's) from rotting between full benchmark runs.
+# CI driver: format gate, then builds and ctests the plain,
+# AddressSanitizer, ThreadSanitizer, and UndefinedBehaviorSanitizer
+# configurations (see -DPUNCTSAFE_SANITIZE in the top-level
+# CMakeLists.txt), then smoke-runs the standalone benchmark binaries
+# in a Release build on tiny inputs. The sanitizer runs are what give
+# the parallel executor's differential and queue stress tests their
+# teeth; the bench smoke keeps the JSON-emitting binaries (and their
+# internal result-equality CHECKs, including the sharded executor's)
+# from rotting between full benchmark runs, and additionally exports
+# an observability metrics JSONL (bench/metrics.jsonl under the build
+# root — uploaded as a CI artifact, rendered with tools/obs_report.py).
 #
 # Usage: tools/ci.sh [build-root]         (default: ./build-ci)
-#   PUNCTSAFE_CI_CONFIGS="plain asan tsan bench" to run a subset.
+#   PUNCTSAFE_CI_CONFIGS="format plain asan tsan ubsan bench" for a
+#   subset.
+#   PUNCTSAFE_BENCH_MIN_RATIO tunes the bench regression-gate floor
+#   (default 0.75; the bench binaries read it themselves).
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-${ROOT}/build-ci}"
-CONFIGS="${PUNCTSAFE_CI_CONFIGS:-plain asan tsan bench}"
+CONFIGS="${PUNCTSAFE_CI_CONFIGS:-format plain asan tsan ubsan bench}"
 JOBS="${PUNCTSAFE_CI_JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 run_config() {
@@ -33,10 +39,12 @@ run_config() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
   # The arena storage sweep (parallel_differential_test crosses
   # arena {off,on} x shards {1,2,4} against an arena-off serial
-  # reference) runs as part of ctest above; under ASan it is also the
-  # lifetime proof for epoch-deferred reclamation, so make its
-  # presence explicit rather than relying on the suite listing.
-  if [ "${name}" = "asan" ]; then
+  # reference) runs as part of ctest above; under ASan it is the
+  # lifetime proof for epoch-deferred reclamation and under TSan the
+  # publication-order proof for cross-shard hand-off, so make its
+  # presence explicit in both rather than relying on the suite
+  # listing.
+  if [ "${name}" = "asan" ] || [ "${name}" = "tsan" ]; then
     echo "=== [${name}] arena differential sweep (explicit) ==="
     "${dir}/tests/parallel_differential_test" \
       --gtest_filter='ParallelDifferentialTest.HundredRandomTrialsMatchSerialExecutor'
@@ -55,9 +63,12 @@ run_bench_smoke() {
     -DPUNCTSAFE_BUILD_EXAMPLES=OFF
   echo "=== [bench] build ==="
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== [bench] smoke: bench_parallel_pipeline ==="
+  echo "=== [bench] smoke: bench_parallel_pipeline (+metrics export) ==="
   "${dir}/bench/bench_parallel_pipeline" \
-    --streams 3 --generations 10 --iters 1 --shards 2
+    --streams 3 --generations 10 --iters 1 --shards 2 \
+    --metrics-out "${dir}/metrics.jsonl"
+  echo "=== [bench] metrics report (tools/obs_report.py) ==="
+  python3 "${ROOT}/tools/obs_report.py" "${dir}/metrics.jsonl"
   echo "=== [bench] smoke: bench_partitioned_join ==="
   "${dir}/bench/bench_partitioned_join" --generations 10 --iters 1
   echo "=== [bench] smoke: bench_fig3_chained_purge ==="
@@ -66,24 +77,27 @@ run_bench_smoke() {
   echo "=== [bench] hot-path regression gate ==="
   # Default parameters match the checked-in baseline's configuration
   # exactly (rates depend on store size / key cardinality). Fails
-  # (exit 1) if any tracked probe/purge rate drops below 75% of
-  # BENCH_hot_path.json — a >25% hot-path regression.
+  # (exit 1) if any tracked probe/purge rate drops below the gate
+  # floor (PUNCTSAFE_BENCH_MIN_RATIO, default 0.75) of
+  # BENCH_hot_path.json, printing the measured/baseline ratio table.
   "${dir}/bench/bench_hot_path" --iters 1 \
-    --baseline "${ROOT}/BENCH_hot_path.json" --min-ratio 0.75
+    --baseline "${ROOT}/BENCH_hot_path.json"
   echo "=== [bench] arena regression gate ==="
   # Gates the arena insert and interleaved insert+purge micro rates at
-  # 75% of BENCH_arena.json; the binary additionally hard-CHECKs
-  # steady-state insert_allocs == 0 and arena-on/off end-to-end result
-  # equality on every run.
+  # the same floor against BENCH_arena.json; the binary additionally
+  # hard-CHECKs steady-state insert_allocs == 0 and arena-on/off
+  # end-to-end result equality on every run.
   "${dir}/bench/bench_arena" --iters 1 \
-    --baseline "${ROOT}/BENCH_arena.json" --min-ratio 0.75
+    --baseline "${ROOT}/BENCH_arena.json"
 }
 
 for config in ${CONFIGS}; do
   case "${config}" in
+    format) "${ROOT}/tools/format.sh" --check ;;
     plain) run_config plain "" ;;
     asan)  run_config asan address ;;
     tsan)  run_config tsan thread ;;
+    ubsan) run_config ubsan undefined ;;
     bench) run_bench_smoke ;;
     *) echo "unknown config '${config}'" >&2; exit 1 ;;
   esac
