@@ -1,0 +1,298 @@
+// Checkpoint-layer benchmarks: how long a punctuation-aligned
+// snapshot pauses the pipeline, and how fast the PSCK codec and the
+// restore path run (docs/RECOVERY.md).
+//
+// Four measured sections on a 3-way chain join mid-trace (live tuples,
+// punctuations, and pending propagations all non-empty at the cut):
+// serial capture (the pure pause: walk + canonicalize), parallel
+// capture (adds the checkpoint barrier handshake across shards),
+// serialize/deserialize throughput over the snapshot bytes, and
+// restore latency into a fresh executor. The binary hard-CHECKs
+// recovery correctness on every run: kill-at-cut + restore + replay
+// must reproduce the uninterrupted run's result count in both
+// execution modes, and split -> merge must reproduce the snapshot
+// byte-for-byte.
+//
+// Emits one JSON object (checked-in baseline: BENCH_checkpoint.json).
+// With --baseline FILE it exits non-zero if a tracked rate fell below
+// the gate floor (--min-ratio, else PUNCTSAFE_BENCH_MIN_RATIO, else
+// 0.75) — the snapshot-pause regression gate in tools/ci.sh. The
+// parallel capture rate is reported but not gated: on starved CI
+// machines the barrier handshake is scheduler noise, not checkpoint
+// cost.
+//
+// Usage: bench_checkpoint [--generations N] [--shards K] [--iters I]
+//                         [--baseline FILE] [--min-ratio R]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/checkpoint.h"
+#include "exec/parallel_executor.h"
+#include "exec/plan_executor.h"
+#include "util/logging.h"
+#include "workload/random_query.h"
+
+namespace punctsafe {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int64_t MaxTimestamp(const Trace& trace) {
+  int64_t max_ts = 0;
+  for (const TraceEvent& e : trace) {
+    max_ts = std::max(max_ts, e.element.timestamp);
+  }
+  return max_ts;
+}
+
+uint64_t DrainedResults(ParallelExecutor* exec, int64_t now) {
+  size_t prev;
+  do {
+    prev = exec->TotalLiveTuples();
+    PUNCTSAFE_CHECK_OK(exec->Drain(now));
+  } while (exec->TotalLiveTuples() != prev);
+  return exec->num_results();
+}
+
+struct Rates {
+  double serial_capture_ps = 0;    // Checkpoint() calls/sec, serial
+  double parallel_capture_ps = 0;  // Checkpoint(now) calls/sec, barrier incl.
+  double serialize_bps = 0;        // bytes/sec through SerializeSnapshot
+  double deserialize_bps = 0;      // bytes/sec through DeserializeSnapshot
+  double restore_ps = 0;           // RestoreState() calls/sec, serial
+  size_t snapshot_bytes = 0;
+};
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  size_t generations = 60;
+  size_t shards = 2;
+  size_t iters = 3;
+  std::string baseline_path;
+  double min_ratio = -1;  // resolved below: flag > env > 0.75
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--generations") == 0) {
+      generations = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0) {
+      min_ratio = std::strtod(argv[i + 1], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'; flags: --generations N --shards K "
+                   "--iters N --baseline FILE --min-ratio R\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  bench::ChainFixture fx = bench::MakeChain(3);
+  PlanShape shape = PlanShape::SingleMJoin(3);
+  CoveringTraceConfig tconfig;
+  tconfig.num_generations = generations;
+  tconfig.values_per_generation = 8;
+  tconfig.tuples_per_generation = 40;
+  Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
+  // Cut just past a generation's tuples but before its closing
+  // punctuations, so the snapshot carries live state.
+  const size_t cut = trace.size() / 2;
+  const int64_t now = MaxTimestamp(trace) + 1;
+  ExecutorConfig config;
+
+  // Uninterrupted serial reference for the recovery CHECKs.
+  uint64_t ref_results = 0;
+  {
+    auto ref = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
+    PUNCTSAFE_CHECK_OK(ref.status());
+    PUNCTSAFE_CHECK_OK(FeedTrace(ref.ValueOrDie().get(), trace));
+    ref_results = (*ref)->num_results();
+  }
+
+  Rates best;
+  StateSnapshot snapshot;
+  for (size_t iter = 0; iter < iters; ++iter) {
+    Rates r;
+
+    // --- Serial capture: the pause an in-process checkpoint imposes
+    // between two pushes (state walk + canonicalize).
+    auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
+    PUNCTSAFE_CHECK_OK(exec.status());
+    for (size_t i = 0; i < cut; ++i) {
+      PUNCTSAFE_CHECK_OK((*exec)->Push(trace[i]));
+    }
+    constexpr size_t kCaptures = 20;
+    auto start = Clock::now();
+    for (size_t i = 0; i < kCaptures; ++i) {
+      snapshot = (*exec)->Checkpoint();
+    }
+    double secs = SecondsSince(start);
+    r.serial_capture_ps = secs > 0 ? kCaptures / secs : 0;
+
+    // --- Codec throughput over the captured bytes.
+    constexpr size_t kCodecReps = 50;
+    std::string bytes;
+    start = Clock::now();
+    for (size_t i = 0; i < kCodecReps; ++i) {
+      bytes = SerializeSnapshot(snapshot);
+    }
+    secs = SecondsSince(start);
+    r.snapshot_bytes = bytes.size();
+    r.serialize_bps = secs > 0 ? kCodecReps * bytes.size() / secs : 0;
+
+    start = Clock::now();
+    for (size_t i = 0; i < kCodecReps; ++i) {
+      Result<StateSnapshot> parsed = DeserializeSnapshot(bytes);
+      PUNCTSAFE_CHECK(parsed.ok()) << parsed.status().ToString();
+    }
+    secs = SecondsSince(start);
+    r.deserialize_bps = secs > 0 ? kCodecReps * bytes.size() / secs : 0;
+
+    // --- Restore latency (fresh-executor creation not timed).
+    constexpr size_t kRestores = 10;
+    std::vector<std::unique_ptr<PlanExecutor>> fresh;
+    for (size_t i = 0; i < kRestores; ++i) {
+      auto e = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
+      PUNCTSAFE_CHECK_OK(e.status());
+      fresh.push_back(std::move(e).ValueOrDie());
+    }
+    start = Clock::now();
+    for (auto& e : fresh) {
+      PUNCTSAFE_CHECK_OK(e->RestoreState(snapshot));
+    }
+    secs = SecondsSince(start);
+    r.restore_ps = secs > 0 ? kRestores / secs : 0;
+
+    // Recovery correctness, serial: replay the suffix on the last
+    // restored executor.
+    for (size_t i = cut; i < trace.size(); ++i) {
+      PUNCTSAFE_CHECK_OK(fresh.back()->Push(trace[i]));
+    }
+    PUNCTSAFE_CHECK(fresh.back()->num_results() == ref_results)
+        << "serial kill/restore/replay diverged: "
+        << fresh.back()->num_results() << " vs " << ref_results;
+
+    // --- Parallel capture: barrier handshake + per-shard capture +
+    // monoid merge.
+    ExecutorConfig pconfig = config;
+    pconfig.shards = shards;
+    auto pexec =
+        ParallelExecutor::Create(fx.query, fx.schemes, shape, pconfig);
+    PUNCTSAFE_CHECK_OK(pexec.status());
+    for (size_t i = 0; i < cut; ++i) {
+      PUNCTSAFE_CHECK_OK((*pexec)->Push(trace[i]));
+    }
+    constexpr size_t kBarriers = 10;
+    StateSnapshot psnap;
+    start = Clock::now();
+    for (size_t i = 0; i < kBarriers; ++i) {
+      Result<StateSnapshot> s = (*pexec)->Checkpoint(now);
+      PUNCTSAFE_CHECK(s.ok()) << s.status().ToString();
+      psnap = std::move(s).ValueOrDie();
+    }
+    secs = SecondsSince(start);
+    r.parallel_capture_ps = secs > 0 ? kBarriers / secs : 0;
+    (*pexec)->Stop();  // the kill
+
+    // Recovery correctness, parallel: restore + replay + drain.
+    auto presumed =
+        ParallelExecutor::Create(fx.query, fx.schemes, shape, pconfig);
+    PUNCTSAFE_CHECK_OK(presumed.status());
+    PUNCTSAFE_CHECK_OK((*presumed)->RestoreState(psnap));
+    for (size_t i = cut; i < trace.size(); ++i) {
+      PUNCTSAFE_CHECK_OK((*presumed)->Push(trace[i]));
+    }
+    uint64_t presults = DrainedResults(presumed->get(), now);
+    PUNCTSAFE_CHECK(presults == ref_results)
+        << "parallel kill/restore/replay diverged: " << presults << " vs "
+        << ref_results;
+    (*presumed)->Stop();
+
+    if (iter == 0 || r.serial_capture_ps > best.serial_capture_ps) best = r;
+  }
+
+  // Monoid inverse on the live snapshot: split -> merge is byte-exact.
+  const std::string canonical = SerializeSnapshot(snapshot);
+  std::vector<StateSnapshot> pieces = SplitSnapshot(snapshot, 4);
+  StateSnapshot merged = pieces[0];
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    merged = MergeSnapshots(merged, pieces[i]);
+  }
+  PUNCTSAFE_CHECK(SerializeSnapshot(merged) == canonical)
+      << "split -> merge drifted from the captured snapshot";
+
+  const double pause_us =
+      best.serial_capture_ps > 0 ? 1e6 / best.serial_capture_ps : 0;
+  std::ostringstream json;
+  char buf[256];
+  auto emit = [&](const char* key, double v, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.0f%s\n", key, v,
+                  comma ? "," : "");
+    json << buf;
+  };
+  json << "{\n";
+  json << "  \"bench\": \"checkpoint\",\n";
+  json << "  \"events\": " << trace.size() << ",\n";
+  json << "  \"cut\": " << cut << ",\n";
+  json << "  \"shards\": " << shards << ",\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+  json << "  \"snapshot_bytes\": " << best.snapshot_bytes << ",\n";
+  emit("serial_capture_per_sec", best.serial_capture_ps);
+  std::snprintf(buf, sizeof(buf), "  \"serial_capture_pause_us\": %.1f,\n",
+                pause_us);
+  json << buf;
+  emit("parallel_capture_per_sec", best.parallel_capture_ps);
+  emit("serialize_bytes_per_sec", best.serialize_bps);
+  emit("deserialize_bytes_per_sec", best.deserialize_bps);
+  emit("restore_per_sec", best.restore_ps);
+  std::snprintf(buf, sizeof(buf), "  \"results\": %llu\n",
+                static_cast<unsigned long long>(ref_results));
+  json << buf;
+  json << "}\n";
+  std::fputs(json.str().c_str(), stdout);
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    // Gate the pause (as captures/sec) and the codec/restore rates;
+    // the parallel barrier rate is informational (scheduler-bound).
+    if (!bench::CheckBaselineRates(
+            ss.str(),
+            {{"serial_capture_per_sec", best.serial_capture_ps},
+             {"serialize_bytes_per_sec", best.serialize_bps},
+             {"deserialize_bytes_per_sec", best.deserialize_bps},
+             {"restore_per_sec", best.restore_ps}},
+            bench::ResolveMinRatio(min_ratio))) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace punctsafe
+
+int main(int argc, char** argv) { return punctsafe::Main(argc, argv); }

@@ -139,6 +139,27 @@ struct StateMetrics {
                                          std::memory_order_relaxed));
   }
 
+  /// \brief Overwrites every counter from a snapshot (checkpoint
+  /// restore: the rebuild re-runs Insert, so the counters must be
+  /// reset to their captured values afterwards, not accumulated).
+  void RestoreFrom(const StateMetricsSnapshot& s) {
+    inserted.store(s.inserted, std::memory_order_relaxed);
+    purged.store(s.purged, std::memory_order_relaxed);
+    dropped_on_arrival.store(s.dropped_on_arrival,
+                             std::memory_order_relaxed);
+    probes.store(s.probes, std::memory_order_relaxed);
+    probe_allocs.store(s.probe_allocs, std::memory_order_relaxed);
+    index_compactions.store(s.index_compactions, std::memory_order_relaxed);
+    insert_allocs.store(s.insert_allocs, std::memory_order_relaxed);
+    arena_blocks_reclaimed.store(s.arena_blocks_reclaimed,
+                                 std::memory_order_relaxed);
+    arena_bytes_reserved.store(s.arena_bytes_reserved,
+                               std::memory_order_relaxed);
+    arena_bytes_live.store(s.arena_bytes_live, std::memory_order_relaxed);
+    live.store(s.live, std::memory_order_relaxed);
+    high_water.store(s.high_water, std::memory_order_relaxed);
+  }
+
   StateMetricsSnapshot Snapshot() const {
     StateMetricsSnapshot s;
     s.inserted = inserted.load(std::memory_order_relaxed);
@@ -190,6 +211,26 @@ struct OperatorMetrics {
   void OnPunctuationsLive(size_t count) {
     punctuations_live.store(count, std::memory_order_relaxed);
     internal::AtomicMax(punctuations_high_water, count);
+  }
+
+  /// \brief Overwrites every counter from a snapshot (checkpoint
+  /// restore; see StateMetrics::RestoreFrom).
+  void RestoreFrom(const OperatorMetricsSnapshot& s) {
+    results_emitted.store(s.results_emitted, std::memory_order_relaxed);
+    punctuations_received.store(s.punctuations_received,
+                                std::memory_order_relaxed);
+    punctuations_stored.store(s.punctuations_stored,
+                              std::memory_order_relaxed);
+    punctuations_propagated.store(s.punctuations_propagated,
+                                  std::memory_order_relaxed);
+    punctuations_expired.store(s.punctuations_expired,
+                               std::memory_order_relaxed);
+    purge_sweeps.store(s.purge_sweeps, std::memory_order_relaxed);
+    removability_checks.store(s.removability_checks,
+                              std::memory_order_relaxed);
+    punctuations_live.store(s.punctuations_live, std::memory_order_relaxed);
+    punctuations_high_water.store(s.punctuations_high_water,
+                                  std::memory_order_relaxed);
   }
 
   OperatorMetricsSnapshot Snapshot() const {

@@ -586,6 +586,100 @@ Punctuation MJoinOperator::RebaseToOutput(size_t input,
   return Punctuation(std::move(patterns));
 }
 
+OperatorStateSnapshot MJoinOperator::CaptureState() const {
+  OperatorStateSnapshot snap;
+  snap.inputs.resize(num_inputs());
+  for (size_t k = 0; k < num_inputs(); ++k) {
+    InputStateSnapshot& in = snap.inputs[k];
+    in.tuples.reserve(states_[k]->live_count());
+    // Copying out of ForEachLive materializes owning tuples, so the
+    // snapshot stays valid past any arena epoch.
+    states_[k]->ForEachLive(
+        [&](size_t, const Tuple& t) { in.tuples.push_back(t); });
+    punct_stores_[k]->ForEachEntry(
+        [&](const Punctuation& p, int64_t arrival) {
+          in.punctuations.push_back({p, arrival});
+        });
+    in.state_metrics = states_[k]->metrics().Snapshot();
+  }
+  snap.pending.reserve(pending_propagations_.size());
+  for (const PendingPropagation& p : pending_propagations_) {
+    snap.pending.push_back({static_cast<uint32_t>(p.input), p.punctuation});
+  }
+  snap.op_metrics = metrics_.Snapshot();
+  snap.punctuations_purged = punctuations_purged_;
+  snap.punctuations_since_sweep = punctuations_since_sweep_;
+  return snap;
+}
+
+Status MJoinOperator::RestoreState(const OperatorStateSnapshot& snapshot) {
+  if (snapshot.inputs.size() != num_inputs()) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(snapshot.inputs.size()) +
+        " inputs but the operator has " + std::to_string(num_inputs()));
+  }
+  if (TotalLiveTuples() != 0 || TotalLivePunctuations() != 0 ||
+      !pending_propagations_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a freshly created operator");
+  }
+  for (size_t k = 0; k < num_inputs(); ++k) {
+    const InputStateSnapshot& in = snapshot.inputs[k];
+    for (const PunctuationEntry& e : in.punctuations) {
+      if (e.punctuation.arity() != widths_[k]) {
+        return Status::InvalidArgument(
+            "snapshot punctuation arity does not match input " +
+            std::to_string(k));
+      }
+      punct_stores_[k]->Add(e.punctuation, e.arrival);
+    }
+    for (const Tuple& t : in.tuples) {
+      if (t.size() != widths_[k]) {
+        return Status::InvalidArgument(
+            "snapshot tuple width does not match input " +
+            std::to_string(k));
+      }
+      states_[k]->Insert(t);
+    }
+    states_[k]->RestoreMetrics(in.state_metrics);
+  }
+  for (const PendingPropagationSnapshot& p : snapshot.pending) {
+    if (p.input >= num_inputs()) {
+      return Status::InvalidArgument(
+          "snapshot pending propagation names input " +
+          std::to_string(p.input));
+    }
+    pending_propagations_.push_back({p.input, p.punctuation});
+  }
+  metrics_.RestoreFrom(snapshot.op_metrics);
+  punctuations_purged_ = snapshot.punctuations_purged;
+  punctuations_since_sweep_ =
+      static_cast<size_t>(snapshot.punctuations_since_sweep);
+  return Status::OK();
+}
+
+void MJoinOperator::RecheckPropagations(int64_t now) {
+  // The recheck reconstructs transient coordination state (a sharded
+  // restore re-emits punctuations whose aligner votes the crash
+  // discarded); the restored counters already account for the original
+  // probes and emissions, so the pass must not double-count them —
+  // capture -> restore -> capture stays byte-identical.
+  std::vector<StateMetricsSnapshot> saved;
+  saved.reserve(num_inputs());
+  for (const auto& s : states_) saved.push_back(s->metrics().Snapshot());
+  const uint64_t propagated =
+      metrics_.punctuations_propagated.load(std::memory_order_relaxed);
+
+  std::vector<bool> changed(num_inputs(), true);
+  TryPropagate(now, changed);
+
+  for (size_t k = 0; k < num_inputs(); ++k) {
+    states_[k]->RestoreMetrics(saved[k]);
+  }
+  metrics_.punctuations_propagated.store(propagated,
+                                         std::memory_order_relaxed);
+}
+
 StateMetricsSnapshot MJoinOperator::AggregateStateSnapshot() const {
   StateMetricsSnapshot total;
   for (const auto& s : states_) total += s->metrics().Snapshot();

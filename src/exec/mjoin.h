@@ -39,6 +39,7 @@
 
 #include "core/local_graph.h"
 #include "exec/assignment_buffer.h"
+#include "exec/checkpoint.h"
 #include "exec/operator.h"
 #include "exec/punctuation_store.h"
 #include "exec/tuple_store.h"
@@ -124,6 +125,27 @@ class MJoinOperator : public JoinOperator {
   /// \brief Stored punctuations dropped by the Section 5.1
   /// punctuation-purgeability pass.
   uint64_t punctuations_purged() const { return punctuations_purged_; }
+
+  /// \brief Captures this operator's logical state for a
+  /// punctuation-aligned checkpoint (exec/checkpoint.h): live tuples,
+  /// punctuation-store entries with arrivals, pending propagations,
+  /// and metric counters. Must run while the operator is quiescent
+  /// (between pushes; under the parallel executor, behind a barrier).
+  OperatorStateSnapshot CaptureState() const;
+
+  /// \brief Rebuilds the captured state into this operator, which must
+  /// be freshly created (same query/inputs/config shape, empty state).
+  /// Tuples are re-inserted through the normal path (so indexes and
+  /// arena layout rebuild), then the metric counters are overwritten
+  /// with their captured values.
+  Status RestoreState(const OperatorStateSnapshot& snapshot);
+
+  /// \brief Re-evaluates every pending propagation as if all inputs
+  /// had changed. Restore paths call this after state is rebuilt: a
+  /// shard that had already reported a punctuation to the alignment
+  /// barrier before the snapshot re-emits it, reconstructing the
+  /// aligner votes a crash discards (docs/RECOVERY.md).
+  void RecheckPropagations(int64_t now);
 
  protected:
   void OnObserverSet() override;

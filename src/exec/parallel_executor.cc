@@ -8,6 +8,7 @@
 
 #include "exec/bounded_queue.h"
 #include "exec/operator_tree.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace punctsafe {
@@ -26,11 +27,11 @@ constexpr size_t kEmitFlushBatch = 128;
 }  // namespace
 
 // One message on a shard's input queue: a stream element tagged with
-// the input it belongs to, or a drain marker (processed after
-// everything queued before it; the pushing thread guarantees all
-// producers are quiescent first).
+// the input it belongs to, or a barrier marker (drain / checkpoint /
+// recheck — processed after everything queued before it; the pushing
+// thread guarantees all producers are quiescent first).
 struct OpMessage {
-  bool drain = false;
+  PipelineMarker marker = PipelineMarker::kNone;
   size_t input = 0;
   StreamElement element;
   // Steady-clock stamp taken when the element entered the pipeline
@@ -69,8 +70,9 @@ struct ParallelExecutor::Worker {
   std::vector<std::deque<OpMessage>> emit_buf;
   size_t emit_buffered = 0;
 
-  // Drain handshake. `drains_requested` is touched only by the driver
-  // thread; `drains_done` is the worker's ack, published under `mu`.
+  // Barrier handshake (drain / checkpoint / recheck markers all share
+  // it). `drains_requested` is touched only by the driver thread;
+  // `drains_done` is the worker's ack, published under `mu`.
   uint64_t drains_requested = 0;
   std::mutex mu;
   std::condition_variable drained_cv;
@@ -170,6 +172,7 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     }
   }
 
+  exec->progress_.resize(query.num_streams());
   exec->leaf_route_.assign(query.num_streams(), {kNone, 0});
   for (size_t s = 0; s < query.num_streams(); ++s) {
     exec->leaf_route_[s] = tree.leaf_route[s];
@@ -224,7 +227,7 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
             ? parent.spec.ShardOf(group.parent_input, element.tuple,
                                   parent.num_shards)
             : 0;
-    OpMessage message{false, group.parent_input, element, 0};
+    OpMessage message{PipelineMarker::kNone, group.parent_input, element, 0};
     if (obs::kCompiled && obs_ != nullptr) {
       message.enqueue_ns = obs::NowNs();
       workers_[parent.first_worker + target]->obs->IncRouted();
@@ -271,7 +274,7 @@ bool ParallelExecutor::RouteTuple(OpGroup& group, size_t input,
                                           group.num_shards)
                      : 0;
   Worker& target = *workers_[group.first_worker + shard];
-  OpMessage message{false, input, element, 0};
+  OpMessage message{PipelineMarker::kNone, input, element, 0};
   if (obs::kCompiled && obs_ != nullptr) {
     message.enqueue_ns = obs::NowNs();
     target.obs->IncRouted();
@@ -295,7 +298,7 @@ bool ParallelExecutor::Broadcast(OpGroup& group, size_t input,
   bool ok = true;
   for (size_t s = 0; s < group.num_shards; ++s) {
     Worker& target = *workers_[group.first_worker + s];
-    OpMessage message{false, input, element, 0};
+    OpMessage message{PipelineMarker::kNone, input, element, 0};
     if (obs::kCompiled && obs_ != nullptr) {
       message.enqueue_ns = obs::NowNs();
       if (target.queue.size() >= target.queue.capacity()) {
@@ -319,12 +322,23 @@ void ParallelExecutor::WorkerLoop(size_t index) {
       worker.obs->RecordQueueBatch(batch->size());
     }
 
+    // Barriers in this batch. The handshake admits at most one
+    // outstanding barrier per worker (the driver waits for acks before
+    // issuing the next), but the counting stays general. All kinds
+    // require processing everything queued before the marker; they
+    // differ only in the action run before the ack: drains sweep,
+    // rechecks re-evaluate pending propagations, checkpoints do
+    // nothing (pure quiescence so the driver can observe state).
+    size_t barriers = 0;
     size_t drains = 0;
-    int64_t drain_ts = 0;
+    bool recheck = false;
+    int64_t barrier_ts = 0;
     for (OpMessage& m : *batch) {
-      if (m.drain) {
-        ++drains;
-        drain_ts = m.element.timestamp;
+      if (m.marker != PipelineMarker::kNone) {
+        ++barriers;
+        barrier_ts = m.element.timestamp;
+        if (m.marker == PipelineMarker::kDrain) ++drains;
+        if (m.marker == PipelineMarker::kRecheck) recheck = true;
       } else {
         worker.pending[m.input].push_back(std::move(m));
       }
@@ -333,21 +347,28 @@ void ParallelExecutor::WorkerLoop(size_t index) {
     ProcessPending(worker);
 
     if (drains > 0) {
-      worker.op->Sweep(drain_ts);
+      worker.op->Sweep(barrier_ts);
       SampleHighWater();
       if (obs::kCompiled && worker.obs != nullptr) {
         worker.obs->Note(obs::TraceKind::kDrain, drains);
       }
     }
+    if (recheck) {
+      // Restore phase 2: runs on this worker thread so re-emitted
+      // punctuations flow through the normal aligner/queue path.
+      worker.op->RecheckPropagations(barrier_ts);
+      SampleHighWater();
+    }
     // Flush staged downstream emits at every batch boundary — and,
-    // crucially, *before* acking a drain: the drain contract promises
-    // that everything this shard will ever emit for the drained epoch
-    // is already in the parent's queues when the ack lands.
+    // crucially, *before* acking a barrier: the barrier contract
+    // promises that everything this shard will ever emit for the
+    // barriered epoch is already in the parent's queues when the ack
+    // lands.
     FlushEmits(worker);
-    if (drains > 0) {
+    if (barriers > 0) {
       {
         std::lock_guard<std::mutex> lock(worker.mu);
-        worker.drains_done += drains;
+        worker.drains_done += barriers;
       }
       worker.drained_cv.notify_all();
     }
@@ -451,33 +472,69 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
   if (!ok) {
     return Status::FailedPrecondition("parallel executor is stopped");
   }
+  NoteProgress(*idx, event.element.timestamp);
+  if (!event.element.is_tuple()) {
+    MaybeAutoCheckpoint(event.element.timestamp);
+  }
   return Status::OK();
 }
 
 void ParallelExecutor::PushTuple(size_t stream, const Tuple& tuple,
                                  int64_t ts) {
   auto [group_idx, input] = leaf_route_[stream];
-  RouteTuple(*groups_[group_idx], input, StreamElement::OfTuple(tuple, ts));
+  if (RouteTuple(*groups_[group_idx], input,
+                 StreamElement::OfTuple(tuple, ts))) {
+    NoteProgress(stream, ts);
+  }
 }
 
 void ParallelExecutor::PushPunctuation(size_t stream,
                                        const Punctuation& punctuation,
                                        int64_t ts) {
   auto [group_idx, input] = leaf_route_[stream];
-  Broadcast(*groups_[group_idx], input,
-            StreamElement::OfPunctuation(punctuation, ts));
+  if (Broadcast(*groups_[group_idx], input,
+                StreamElement::OfPunctuation(punctuation, ts))) {
+    NoteProgress(stream, ts);
+    MaybeAutoCheckpoint(ts);
+  }
 }
 
-Status ParallelExecutor::Drain(int64_t now) {
+void ParallelExecutor::NoteProgress(size_t stream, int64_t ts) {
+  InputProgress& p = progress_[stream];
+  ++p.events_consumed;
+  p.watermark_ts = std::max(p.watermark_ts, ts);
+}
+
+void ParallelExecutor::MaybeAutoCheckpoint(int64_t ts) {
+  if (config_.checkpoint.interval_punctuations == 0) return;
+  if (++punctuations_since_checkpoint_ <
+      config_.checkpoint.interval_punctuations) {
+    return;
+  }
+  punctuations_since_checkpoint_ = 0;
+  if (config_.checkpoint.path.empty()) return;
+  Result<StateSnapshot> snap = Checkpoint(ts);
+  Status status = snap.ok()
+                      ? WriteSnapshotFile(*snap, config_.checkpoint.path)
+                      : snap.status();
+  if (!status.ok()) {
+    PUNCTSAFE_LOG(Warning) << "automatic checkpoint to '"
+                           << config_.checkpoint.path
+                           << "' failed: " << status.ToString();
+  }
+}
+
+Status ParallelExecutor::BarrierAll(PipelineMarker marker, int64_t now) {
   if (stopped_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("parallel executor is stopped");
   }
   // Leaves-first (groups_ is post-order, children before parents):
-  // once every shard of operator j's children has acked its drain,
+  // once every shard of operator j's children has acked its marker,
   // every element they will ever emit is already in j's shard queues,
   // so j's markers are provably last and their acks mean the whole
-  // group is caught up and swept. Markers go through Broadcast so they
-  // order consistently against punctuation broadcasts.
+  // group is caught up (and swept / rechecked, per marker kind).
+  // Markers go through Broadcast-style pushes under broadcast_mu so
+  // they order consistently against punctuation broadcasts.
   for (size_t j = 0; j < groups_.size(); ++j) {
     OpGroup& group = *groups_[j];
     std::vector<uint64_t> targets(group.num_shards);
@@ -487,11 +544,11 @@ Status ParallelExecutor::Drain(int64_t now) {
     {
       std::lock_guard<std::mutex> lock(group.broadcast_mu);
       for (size_t s = 0; s < group.num_shards; ++s) {
-        OpMessage marker;
-        marker.drain = true;
-        marker.element.timestamp = now;
+        OpMessage message;
+        message.marker = marker;
+        message.element.timestamp = now;
         if (!workers_[group.first_worker + s]->queue.Push(
-                std::move(marker))) {
+                std::move(message))) {
           return Status::FailedPrecondition("parallel executor is stopped");
         }
       }
@@ -504,6 +561,142 @@ Status ParallelExecutor::Drain(int64_t now) {
     }
   }
   return Status::OK();
+}
+
+Status ParallelExecutor::Drain(int64_t now) {
+  return BarrierAll(PipelineMarker::kDrain, now);
+}
+
+Result<StateSnapshot> ParallelExecutor::Checkpoint(int64_t now) {
+  // After the barrier every worker has processed everything queued
+  // ahead of its marker and is parked on an empty queue; the ack under
+  // worker.mu publishes its operator mutations to this thread, so the
+  // driver can read shard state directly.
+  PUNCTSAFE_RETURN_IF_ERROR(BarrierAll(PipelineMarker::kCheckpoint, now));
+  StateSnapshot snap;
+  snap.fingerprint = PlanFingerprint(query_, shape_);
+  snap.progress = progress_;
+  snap.num_results = num_results();
+  snap.results = kept_results();
+  snap.tuple_high_water = tuple_high_water();
+  snap.punct_high_water = punctuation_high_water();
+  snap.operators.reserve(groups_.size());
+  for (const auto& group : groups_) {
+    // Fold the shard captures into the logical operator's snapshot —
+    // the same monoid the split/merge laws are stated over, so a
+    // K-shard checkpoint equals the serial executor's byte-for-byte
+    // once canonicalized.
+    OperatorStateSnapshot merged =
+        operators_[group->first_worker]->CaptureState();
+    for (size_t s = 1; s < group->num_shards; ++s) {
+      merged = MergeOperatorSnapshots(
+          merged, operators_[group->first_worker + s]->CaptureState());
+    }
+    snap.operators.push_back(std::move(merged));
+  }
+  CanonicalizeSnapshot(&snap);
+  return snap;
+}
+
+Status ParallelExecutor::RestoreState(const StateSnapshot& snapshot) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("parallel executor is stopped");
+  }
+  if (snapshot.fingerprint != PlanFingerprint(query_, shape_)) {
+    return Status::InvalidArgument(
+        StrCat("snapshot fingerprint '", snapshot.fingerprint,
+               "' does not match this plan '",
+               PlanFingerprint(query_, shape_), "'"));
+  }
+  if (snapshot.operators.size() != groups_.size()) {
+    return Status::InvalidArgument(
+        StrCat("snapshot has ", snapshot.operators.size(),
+               " operators but the plan has ", groups_.size()));
+  }
+  // Phase 1: rebuild each shard's state directly from the driver
+  // thread. The fresh-executor contract means nothing has been queued,
+  // so every worker is parked in PopAll and never touches its operator
+  // concurrently; the phase-2 barrier's queue pushes publish these
+  // writes to the worker threads.
+  for (size_t j = 0; j < groups_.size(); ++j) {
+    OpGroup& group = *groups_[j];
+    const OperatorStateSnapshot& logical = snapshot.operators[j];
+    const size_t num_inputs = operators_[group.first_worker]->num_inputs();
+    if (logical.inputs.size() != num_inputs) {
+      return Status::InvalidArgument(
+          StrCat("snapshot operator ", j, " has ", logical.inputs.size(),
+                 " inputs but the operator has ", num_inputs));
+    }
+    // Split the logical snapshot across the group's shards: tuples by
+    // the group's own ShardOf (the inverse the merge is stated
+    // against), punctuations / pending / sweep counters replicated
+    // (broadcast state — every shard holds the full set), summed
+    // counters and result credits on shard 0 only.
+    std::vector<OperatorStateSnapshot> pieces(group.num_shards);
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      OperatorStateSnapshot& piece = pieces[s];
+      piece.inputs.resize(num_inputs);
+      piece.pending = logical.pending;
+      piece.punctuations_purged = logical.punctuations_purged;
+      piece.punctuations_since_sweep = logical.punctuations_since_sweep;
+      piece.op_metrics = logical.op_metrics;
+      if (s != 0) {
+        piece.op_metrics.results_emitted = 0;
+        piece.op_metrics.removability_checks = 0;
+      }
+      for (size_t k = 0; k < num_inputs; ++k) {
+        piece.inputs[k].punctuations = logical.inputs[k].punctuations;
+        if (s == 0) {
+          piece.inputs[k].state_metrics = logical.inputs[k].state_metrics;
+          piece.inputs[k].state_metrics.live = 0;  // recomputed below
+        }
+      }
+    }
+    for (size_t k = 0; k < num_inputs; ++k) {
+      for (const Tuple& tuple : logical.inputs[k].tuples) {
+        size_t target =
+            group.num_shards > 1
+                ? group.spec.ShardOf(k, tuple, group.num_shards)
+                : 0;
+        pieces[target].inputs[k].tuples.push_back(tuple);
+        pieces[target].inputs[k].state_metrics.live += 1;
+      }
+      // Gauge drift (a hand-edited snapshot whose live gauge disagrees
+      // with its tuple list) lands on shard 0, mirroring SplitSnapshot.
+      const uint64_t listed = logical.inputs[k].tuples.size();
+      if (logical.inputs[k].state_metrics.live > listed) {
+        pieces[0].inputs[k].state_metrics.live +=
+            logical.inputs[k].state_metrics.live - listed;
+      }
+    }
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      PUNCTSAFE_RETURN_IF_ERROR(
+          operators_[group.first_worker + s]->RestoreState(pieces[s]));
+    }
+  }
+  progress_ = snapshot.progress;
+  progress_.resize(query_.num_streams());
+  num_results_.store(snapshot.num_results, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    kept_results_ = snapshot.results;
+  }
+  tuple_high_water_.store(snapshot.tuple_high_water,
+                          std::memory_order_relaxed);
+  punct_high_water_.store(snapshot.punct_high_water,
+                          std::memory_order_relaxed);
+  // Phase 2: pending propagations were replicated to every shard, but
+  // a shard that had already cleared (and voted at the aligner) before
+  // the snapshot must re-emit — the crash discarded its vote. The
+  // recheck barrier runs on the worker threads, leaves-first, so those
+  // re-emissions flow through the normal aligner/queue path and the
+  // aligner completes exactly once when the last shard clears during
+  // replay (docs/RECOVERY.md).
+  int64_t now = 0;
+  for (const InputProgress& p : progress_) {
+    now = std::max(now, p.watermark_ts);
+  }
+  return BarrierAll(PipelineMarker::kRecheck, now);
 }
 
 void ParallelExecutor::Stop() {

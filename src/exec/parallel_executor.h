@@ -65,6 +65,24 @@
 
 namespace punctsafe {
 
+/// \brief Marker kinds broadcast through the shard queues as barrier
+/// messages. All of them use the same leaves-first handshake (the
+/// drain protocol); they differ only in what the worker runs before
+/// acking:
+///  * kDrain      — purge sweep at the marker timestamp (Drain);
+///  * kCheckpoint — nothing: pure quiescence, so the driver can
+///    capture a consistent snapshot (Checkpoint);
+///  * kRecheck    — re-evaluate pending punctuation propagations
+///    (RestoreState phase 2: shards whose state is already clear
+///    re-emit to the aligner, reconstructing votes a crash
+///    discarded — docs/RECOVERY.md).
+enum class PipelineMarker : uint8_t {
+  kNone = 0,
+  kDrain = 1,
+  kCheckpoint = 2,
+  kRecheck = 3,
+};
+
 struct OpMessage;
 
 class ParallelExecutor {
@@ -117,6 +135,29 @@ class ParallelExecutor {
   /// elements are dropped). Called by the destructor; use Drain first
   /// for a clean shutdown. Idempotent.
   void Stop();
+
+  /// \brief Punctuation-aligned consistent snapshot (exec/checkpoint.h):
+  /// broadcasts a kCheckpoint barrier leaves-first (same handshake as
+  /// Drain, but without sweeping — a checkpoint must observe state, not
+  /// change it), then, with every worker provably quiescent, folds each
+  /// group's shard captures into one logical OperatorStateSnapshot via
+  /// MergeOperatorSnapshots. Driver thread only.
+  Result<StateSnapshot> Checkpoint(int64_t now);
+
+  /// \brief Rebuilds executor state from a snapshot. Must be called on
+  /// a freshly created executor before anything is pushed. Tuples are
+  /// re-routed to shards via each group's PartitionSpec::ShardOf (the
+  /// split inverse of the snapshot merge); punctuation stores and
+  /// pending propagations are replicated to every shard (broadcast
+  /// state). A kRecheck barrier then runs on the worker threads so
+  /// already-clear shards re-emit pending punctuations to the aligner.
+  /// Afterwards, resume by replaying each stream's suffix from
+  /// `snapshot.progress[s].events_consumed`.
+  Status RestoreState(const StateSnapshot& snapshot);
+
+  /// \brief Per-stream consumption positions (driver thread only;
+  /// exact counts of successful pushes, for checkpoint replay).
+  const std::vector<InputProgress>& progress() const { return progress_; }
 
   size_t TotalLiveTuples() const;
   /// \brief Logical count: per operator group the max over shards
@@ -186,6 +227,11 @@ class ParallelExecutor {
   /// Punctuation/drain -> every shard, serialized per group so all
   /// shards observe the same punctuation order. False iff stopped.
   bool Broadcast(OpGroup& group, size_t input, const StreamElement& element);
+  /// The shared leaves-first barrier handshake behind Drain /
+  /// Checkpoint / restore-recheck (see PipelineMarker).
+  Status BarrierAll(PipelineMarker marker, int64_t now);
+  void NoteProgress(size_t stream, int64_t ts);
+  void MaybeAutoCheckpoint(int64_t ts);
 
   ContinuousJoinQuery query_;
   PlanShape shape_;
@@ -205,6 +251,11 @@ class ParallelExecutor {
   std::atomic<size_t> tuple_high_water_{0};
   std::atomic<size_t> punct_high_water_{0};
   std::atomic<bool> stopped_{false};
+  // Driver-thread-only bookkeeping (the thread contract makes Push*
+  // single-threaded): per-stream positions and the auto-checkpoint
+  // punctuation counter.
+  std::vector<InputProgress> progress_;
+  size_t punctuations_since_checkpoint_ = 0;
   // One OperatorObs per shard worker, indexed in step with workers_.
   // Null when observability is off.
   std::unique_ptr<obs::Observability> obs_;

@@ -64,6 +64,11 @@ struct PartitionSpec {
   std::string detail;
 
   /// \brief Shard for a tuple arriving on `input`. `num_shards` >= 1.
+  /// Pure function of (input, key value, num_shards) — the checkpoint
+  /// layer relies on this determinism: restore re-splits a merged
+  /// logical snapshot by calling ShardOf on each stored tuple, so
+  /// every tuple lands back on the shard that would have received it
+  /// live, for any shard count (exec/checkpoint.h, docs/RECOVERY.md).
   size_t ShardOf(size_t input, const Tuple& tuple, size_t num_shards) const;
 };
 

@@ -7,6 +7,11 @@
 
 namespace punctsafe {
 
+std::string PlanFingerprint(const ContinuousJoinQuery& query,
+                            const PlanShape& shape) {
+  return StrCat(query.ToString(), " | ", shape.ToString(query));
+}
+
 Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     const ContinuousJoinQuery& query, const SchemeSet& schemes,
     const PlanShape& shape, ExecutorConfig config) {
@@ -39,6 +44,7 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     });
   }
 
+  exec->progress_.resize(query.num_streams());
   exec->leaf_route_.assign(query.num_streams(), {nullptr, 0});
   for (size_t s = 0; s < query.num_streams(); ++s) {
     auto [op_index, input] = tree.leaf_route[s];
@@ -81,6 +87,7 @@ Status PlanExecutor::Push(const TraceEvent& event) {
 }
 
 void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
+  NoteProgress(stream, ts);
   auto [op, input] = leaf_route_[stream];
   // Under serial execution the push runs the whole synchronous
   // cascade (probes, result emission, parent pushes), so the latency
@@ -105,9 +112,83 @@ void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
 void PlanExecutor::PushPunctuation(size_t stream,
                                    const Punctuation& punctuation,
                                    int64_t ts) {
+  NoteProgress(stream, ts);
   auto [op, input] = leaf_route_[stream];
   op->PushPunctuation(input, punctuation, ts);
   RecordHighWater();
+  MaybeAutoCheckpoint();
+}
+
+void PlanExecutor::NoteProgress(size_t stream, int64_t ts) {
+  InputProgress& p = progress_[stream];
+  ++p.events_consumed;
+  p.watermark_ts = std::max(p.watermark_ts, ts);
+}
+
+void PlanExecutor::MaybeAutoCheckpoint() {
+  if (config_.checkpoint.interval_punctuations == 0) return;
+  if (++punctuations_since_checkpoint_ <
+      config_.checkpoint.interval_punctuations) {
+    return;
+  }
+  punctuations_since_checkpoint_ = 0;
+  if (config_.checkpoint.path.empty()) return;
+  Status status = WriteSnapshotFile(Checkpoint(), config_.checkpoint.path);
+  if (!status.ok()) {
+    PUNCTSAFE_LOG(Warning) << "automatic checkpoint to '"
+                           << config_.checkpoint.path
+                           << "' failed: " << status.ToString();
+  }
+}
+
+StateSnapshot PlanExecutor::Checkpoint() const {
+  StateSnapshot snap;
+  snap.fingerprint = PlanFingerprint(query_, shape_);
+  snap.progress = progress_;
+  snap.num_results = num_results_;
+  snap.results = kept_results_;
+  snap.tuple_high_water = tuple_high_water_;
+  snap.punct_high_water = punct_high_water_;
+  snap.operators.reserve(operators_.size());
+  for (const auto& op : operators_) {
+    snap.operators.push_back(op->CaptureState());
+  }
+  CanonicalizeSnapshot(&snap);
+  return snap;
+}
+
+Status PlanExecutor::RestoreState(const StateSnapshot& snapshot) {
+  if (snapshot.fingerprint != PlanFingerprint(query_, shape_)) {
+    return Status::InvalidArgument(
+        StrCat("snapshot fingerprint '", snapshot.fingerprint,
+               "' does not match this plan '",
+               PlanFingerprint(query_, shape_), "'"));
+  }
+  if (snapshot.operators.size() != operators_.size()) {
+    return Status::InvalidArgument(
+        StrCat("snapshot has ", snapshot.operators.size(),
+               " operators but the plan has ", operators_.size()));
+  }
+  for (size_t j = 0; j < operators_.size(); ++j) {
+    PUNCTSAFE_RETURN_IF_ERROR(
+        operators_[j]->RestoreState(snapshot.operators[j]));
+  }
+  progress_ = snapshot.progress;
+  progress_.resize(query_.num_streams());
+  num_results_ = snapshot.num_results;
+  kept_results_ = snapshot.results;
+  tuple_high_water_ = snapshot.tuple_high_water;
+  punct_high_water_ = snapshot.punct_high_water;
+  // Pending propagations were captured as "blocked at snapshot time";
+  // under serial execution the recheck is a no-op safety pass, but it
+  // keeps the restore contract identical to the sharded path (where it
+  // reconstructs discarded aligner votes — see docs/RECOVERY.md).
+  int64_t now = 0;
+  for (const InputProgress& p : progress_) {
+    now = std::max(now, p.watermark_ts);
+  }
+  for (auto& op : operators_) op->RecheckPropagations(now);
+  return Status::OK();
 }
 
 void PlanExecutor::SweepAll(int64_t now) {

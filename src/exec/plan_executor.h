@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/plan_safety.h"
+#include "exec/checkpoint.h"
 #include "exec/mjoin.h"
 #include "obs/observability.h"
 #include "query/cjq.h"
@@ -59,7 +60,18 @@ struct ExecutorConfig {
   /// Off by default — every hook short-circuits on a null pointer —
   /// and compiled out entirely under PUNCTSAFE_NO_OBS.
   obs::ObserveOptions observe;
+  /// Automatic punctuation-aligned snapshots (exec/checkpoint.h):
+  /// every `interval_punctuations` punctuations, a StateSnapshot is
+  /// written to `path` once the triggering cascade has settled (under
+  /// kParallel: after a checkpoint barrier drains the pipeline).
+  /// Disabled by default; Checkpoint() can always be called manually.
+  CheckpointConfig checkpoint;
 };
+
+/// \brief Identity string tying a snapshot to (query, plan shape);
+/// restore paths refuse a snapshot whose fingerprint differs.
+std::string PlanFingerprint(const ContinuousJoinQuery& query,
+                            const PlanShape& shape);
 
 class PlanExecutor {
  public:
@@ -80,6 +92,21 @@ class PlanExecutor {
 
   /// \brief Flushes lazy purge batches across all operators.
   void SweepAll(int64_t now);
+
+  /// \brief Captures the executor's complete logical state
+  /// (exec/checkpoint.h). Serial execution is quiescent between
+  /// pushes, so this is callable at any push boundary; the result is
+  /// canonical (sorted), so equal states serialize to equal bytes.
+  StateSnapshot Checkpoint() const;
+
+  /// \brief Rebuilds executor state from a snapshot. Must be called on
+  /// a freshly created executor (same query/schemes/shape/config
+  /// structure, nothing pushed); afterwards, resume by replaying each
+  /// stream's suffix from `snapshot.progress[s].events_consumed`.
+  Status RestoreState(const StateSnapshot& snapshot);
+
+  /// \brief Per-stream consumption positions (for checkpoint replay).
+  const std::vector<InputProgress>& progress() const { return progress_; }
 
   size_t TotalLiveTuples() const;
   size_t TotalLivePunctuations() const;
@@ -109,6 +136,8 @@ class PlanExecutor {
   PlanExecutor() = default;
 
   void RecordHighWater();
+  void NoteProgress(size_t stream, int64_t ts);
+  void MaybeAutoCheckpoint();
 
   ContinuousJoinQuery query_;
   PlanShape shape_;
@@ -123,6 +152,8 @@ class PlanExecutor {
   std::vector<Tuple> kept_results_;
   size_t tuple_high_water_ = 0;
   size_t punct_high_water_ = 0;
+  std::vector<InputProgress> progress_;  // per query stream
+  size_t punctuations_since_checkpoint_ = 0;
   // One OperatorObs per operator (shard 0: serial execution), indexed
   // in step with operators_. Null when observability is off.
   std::unique_ptr<obs::Observability> obs_;

@@ -127,4 +127,13 @@ void PunctuationStore::ForEach(
   }
 }
 
+void PunctuationStore::ForEachEntry(
+    const std::function<void(const Punctuation&, int64_t)>& fn) const {
+  for (const Group& group : groups_) {
+    for (const auto& [key, entry] : group.by_values) {
+      fn(entry.punctuation, entry.arrival);
+    }
+  }
+}
+
 }  // namespace punctsafe

@@ -76,6 +76,13 @@ class PunctuationStore {
   /// \brief Calls fn for every stored punctuation (expired included).
   void ForEach(const std::function<void(const Punctuation&)>& fn) const;
 
+  /// \brief Like ForEach but also exposes each punctuation's arrival
+  /// timestamp — the checkpoint capture path (exec/checkpoint.h) needs
+  /// it so lifespan expiry keeps working after a restore (re-adding
+  /// with the original arrival via Add(p, arrival)).
+  void ForEachEntry(
+      const std::function<void(const Punctuation&, int64_t)>& fn) const;
+
  private:
   struct Entry {
     Punctuation punctuation;

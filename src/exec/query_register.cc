@@ -45,6 +45,22 @@ Result<RegisteredQuery> QueryRegister::RegisterWithChooser(
   return Register(streams, predicates, config, std::move(best.shape));
 }
 
+Result<RegisteredQuery> QueryRegister::Restore(
+    const std::string& path, const std::vector<std::string>& streams,
+    const std::vector<JoinPredicateSpec>& predicates, ExecutorConfig config,
+    std::optional<PlanShape> shape) {
+  PUNCTSAFE_ASSIGN_OR_RETURN(StateSnapshot snapshot, ReadSnapshotFile(path));
+  PUNCTSAFE_ASSIGN_OR_RETURN(
+      RegisteredQuery out,
+      Register(streams, predicates, std::move(config), std::move(shape)));
+  if (out.is_parallel()) {
+    PUNCTSAFE_RETURN_IF_ERROR(out.parallel_executor->RestoreState(snapshot));
+  } else {
+    PUNCTSAFE_RETURN_IF_ERROR(out.executor->RestoreState(snapshot));
+  }
+  return out;
+}
+
 Result<RegisteredQuery> QueryRegister::Register(
     const std::vector<std::string>& streams,
     const std::vector<JoinPredicateSpec>& predicates, ExecutorConfig config,

@@ -68,6 +68,23 @@ class QueryRegister {
       ExecutorConfig config = {},
       std::optional<PlanShape> shape = std::nullopt);
 
+  /// \brief Recovery entry point (exec/checkpoint.h,
+  /// docs/RECOVERY.md): registers the query exactly like Register,
+  /// then rebuilds the fresh executor's state from the snapshot file
+  /// at `path`. The snapshot's CRC-checked sections and plan
+  /// fingerprint are validated; a snapshot taken under a different
+  /// query/shape is rejected with InvalidArgument. Works for both
+  /// execution modes and any shard count — the snapshot format is
+  /// mode-agnostic (shard states are merged at capture and re-split by
+  /// ShardOf at restore). Afterwards, resume by replaying each input
+  /// stream's suffix from `snapshot progress[s].events_consumed`
+  /// (exposed via the executor's progress() accessor).
+  Result<RegisteredQuery> Restore(
+      const std::string& path, const std::vector<std::string>& streams,
+      const std::vector<JoinPredicateSpec>& predicates,
+      ExecutorConfig config = {},
+      std::optional<PlanShape> shape = std::nullopt);
+
   /// \brief Like Register, but instead of defaulting to the single
   /// MJoin, enumerates the safe plans and picks the best one under
   /// the workload statistics and objective (paper Section 5.2).

@@ -115,6 +115,14 @@ class TupleStore {
   /// removability already held ("purging future tuples", Sec 5.1).
   void CountDroppedArrival() { ++metrics_.dropped_on_arrival; }
 
+  /// \brief Checkpoint restore: after the live tuples have been
+  /// re-Inserted (which bumps inserted/live/high_water), overwrites
+  /// the counters with their captured values so accounting resumes
+  /// exactly where the snapshot left off (exec/checkpoint.h).
+  void RestoreMetrics(const StateMetricsSnapshot& snapshot) {
+    metrics_.RestoreFrom(snapshot);
+  }
+
   /// \brief Calls fn(slot, tuple) for every live tuple. The callback
   /// must not mutate the store.
   void ForEachLive(const std::function<void(size_t, const Tuple&)>& fn) const;

@@ -43,6 +43,7 @@
 
 // Runtime (paper Figure 2 architecture).
 #include "exec/bounded_queue.h"
+#include "exec/checkpoint.h"
 #include "exec/input_manager.h"
 #include "exec/mjoin.h"
 #include "exec/parallel_executor.h"

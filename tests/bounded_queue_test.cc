@@ -259,6 +259,111 @@ TEST(BoundedQueueTest, BatchedProducerConsumerConservesItems) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(BoundedQueueTest, TryPopAllUnblocksPushAllAcrossCapacityWindows) {
+  // A PushAll burst much larger than capacity can only finish if the
+  // non-blocking TryPopAll drain loop keeps freeing windows: the two
+  // batch fast paths must hand off to each other without a blocking
+  // consumer in the loop.
+  BoundedQueue<int> q(2);
+  constexpr int kCount = 500;
+  std::deque<int> values;
+  for (int i = 0; i < kCount; ++i) values.push_back(i);
+  std::thread producer([&] { ASSERT_TRUE(q.PushAll(std::move(values))); });
+  std::vector<int> received;
+  while (received.size() < kCount) {
+    std::deque<int> batch = q.TryPopAll();
+    ASSERT_LE(batch.size(), q.capacity());
+    received.insert(received.end(), batch.begin(), batch.end());
+    // Cede the core between polls so the blocked producer can refill
+    // (a hard spin starves it on single-CPU machines).
+    if (batch.empty()) std::this_thread::yield();
+  }
+  producer.join();
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[i], i);
+  EXPECT_TRUE(q.TryPopAll().empty());
+}
+
+TEST(BoundedQueueTest, TryPopAllInterleavedWithPushAllConservesItems) {
+  // Multiple PushAll producers against a TryPopAll spin-drainer: no
+  // loss, no duplication, per-producer FIFO — the same contract the
+  // blocking PopAll consumer test checks, on the non-blocking path.
+  constexpr size_t kProducers = 3;
+  constexpr int kPerProducer = 1600;
+  constexpr int kBurst = 8;
+  static_assert(kPerProducer % kBurst == 0,
+                "producers must deliver exactly kPerProducer items");
+  struct Item {
+    size_t producer;
+    int seq;
+  };
+  BoundedQueue<Item> q(4);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int base = 0; base < kPerProducer; base += kBurst) {
+        std::deque<Item> burst;
+        for (int i = base; i < base + kBurst; ++i) burst.push_back({p, i});
+        ASSERT_TRUE(q.PushAll(std::move(burst)));
+      }
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  size_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::deque<Item> batch = q.TryPopAll();
+    for (const Item& item : batch) {
+      EXPECT_EQ(item.seq, next_seq[item.producer])
+          << "producer " << item.producer << " reordered";
+      ++next_seq[item.producer];
+      ++received;
+    }
+    if (batch.empty()) std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.TryPopAll().empty());
+}
+
+TEST(BoundedQueueTest, TryPopAllAfterCloseReturnsRemainderThenEmpty) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_EQ(q.TryPopAll(), (std::deque<int>{1, 2}));
+  EXPECT_TRUE(q.TryPopAll().empty());
+}
+
+TEST(BoundedQueueTest, CloseDuringPushAllLeavesContiguousPrefix) {
+  // Close lands while a PushAll burst is mid-flight against a
+  // TryPopAll drainer. Whatever was accepted must be a gap-free,
+  // duplicate-free prefix of the burst — Close may drop the tail but
+  // never tears inside an accepted window.
+  BoundedQueue<int> q(1);
+  constexpr int kCount = 10000;
+  std::atomic<bool> result{true};
+  std::thread producer([&] {
+    std::deque<int> values;
+    for (int i = 0; i < kCount; ++i) values.push_back(i);
+    result = q.PushAll(std::move(values));
+  });
+  std::vector<int> received;
+  while (received.size() < 64) {
+    std::deque<int> batch = q.TryPopAll();
+    received.insert(received.end(), batch.begin(), batch.end());
+    if (batch.empty()) std::this_thread::yield();
+  }
+  q.Close();
+  producer.join();
+  // Drain whatever the producer got in before Close won the race.
+  std::deque<int> rest = q.TryPopAll();
+  received.insert(received.end(), rest.begin(), rest.end());
+  EXPECT_FALSE(result.load())
+      << "PushAll must report the remainder Close dropped";
+  ASSERT_LT(received.size(), static_cast<size_t>(kCount));
+  for (size_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], static_cast<int>(i)) << "prefix torn at " << i;
+  }
+}
+
 TEST(BoundedQueueTest, CloseUnblocksBlockedProducer) {
   BoundedQueue<int> q(1);
   ASSERT_TRUE(q.Push(1));  // now full

@@ -24,6 +24,7 @@
 #include "exec/parallel_executor.h"
 #include "exec/plan_executor.h"
 #include "exec/query_register.h"
+#include "test_util.h"
 #include "util/logging.h"
 #include "workload/random_query.h"
 
@@ -123,7 +124,11 @@ PlanShape ShapeForTrial(size_t num_streams, uint64_t seed) {
 }
 
 TEST(ParallelDifferentialTest, HundredRandomTrialsMatchSerialExecutor) {
-  for (uint64_t seed = 0; seed < 100; ++seed) {
+  // Replay a failing trial with PUNCTSAFE_TEST_SEED=<seed from the
+  // failure message> (the run then starts at that seed).
+  const uint64_t base_seed = testing_util::TestBaseSeed(0);
+  for (uint64_t trial = 0; trial < 100; ++trial) {
+    const uint64_t seed = base_seed + trial;
     RandomQueryConfig qconfig;
     qconfig.num_streams = 2 + seed % 4;
     qconfig.attrs_per_stream = 2;

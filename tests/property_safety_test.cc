@@ -11,6 +11,7 @@
 #include "util/logging.h"
 #include "exec/input_manager.h"
 #include "exec/plan_executor.h"
+#include "test_util.h"
 #include "workload/random_query.h"
 
 namespace punctsafe {
@@ -40,7 +41,11 @@ size_t FinalLiveTuples(const RandomQueryInstance& inst,
 
 TEST(PropertySafetyTest, VerdictPredictsRuntimeBehavior) {
   int safe_seen = 0, unsafe_seen = 0;
-  for (uint64_t seed = 0; seed < 60; ++seed) {
+  // Replay a failing seed with PUNCTSAFE_TEST_SEED=<seed> (the run
+  // then starts there; trial 0 reproduces the failure).
+  const uint64_t base_seed = testing_util::TestBaseSeed(0);
+  for (uint64_t trial = 0; trial < 60; ++trial) {
+    const uint64_t seed = base_seed + trial;
     RandomQueryConfig config;
     config.num_streams = 2 + seed % 4;
     config.attrs_per_stream = 2 + seed % 2;
@@ -84,7 +89,9 @@ TEST(PropertySafetyTest, VerdictPredictsRuntimeBehavior) {
 // Per-stream refinement of Theorem 3: exactly the streams the checker
 // marks purgeable drain at runtime.
 TEST(PropertySafetyTest, PerStreamPurgeabilityMatchesRuntime) {
-  for (uint64_t seed = 0; seed < 40; ++seed) {
+  const uint64_t base_seed = testing_util::TestBaseSeed(0);
+  for (uint64_t trial = 0; trial < 40; ++trial) {
+    const uint64_t seed = base_seed + trial;
     RandomQueryConfig config;
     config.num_streams = 3;
     config.attrs_per_stream = 2;
@@ -126,7 +133,9 @@ TEST(PropertySafetyTest, PerStreamPurgeabilityMatchesRuntime) {
 // Purge policies differ in *when*, never in *what*: eager and lazy
 // agree after the final flush.
 TEST(PropertySafetyTest, EagerAndLazyConvergeAfterFlush) {
-  for (uint64_t seed = 0; seed < 20; ++seed) {
+  const uint64_t base_seed = testing_util::TestBaseSeed(0);
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    const uint64_t seed = base_seed + trial;
     RandomQueryConfig config;
     config.num_streams = 2 + seed % 3;
     config.multi_attr_prob = 0.3;

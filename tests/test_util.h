@@ -14,6 +14,8 @@
 #ifndef PUNCTSAFE_TESTS_TEST_UTIL_H_
 #define PUNCTSAFE_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,21 @@
 
 namespace punctsafe {
 namespace testing_util {
+
+/// \brief Base seed for randomized test suites. Reads the
+/// PUNCTSAFE_TEST_SEED environment variable (any strtoull literal:
+/// decimal, 0x-hex, 0-octal) so a failing trial can be replayed by
+/// exporting the seed the failure message printed; unset or empty
+/// falls back to `default_seed`, keeping CI deterministic.
+inline uint64_t TestBaseSeed(uint64_t default_seed = 0) {
+  const char* env = std::getenv("PUNCTSAFE_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(env, &end, 0);
+  PUNCTSAFE_CHECK(end != env && *end == '\0')
+      << "PUNCTSAFE_TEST_SEED is not a number: '" << env << "'";
+  return value;
+}
 
 inline StreamCatalog PaperCatalog() {
   StreamCatalog catalog;

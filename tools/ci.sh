@@ -48,6 +48,16 @@ run_config() {
     echo "=== [${name}] arena differential sweep (explicit) ==="
     "${dir}/tests/parallel_differential_test" \
       --gtest_filter='ParallelDifferentialTest.HundredRandomTrialsMatchSerialExecutor'
+    # The recovery oracle (serial = kill/restore/replay = split-merge =
+    # parallel restore, arena {off,on} x shards {1,2,4}) exercises the
+    # checkpoint barrier, snapshot capture on parked shards, and the
+    # restore recheck handshake; under ASan it proves captured state
+    # outlives the executor it came from, under TSan that the barrier
+    # really quiesces every worker before CaptureState reads operator
+    # state from the driver thread.
+    echo "=== [${name}] recovery differential oracle (explicit) ==="
+    "${dir}/tests/recovery_differential_test" \
+      --gtest_filter='RecoveryDifferentialTest.HundredRandomKillRestoreTrialsMatchSerial'
   fi
 }
 
@@ -89,6 +99,15 @@ run_bench_smoke() {
   # end-to-end result equality on every run.
   "${dir}/bench/bench_arena" --iters 1 \
     --baseline "${ROOT}/BENCH_arena.json"
+  echo "=== [bench] checkpoint regression gate ==="
+  # Gates the snapshot pause (serial captures/sec), PSCK codec
+  # throughput, and restore latency against BENCH_checkpoint.json;
+  # the parallel barrier rate is reported but not gated (scheduler
+  # noise on starved runners). The binary hard-CHECKs
+  # kill/restore/replay result equality in both execution modes and
+  # split->merge byte identity on every run.
+  "${dir}/bench/bench_checkpoint" --iters 1 \
+    --baseline "${ROOT}/BENCH_checkpoint.json"
 }
 
 for config in ${CONFIGS}; do
