@@ -238,7 +238,7 @@ int Main(int argc, char** argv) {
   json << "  \"keys\": " << keys << ",\n";
   json << "  \"rounds\": " << rounds << ",\n";
   json << "  \"events\": " << trace.size() << ",\n";
-  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+  json << "  \"hardware_threads\": " << bench::HardwareThreads()
        << ",\n";
   emit("heap_insert_per_sec", heap.insert_ps);
   emit("arena_insert_per_sec", arena.insert_ps);

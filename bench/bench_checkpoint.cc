@@ -252,7 +252,7 @@ int Main(int argc, char** argv) {
   json << "  \"events\": " << trace.size() << ",\n";
   json << "  \"cut\": " << cut << ",\n";
   json << "  \"shards\": " << shards << ",\n";
-  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+  json << "  \"hardware_threads\": " << bench::HardwareThreads()
        << ",\n";
   json << "  \"snapshot_bytes\": " << best.snapshot_bytes << ",\n";
   emit("serial_capture_per_sec", best.serial_capture_ps);

@@ -6,7 +6,12 @@
 // arrival) and then probed many times, so a cached key hash pays off
 // exactly as it does inside MJoinOperator::Expand. The probe loops
 // report probes/sec for int64 and string keys separately — string
-// keys are where rehash-per-probe used to dominate.
+// keys are where rehash-per-probe used to dominate. The *_batch_*
+// micros drive the vectorized TupleBatch paths (InsertBatch and
+// ProbeBatch over key-clustered batches, SIMD dispatch recorded as
+// simd_dispatch) and hard-CHECK hit-count identity against the
+// per-row cursor; serial_batchN_events_per_sec sweeps
+// ExecutorConfig::batch_size end-to-end.
 //
 // Emits one JSON object (checked-in baseline: BENCH_hot_path.json,
 // experiment E16 in EXPERIMENTS.md). With --baseline FILE the binary
@@ -36,6 +41,8 @@
 
 #include "bench_util.h"
 #include "exec/parallel_executor.h"
+#include "exec/simd.h"
+#include "exec/tuple_batch.h"
 #include "exec/tuple_store.h"
 #include "workload/random_query.h"
 
@@ -52,9 +59,11 @@ double SecondsSince(Clock::time_point start) {
 
 struct MicroResult {
   double insert_mps = 0;      // inserts per second (millions not implied)
+  double insert_batch_mps = 0;  // TupleBatch-build + InsertBatch path
   double probe_legacy_ps = 0; // Probe() (allocating) probes/sec
   double probe_each_ps = 0;   // ProbeEach cursor probes/sec
   double probe_into_ps = 0;   // ProbeInto scratch probes/sec
+  double probe_batch_ps = 0;  // vectorized ProbeBatch probes/sec
   double purge_ps = 0;        // interleaved insert+purge ops/sec
   uint64_t checksum = 0;      // anti-DCE
 };
@@ -124,6 +133,85 @@ MicroResult RunMicro(size_t n, size_t keys, size_t probe_iters,
     }
     secs = SecondsSince(start);
     r.probe_into_ps = secs > 0 ? probe_iters / secs : 0;
+
+    // Vectorized batch probe. Arrival batches cluster on keys (same
+    // generation, same source), modeled here as runs of kRunLen equal
+    // keys packed into kDefaultCapacity-row batches; hash columns are
+    // built once per cycle and the cycle replayed. ProbeBatch must
+    // reproduce the per-row cursor's hits exactly — the CHECK below is
+    // the result-multiset identity the batched path is specified by.
+    constexpr size_t kRunLen = 8;
+    std::vector<TupleBatch> cycle;
+    size_t cycle_probes = 0;
+    {
+      TupleBatch building(TupleBatch::kDefaultCapacity);
+      for (size_t k = 0; k < keys; ++k) {
+        for (size_t rep = 0; rep < kRunLen; ++rep) {
+          building.Append(Tuple({probes[k]}),
+                          static_cast<int64_t>(cycle_probes++));
+          if (building.full()) {
+            building.SelectAll();
+            building.BuildHashColumn(0);
+            cycle.push_back(std::move(building));
+            building = TupleBatch(TupleBatch::kDefaultCapacity);
+          }
+        }
+      }
+      if (!building.empty()) {
+        building.SelectAll();
+        building.BuildHashColumn(0);
+        cycle.push_back(std::move(building));
+      }
+    }
+    uint64_t each_cycle_hits = 0;
+    for (const TupleBatch& b : cycle) {
+      for (uint32_t row : b.selection()) {
+        store.ProbeEach(0, b.tuple(row).at(0),
+                        [&](size_t, const Tuple&) { ++each_cycle_hits; });
+      }
+    }
+    const size_t replays =
+        cycle_probes > 0 ? (probe_iters + cycle_probes - 1) / cycle_probes
+                         : 0;
+    uint64_t batch_hits = 0;
+    start = Clock::now();
+    for (size_t rep = 0; rep < replays; ++rep) {
+      for (const TupleBatch& b : cycle) {
+        store.ProbeBatch(0, b, 0, [&](uint32_t, size_t, const Tuple&) {
+          ++batch_hits;
+        });
+      }
+    }
+    secs = SecondsSince(start);
+    r.probe_batch_ps = secs > 0 ? replays * cycle_probes / secs : 0;
+    PUNCTSAFE_CHECK(batch_hits == each_cycle_hits * replays)
+        << "ProbeBatch diverged from ProbeEach: " << batch_hits << " vs "
+        << each_cycle_hits << " x " << replays;
+    r.checksum += batch_hits;
+  }
+
+  // Batch-build insert path: rows accumulate into a TupleBatch and
+  // land via InsertBatch (how batched ingestion feeds the stores).
+  {
+    auto start = Clock::now();
+    TupleStore store({0});
+    TupleBatch batch(TupleBatch::kDefaultCapacity);
+    int64_t ts = 0;
+    for (const Tuple& t : rows) {
+      batch.Append(t, ts++);
+      if (batch.full()) {
+        batch.SelectAll();
+        store.InsertBatch(batch);
+        batch.Clear();
+      }
+    }
+    if (!batch.empty()) {
+      batch.SelectAll();
+      store.InsertBatch(batch);
+    }
+    double secs = SecondsSince(start);
+    r.insert_batch_mps = secs > 0 ? n / secs : 0;
+    r.checksum += store.live_count();
   }
 
   // Interleaved insert/purge (compaction churn included).
@@ -155,9 +243,11 @@ struct RunStats {
 };
 
 RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
-                       const Trace& trace, bool observe = false) {
+                       const Trace& trace, bool observe = false,
+                       size_t batch_size = 1) {
   ExecutorConfig config;
   config.observe.enabled = observe;
+  config.batch_size = batch_size;
   auto exec = PlanExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -175,6 +265,9 @@ RunStats RunParallelOnce(const bench::ChainFixture& fx, const PlanShape& shape,
   ExecutorConfig config;
   config.shards = shards;
   config.observe.enabled = observe;
+  // The emit-staging granularity the pipelined runtime ran with before
+  // the knob existed (the former hard-coded kEmitFlushBatch).
+  config.batch_size = 128;
   auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -238,12 +331,26 @@ int Main(int argc, char** argv) {
   // drift hits both sides of the overhead ratio equally; the
   // observability contract is observe_ratio_* >= ~0.97.
   RunStats serial, shard1, shard2, serial_obs, shard2_obs;
+  // The ExecutorConfig::batch_size sweep: how far batched ingestion
+  // moves serial end-to-end throughput (batch 1 = the tuple-at-a-time
+  // baseline; results must be identical at every size).
+  const size_t kBatchSweep[] = {1, 32, 128, 512};
+  RunStats serial_batched[4];
   auto keep_best = [](RunStats& best, const RunStats& s, size_t i) {
     if (i == 0 || s.seconds < best.seconds) best = s;
   };
+  RunStats serial_obs_b128;
   for (size_t i = 0; i < iters; ++i) {
     keep_best(serial, RunSerialOnce(fx, shape, trace), i);
     keep_best(serial_obs, RunSerialOnce(fx, shape, trace, true), i);
+    for (size_t b = 0; b < 4; ++b) {
+      keep_best(serial_batched[b],
+                RunSerialOnce(fx, shape, trace, false, kBatchSweep[b]), i);
+    }
+    // Observe-on at batch 128: per-batch sampling (two clock reads per
+    // batch + sampled per-tuple latency) instead of two reads/tuple.
+    keep_best(serial_obs_b128,
+              RunSerialOnce(fx, shape, trace, true, 128), i);
     keep_best(shard1, RunParallelOnce(fx, shape, trace, 1), i);
     keep_best(shard2, RunParallelOnce(fx, shape, trace, 2), i);
     keep_best(shard2_obs, RunParallelOnce(fx, shape, trace, 2, true), i);
@@ -254,10 +361,18 @@ int Main(int argc, char** argv) {
       << "executors disagree: serial=" << serial.results
       << " shard1=" << shard1.results << " shard2=" << shard2.results;
   PUNCTSAFE_CHECK(serial_obs.results == serial.results &&
+                  serial_obs_b128.results == serial.results &&
                   shard2_obs.results == serial.results)
       << "observability changed results: serial=" << serial.results
       << " serial_obs=" << serial_obs.results
+      << " serial_obs_b128=" << serial_obs_b128.results
       << " shard2_obs=" << shard2_obs.results;
+  for (size_t b = 0; b < 4; ++b) {
+    PUNCTSAFE_CHECK(serial_batched[b].results == serial.results)
+        << "batched ingestion changed results at batch_size="
+        << kBatchSweep[b] << ": " << serial_batched[b].results << " vs "
+        << serial.results;
+  }
 
   std::ostringstream json;
   char buf[256];
@@ -272,20 +387,34 @@ int Main(int argc, char** argv) {
   json << "  \"keys\": " << keys << ",\n";
   json << "  \"probe_iters\": " << probe_iters << ",\n";
   json << "  \"events\": " << trace.size() << ",\n";
-  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+  json << "  \"hardware_threads\": " << bench::HardwareThreads()
        << ",\n";
+  json << "  \"simd_dispatch\": \"" << simd::kDispatchName << "\",\n";
   emit("int_insert_per_sec", int_micro.insert_mps);
+  emit("int_insert_batch_per_sec", int_micro.insert_batch_mps);
   emit("int_probe_legacy_per_sec", int_micro.probe_legacy_ps);
   emit("int_probe_each_per_sec", int_micro.probe_each_ps);
   emit("int_probe_into_per_sec", int_micro.probe_into_ps);
+  emit("int_probe_batch_per_sec", int_micro.probe_batch_ps);
   emit("int_purge_ops_per_sec", int_micro.purge_ps);
   emit("str_insert_per_sec", str_micro.insert_mps);
+  emit("str_insert_batch_per_sec", str_micro.insert_batch_mps);
   emit("str_probe_legacy_per_sec", str_micro.probe_legacy_ps);
   emit("str_probe_each_per_sec", str_micro.probe_each_ps);
   emit("str_probe_into_per_sec", str_micro.probe_into_ps);
+  emit("str_probe_batch_per_sec", str_micro.probe_batch_ps);
   emit("str_purge_ops_per_sec", str_micro.purge_ps);
   emit("serial_events_per_sec",
        serial.seconds > 0 ? trace.size() / serial.seconds : 0);
+  for (size_t b = 0; b < 4; ++b) {
+    std::snprintf(buf, sizeof(buf),
+                  "  \"serial_batch%zu_events_per_sec\": %.0f,\n",
+                  kBatchSweep[b],
+                  serial_batched[b].seconds > 0
+                      ? trace.size() / serial_batched[b].seconds
+                      : 0.0);
+    json << buf;
+  }
   emit("pipelined_events_per_sec",
        shard1.seconds > 0 ? trace.size() / shard1.seconds : 0);
   emit("sharded2_events_per_sec",
@@ -301,6 +430,14 @@ int Main(int argc, char** argv) {
                 serial_obs.seconds > 0 && serial.seconds > 0
                     ? serial.seconds / serial_obs.seconds
                     : 0.0);
+  json << buf;
+  // Observe-on vs observe-off at batch 128 on both sides: what the
+  // per-batch sampling hooks cost when batching is actually on.
+  std::snprintf(
+      buf, sizeof(buf), "  \"observe_ratio_serial_batched\": %.3f,\n",
+      serial_obs_b128.seconds > 0 && serial_batched[2].seconds > 0
+          ? serial_batched[2].seconds / serial_obs_b128.seconds
+          : 0.0);
   json << buf;
   std::snprintf(buf, sizeof(buf),
                 "  \"observe_ratio_sharded2\": %.3f,\n",
@@ -334,8 +471,19 @@ int Main(int argc, char** argv) {
             ss.str(),
             {{"int_probe_each_per_sec", int_micro.probe_each_ps},
              {"str_probe_each_per_sec", str_micro.probe_each_ps},
+             {"int_probe_batch_per_sec", int_micro.probe_batch_ps},
+             {"str_probe_batch_per_sec", str_micro.probe_batch_ps},
+             {"int_insert_batch_per_sec", int_micro.insert_batch_mps},
              {"int_purge_ops_per_sec", int_micro.purge_ps}},
             bench::ResolveMinRatio(min_ratio))) {
+      return 1;
+    }
+    // Parallel-vs-serial throughput only means something with real
+    // cores behind it; on hardware_threads == 1 the gate self-skips.
+    if (!bench::CheckParallelSpeedup(
+            "hot_path pipelined-vs-serial",
+            shard1.seconds > 0 ? serial.seconds / shard1.seconds : 0.0,
+            0.5)) {
       return 1;
     }
   }

@@ -212,7 +212,7 @@ int Main(int argc, char** argv) {
   std::printf("  \"shards\": %zu,\n", shards);
   std::printf("  \"observe\": %s,\n", observe ? "true" : "false");
   std::printf("  \"hardware_threads\": %u,\n",
-              std::thread::hardware_concurrency());
+              bench::HardwareThreads());
   PrintRun("serial", serial, trace.size(), /*trailing_comma=*/true);
   PrintRun("parallel", parallel, trace.size(), /*trailing_comma=*/true);
   std::printf("  \"speedup\": %.3f\n",

@@ -63,6 +63,9 @@ RunStats RunPartitionedOnce(const bench::ChainFixture& fx,
   ExecutorConfig config;
   config.queue_capacity = queue_capacity;
   config.shards = shards;
+  // The emit-staging granularity the pipelined runtime ran with before
+  // the knob existed (the former hard-coded kEmitFlushBatch).
+  config.batch_size = 128;
   auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -167,7 +170,7 @@ int Main(int argc, char** argv) {
   std::printf("  \"events\": %zu,\n", trace.size());
   std::printf("  \"queue_capacity\": %zu,\n", queue_capacity);
   std::printf("  \"hardware_threads\": %u,\n",
-              std::thread::hardware_concurrency());
+              bench::HardwareThreads());
   PrintRun("serial", serial, trace.size(), /*trailing_comma=*/true);
   PrintRun("pipelined_shards1", shard1, trace.size(), /*trailing_comma=*/true);
   PrintRun("partitioned_shards2", shard2, trace.size(),
@@ -181,6 +184,16 @@ int Main(int argc, char** argv) {
   std::printf("  \"speedup_shards4_vs_serial\": %.3f\n",
               shard4.seconds > 0 ? serial.seconds / shard4.seconds : 0.0);
   std::printf("}\n");
+
+  // Sharding must actually pay on hosts with the cores for it; on
+  // hardware_threads == 1 the ratio carries no signal and the gate
+  // self-skips (see bench_util.h).
+  if (!bench::CheckParallelSpeedup(
+          "partitioned_join shards2-vs-shards1",
+          shard2.seconds > 0 ? shard1.seconds / shard2.seconds : 0.0,
+          1.05)) {
+    return 1;
+  }
   return 0;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/input_manager.h"
@@ -22,6 +23,37 @@
 
 namespace punctsafe {
 namespace bench {
+
+/// \brief Hardware thread count, recorded uniformly as
+/// "hardware_threads" in every BENCH_*.json so a reader (and the
+/// gates below) can tell a 1-core container's numbers from a real
+/// multi-core run. hardware_concurrency()'s "unknown" (0) is
+/// normalized to 1 — the conservative regime.
+inline unsigned HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// \brief Gates a parallel-vs-serial (or sharded-vs-pipelined)
+/// speedup. On a single-hardware-thread host the parallel runtime
+/// time-slices its workers on one core, so the ratio carries no
+/// signal — the check is SKIPPED (returns true, says so on stderr)
+/// instead of failing a starved runner. Returns false only when the
+/// host has real parallelism and `speedup` still fell below `floor`.
+inline bool CheckParallelSpeedup(const char* what, double speedup,
+                                 double floor) {
+  if (HardwareThreads() <= 1) {
+    std::fprintf(stderr,
+                 "%s: SKIP parallel-vs-serial ratio gate "
+                 "(hardware_threads == 1)\n",
+                 what);
+    return true;
+  }
+  if (speedup >= floor) return true;
+  std::fprintf(stderr, "%s: speedup %.3f below floor %.3f\n", what, speedup,
+               floor);
+  return false;
+}
 
 /// Paper triangle fixture: S1(A,B) ⋈ S2(B,C) ⋈ S3(C,A).
 inline StreamCatalog TriangleCatalog() {

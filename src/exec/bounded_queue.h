@@ -10,6 +10,12 @@
 // not per element) the lock is never the bottleneck, and the simple
 // implementation is trivially TSan-clean (tests/bounded_queue_test.cc
 // runs it under -DPUNCTSAFE_SANITIZE=thread).
+//
+// Batch hand-off: the parallel executor's messages can carry a whole
+// TupleBatch (ExecutorConfig::batch_size rows) as one element, so the
+// per-element lock cost amortizes over the batch even on the plain
+// Push/Pop paths — capacity counts messages, and one message moves one
+// batch.
 
 #ifndef PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_
 #define PUNCTSAFE_EXEC_BOUNDED_QUEUE_H_

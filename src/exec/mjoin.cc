@@ -223,6 +223,121 @@ void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
   states_[input]->Insert(tuple);
 }
 
+void MJoinOperator::PushBatch(size_t input, TupleBatch& batch) {
+  PUNCTSAFE_CHECK(input < num_inputs());
+  if (batch.empty()) return;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PUNCTSAFE_CHECK(batch.tuple(i).size() == widths_[input])
+        << "tuple arity " << batch.tuple(i).size() << " != input width "
+        << widths_[input];
+  }
+  if (obs::kCompiled && obs_ != nullptr) {
+    // One watermark fold per batch (NoteTupleTs is an atomic max, so
+    // folding the batch max is equivalent to per-row notes).
+    obs_->NoteTupleTs(batch.max_timestamp());
+  }
+
+  batch.SelectAll();
+  // Punctuation-exclusion filtering over the selection vector,
+  // amortized to the batch boundary: the store cannot change
+  // mid-batch, so an empty store skips the whole scan.
+  if (config_.drop_excluded_arrivals && punct_stores_[input]->size() > 0) {
+    std::vector<uint32_t>& sel = *batch.mutable_selection();
+    size_t keep = 0;
+    for (uint32_t row : sel) {
+      if (punct_stores_[input]->ExcludesTuple(batch.tuple(row),
+                                              batch.timestamp(row))) {
+        states_[input]->CountDroppedArrival();
+      } else {
+        sel[keep++] = row;
+      }
+    }
+    sel.resize(keep);
+  }
+  if (batch.selection().empty()) return;
+
+  // Result production. For the binary case the single expansion hop
+  // runs through the vectorized store probe: hash column built once,
+  // one bucket resolution per same-key run, matches emitted row by
+  // row through the same cursor ForBucketLive uses — so the emission
+  // sequence matches a per-row ProduceResults loop exactly. Wider
+  // MJoins (or a predicate-less cross product) fall back to the
+  // per-row expansion, which is itself run-key cached.
+  bool batched_hop = false;
+  if (num_inputs() == 2) {
+    const size_t v = expand_orders_[input][1];
+    long probe_pred = -1;
+    verify_scratch_.clear();
+    for (size_t pi : predicates_of_input_[v]) {
+      // With two inputs every predicate of v has `input` on the other
+      // side.
+      if (probe_pred < 0) {
+        probe_pred = static_cast<long>(pi);
+      } else {
+        verify_scratch_.push_back(pi);
+      }
+    }
+    if (probe_pred >= 0) {
+      const LocalPredicate& p = predicates_[probe_pred];
+      const size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
+      const size_t key_off = (p.input_a == v) ? p.offset_b : p.offset_a;
+      batch.BuildHashColumn(key_off);
+      const Tuple* parts[2] = {nullptr, nullptr};
+      states_[v]->ProbeBatch(
+          v_off, batch, key_off,
+          [&](uint32_t row, size_t, const Tuple& candidate) {
+            for (size_t pi : verify_scratch_) {
+              const LocalPredicate& vp = predicates_[pi];
+              size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
+              size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
+              if (!(candidate.at(vv_off) == batch.tuple(row).at(vo_off))) {
+                return;
+              }
+            }
+            parts[input] = &batch.tuple(row);
+            parts[v] = &candidate;
+            std::vector<Value> out_row(output_width_);
+            for (const CopySegment& seg : copy_plan_) {
+              const Tuple* part = parts[seg.input];
+              for (size_t i = 0; i < seg.len; ++i) {
+                out_row[seg.to + i] = part->at(seg.from + i);
+              }
+            }
+            Emit(StreamElement::OfTuple(Tuple(std::move(out_row)),
+                                        batch.timestamp(row)));
+          });
+      batched_hop = true;
+    }
+  }
+  if (!batched_hop) {
+    for (uint32_t row : batch.selection()) {
+      ProduceResults(input, batch.tuple(row), batch.timestamp(row));
+    }
+  }
+
+  // Eager removability amortized the same way: with no punctuation
+  // stored anywhere the chained purge plan cannot close any input
+  // (CoversSubspace over an empty store is false), so the whole
+  // fixpoint is skipped. Probing never touches states_[input] and
+  // expansion never walks through the arrival input, so running all
+  // probes before any insert is result-identical to the interleaved
+  // per-row order.
+  const bool check_removable =
+      config_.purge_policy == PurgePolicy::kEager &&
+      input_purgeable_[input] && TotalLivePunctuations() > 0;
+  if (check_removable) {
+    for (uint32_t row : batch.selection()) {
+      if (Removable(input, batch.tuple(row), batch.timestamp(row))) {
+        states_[input]->CountDroppedArrival();
+      } else {
+        states_[input]->Insert(batch.tuple(row));
+      }
+    }
+  } else {
+    states_[input]->InsertBatch(batch);
+  }
+}
+
 void MJoinOperator::ProduceResults(size_t input, const Tuple& tuple,
                                    int64_t ts) {
   const size_t m = num_inputs();

@@ -93,6 +93,14 @@ class MJoinOperator : public JoinOperator {
 
   size_t num_inputs() const override { return inputs_.size(); }
   void PushTuple(size_t input, const Tuple& tuple, int64_t ts) override;
+  /// Batch arrival path: result-identical to per-row PushTuple, with
+  /// the per-tuple overheads amortized to the batch boundary — the
+  /// punctuation-exclusion scan and the eager removability check are
+  /// skipped wholesale when no punctuation can affect them (stores
+  /// cannot change mid-batch), and the binary-join first hop probes
+  /// through the vectorized TupleStore::ProbeBatch over the batch's
+  /// hash column.
+  void PushBatch(size_t input, TupleBatch& batch) override;
   void PushPunctuation(size_t input, const Punctuation& punctuation,
                        int64_t ts) override;
   size_t TotalLiveTuples() const override;

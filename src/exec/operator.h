@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "exec/metrics.h"
+#include "exec/tuple_batch.h"
 #include "obs/observability.h"
 #include "stream/element.h"
 
@@ -34,7 +35,22 @@ class JoinOperator {
   virtual size_t num_inputs() const = 0;
 
   /// \brief Consumes one data tuple on `input` at logical time `ts`.
+  /// Equivalent to a PushBatch of one row — the batch-of-1 shim the
+  /// executors use for unbatched pushes.
   virtual void PushTuple(size_t input, const Tuple& tuple, int64_t ts) = 0;
+
+  /// \brief Consumes a whole batch of tuples on `input`, each row at
+  /// its own timestamp. Must be result-identical to pushing the rows
+  /// one at a time (batching changes granularity, not semantics);
+  /// operators override it to amortize punctuation/purge checks to
+  /// batch boundaries and probe through the vectorized store path.
+  /// The batch is mutable so overrides can build its hash column and
+  /// filter its selection vector in place.
+  virtual void PushBatch(size_t input, TupleBatch& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PushTuple(input, batch.tuple(i), batch.timestamp(i));
+    }
+  }
 
   /// \brief Consumes one punctuation on `input` at logical time `ts`.
   virtual void PushPunctuation(size_t input, const Punctuation& punctuation,

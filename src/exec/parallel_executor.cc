@@ -17,30 +17,43 @@ namespace {
 
 constexpr size_t kNone = static_cast<size_t>(-1);
 
-// Result tuples buffered per emitting shard before one batched
-// PushAll into the parent's shard queues (one lock per flush instead
-// of one per tuple). Flushes also happen at batch boundaries and
-// before any punctuation/drain forwarding, so the cap only bounds
-// intra-batch staging memory.
-constexpr size_t kEmitFlushBatch = 128;
-
 }  // namespace
 
-// One message on a shard's input queue: a stream element tagged with
-// the input it belongs to, or a barrier marker (drain / checkpoint /
-// recheck — processed after everything queued before it; the pushing
-// thread guarantees all producers are quiescent first).
+// One message on a shard's input queue: a whole tuple batch OR a
+// single stream element tagged with the input it belongs to, or a
+// barrier marker (drain / checkpoint / recheck — processed after
+// everything queued before it; the pushing thread guarantees all
+// producers are quiescent first). Batches are the first-class hand-off
+// unit (ExecutorConfig::batch_size): one queue operation moves the
+// whole batch, and batches of one travel as plain elements so
+// batch_size == 1 reproduces per-tuple execution exactly.
 struct OpMessage {
   PipelineMarker marker = PipelineMarker::kNone;
   size_t input = 0;
   StreamElement element;
+  // Whole-batch payload; when set, `element` is unused and the merge
+  // ordering key is the batch's first row timestamp. shared_ptr keeps
+  // the message copyable for the reorder deques; a batch still has
+  // exactly one consumer at a time.
+  std::shared_ptr<TupleBatch> batch;
   // Steady-clock stamp taken when the element entered the pipeline
-  // edge (enqueue or emit staging). Only populated while observability
-  // is on; Deliver turns it into the consumer's latency sample, so the
-  // measured latency covers queue wait + reorder buffering +
-  // processing. 0 when observability is off.
+  // edge (enqueue or emit-staging flush). Only populated while
+  // observability is on; Deliver turns it into the consumer's latency
+  // sample, so the measured latency covers queue wait + reorder
+  // buffering + processing — for a batch, one stamp and one sample
+  // (the per-tuple mean) cover every row. 0 when observability is off.
   int64_t enqueue_ns = 0;
 };
+
+namespace {
+
+// Merge-ordering key: batches order by their first row's timestamp.
+int64_t OrderTs(const OpMessage& m) {
+  return m.batch != nullptr ? m.batch->first_timestamp()
+                            : m.element.timestamp;
+}
+
+}  // namespace
 
 // One shard worker: exclusive owner of one MJoinOperator replica.
 struct ParallelExecutor::Worker {
@@ -60,14 +73,16 @@ struct ParallelExecutor::Worker {
   obs::OperatorObs* obs = nullptr;
 
   // Owning group index, and the downstream emit staging: result
-  // tuples this shard produces are buffered per *parent* shard and
-  // pushed with one PushAll per flush. Touched only by this worker's
-  // thread (emits run inside op->Push*, on this thread); root-group
-  // workers keep it empty. Flush-before-punctuation and
-  // flush-before-drain-ack preserve the per-queue FIFO invariant that
-  // a punctuation never overtakes the tuples it covers.
+  // tuples this shard produces are staged into one TupleBatch per
+  // *parent* shard and flushed as one queue message per batch once
+  // ExecutorConfig::batch_size rows are staged (the former hard-coded
+  // kEmitFlushBatch = 128). Touched only by this worker's thread
+  // (emits run inside op->Push*, on this thread); root-group workers
+  // keep it empty. Flush-before-punctuation and flush-before-drain-ack
+  // preserve the per-queue FIFO invariant that a punctuation never
+  // overtakes the tuples it covers.
   size_t group = 0;
-  std::vector<std::deque<OpMessage>> emit_buf;
+  std::vector<TupleBatch> emit_buf;
   size_t emit_buffered = 0;
 
   // Barrier handshake (drain / checkpoint / recheck markers all share
@@ -107,6 +122,7 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
   PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
                              CheckPlanSafety(query, schemes, shape));
   if (config.shards == 0) config.shards = 1;
+  if (config.batch_size == 0) config.batch_size = 1;
   config.mjoin.arena = config.arena;
 
   auto exec = std::unique_ptr<ParallelExecutor>(new ParallelExecutor());
@@ -114,6 +130,7 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
   exec->shape_ = shape;
   exec->config_ = config;
   exec->safety_ = std::move(safety);
+  exec->ingest_batch_ = TupleBatch(config.batch_size);
 
   PUNCTSAFE_ASSIGN_OR_RETURN(
       OperatorTree tree,
@@ -164,8 +181,8 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
       Worker& worker = *exec->workers_[group.first_worker + s];
       worker.group = j;
       if (group.parent_group != kNone) {
-        worker.emit_buf.resize(
-            exec->groups_[group.parent_group]->num_shards);
+        worker.emit_buf.assign(exec->groups_[group.parent_group]->num_shards,
+                               TupleBatch(config.batch_size));
       }
       exec->operators_[group.first_worker + s]->SetEmitter(
           [raw, j, s](const StreamElement& e) { raw->EmitFromShard(j, s, e); });
@@ -218,22 +235,17 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
   OpGroup& parent = *groups_[group.parent_group];
   Worker& self = *workers_[group.first_worker + shard];
   if (element.is_tuple()) {
-    // Stage into the per-parent-shard buffer; the flush's PushAll pays
-    // one queue lock per burst instead of per tuple. A failed flush
-    // means Stop() closed the pipeline; elements are dropped (the
-    // non-graceful path).
+    // Stage into the per-parent-shard batch; the flush moves each
+    // staged batch with one queue operation instead of one per tuple.
+    // A failed flush means Stop() closed the pipeline; elements are
+    // dropped (the non-graceful path).
     size_t target =
         parent.num_shards > 1
             ? parent.spec.ShardOf(group.parent_input, element.tuple,
                                   parent.num_shards)
             : 0;
-    OpMessage message{PipelineMarker::kNone, group.parent_input, element, 0};
-    if (obs::kCompiled && obs_ != nullptr) {
-      message.enqueue_ns = obs::NowNs();
-      workers_[parent.first_worker + target]->obs->IncRouted();
-    }
-    self.emit_buf[target].push_back(std::move(message));
-    if (++self.emit_buffered >= kEmitFlushBatch) FlushEmits(self);
+    self.emit_buf[target].Append(element.tuple, element.timestamp);
+    if (++self.emit_buffered >= config_.batch_size) FlushEmits(self);
     return;
   }
   // Output punctuation: flush this shard's staged tuples first so the
@@ -257,12 +269,32 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
 
 void ParallelExecutor::FlushEmits(Worker& worker) {
   if (worker.emit_buffered == 0) return;
+  const size_t input = groups_[worker.group]->parent_input;
   OpGroup& parent = *groups_[groups_[worker.group]->parent_group];
+  // One clock read covers the whole flush (per-batch sampling); the
+  // consumer's latency sample then charges queue wait from here.
+  const int64_t now =
+      (obs::kCompiled && obs_ != nullptr) ? obs::NowNs() : 0;
   for (size_t s = 0; s < worker.emit_buf.size(); ++s) {
-    if (worker.emit_buf[s].empty()) continue;
-    workers_[parent.first_worker + s]->queue.PushAll(
-        std::move(worker.emit_buf[s]));
-    worker.emit_buf[s].clear();  // moved-from state is unspecified
+    TupleBatch& staged = worker.emit_buf[s];
+    if (staged.empty()) continue;
+    Worker& target = *workers_[parent.first_worker + s];
+    if (obs::kCompiled && obs_ != nullptr) {
+      target.obs->IncRouted(staged.size());
+    }
+    OpMessage message;
+    message.input = input;
+    message.enqueue_ns = now;
+    if (staged.size() == 1) {
+      // Batches of one travel as plain elements: batch_size == 1
+      // reproduces the per-tuple delivery path exactly.
+      message.element =
+          StreamElement::OfTuple(staged.tuple(0), staged.timestamp(0));
+    } else {
+      message.batch = std::make_shared<TupleBatch>(std::move(staged));
+    }
+    staged.Clear();  // moved-from state resets to a valid empty batch
+    target.queue.Push(std::move(message));
   }
   worker.emit_buffered = 0;
 }
@@ -390,7 +422,7 @@ void ParallelExecutor::ProcessPending(Worker& worker) {
     int64_t best_ts = 0;
     for (size_t i = 0; i < worker.pending.size(); ++i) {
       if (worker.pending[i].empty()) continue;
-      int64_t ts = worker.pending[i].front().element.timestamp;
+      int64_t ts = OrderTs(worker.pending[i].front());
       if (best == kNone || ts < best_ts) {
         best = i;
         best_ts = ts;
@@ -404,6 +436,32 @@ void ParallelExecutor::ProcessPending(Worker& worker) {
 }
 
 void ParallelExecutor::Deliver(Worker& worker, const OpMessage& message) {
+  if (message.batch != nullptr) {
+    // Whole-batch delivery: one PushBatch call, and per-batch
+    // observation sampling — a single clock read closes the latency
+    // sample for every row (recorded as the per-tuple mean) and one
+    // ring event carries the batch's result count.
+    TupleBatch& batch = *message.batch;
+    if (obs::kCompiled && worker.obs != nullptr) {
+      const uint64_t results_before =
+          worker.op->metrics().results_emitted.load(std::memory_order_relaxed);
+      worker.op->PushBatch(message.input, batch);
+      const int64_t now = obs::NowNs();
+      if (message.enqueue_ns != 0 && !batch.empty()) {
+        worker.obs->RecordLatencyNs((now - message.enqueue_ns) /
+                                    static_cast<int64_t>(batch.size()));
+      }
+      worker.obs->NoteAt(
+          now, obs::TraceKind::kTupleIn, message.input,
+          worker.op->metrics().results_emitted.load(
+              std::memory_order_relaxed) -
+              results_before);
+    } else {
+      worker.op->PushBatch(message.input, batch);
+    }
+    SampleHighWater();
+    return;
+  }
   const StreamElement& element = message.element;
   if (element.is_tuple()) {
     if (obs::kCompiled && worker.obs != nullptr) {
@@ -466,6 +524,26 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
         StrCat("stream '", event.stream, "' has no leaf route"));
   }
   OpGroup& group = *groups_[group_idx];
+  if (event.element.is_tuple() && config_.batch_size > 1) {
+    // Batched ingestion: accumulate the run, flush on stream change /
+    // full batch. The tuple is accepted into the buffer now; a flush
+    // that fails later means Stop() closed the pipeline.
+    if (!ingest_batch_.empty() && ingest_stream_ != *idx) {
+      if (!FlushIngest()) {
+        return Status::FailedPrecondition("parallel executor is stopped");
+      }
+    }
+    ingest_stream_ = *idx;
+    ingest_batch_.Append(event.element.tuple, event.element.timestamp);
+    NoteProgress(*idx, event.element.timestamp);
+    if (ingest_batch_.full() && !FlushIngest()) {
+      return Status::FailedPrecondition("parallel executor is stopped");
+    }
+    return Status::OK();
+  }
+  if (!event.element.is_tuple() && !FlushIngest()) {
+    return Status::FailedPrecondition("parallel executor is stopped");
+  }
   bool ok = event.element.is_tuple()
                 ? RouteTuple(group, input, event.element)
                 : Broadcast(group, input, event.element);
@@ -479,8 +557,63 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
   return Status::OK();
 }
 
+bool ParallelExecutor::FlushIngest() {
+  if (ingest_batch_.empty()) return true;
+  auto [group_idx, input] = leaf_route_[ingest_stream_];
+  OpGroup& group = *groups_[group_idx];
+  bool ok = true;
+  if (group.num_shards > 1) {
+    // Single-pass scatter into per-shard sub-batches, then one queue
+    // message per non-empty shard.
+    ScatterBatch(group.spec, input, ingest_batch_, group.num_shards,
+                 &scatter_scratch_);
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      if (scatter_scratch_[s].empty()) continue;
+      ok &= PushIngestBatch(group, s, input, &scatter_scratch_[s]);
+    }
+  } else {
+    ok = PushIngestBatch(group, 0, input, &ingest_batch_);
+  }
+  ingest_batch_.Clear();
+  return ok;
+}
+
+bool ParallelExecutor::PushIngestBatch(OpGroup& group, size_t shard,
+                                       size_t input, TupleBatch* batch) {
+  Worker& target = *workers_[group.first_worker + shard];
+  OpMessage message;
+  message.input = input;
+  if (obs::kCompiled && obs_ != nullptr) {
+    message.enqueue_ns = obs::NowNs();
+    target.obs->IncRouted(batch->size());
+    if (target.queue.size() >= target.queue.capacity()) {
+      target.obs->IncStall();
+    }
+  }
+  if (batch->size() == 1) {
+    // Scatter can strand a single row on a shard; it rides as a plain
+    // element message (same delivery path as batch_size == 1).
+    message.element =
+        StreamElement::OfTuple(batch->tuple(0), batch->timestamp(0));
+  } else {
+    message.batch = std::make_shared<TupleBatch>(std::move(*batch));
+  }
+  batch->Clear();
+  return target.queue.Push(std::move(message));
+}
+
 void ParallelExecutor::PushTuple(size_t stream, const Tuple& tuple,
                                  int64_t ts) {
+  if (config_.batch_size > 1) {
+    if (!ingest_batch_.empty() && ingest_stream_ != stream) {
+      if (!FlushIngest()) return;
+    }
+    ingest_stream_ = stream;
+    ingest_batch_.Append(tuple, ts);
+    NoteProgress(stream, ts);
+    if (ingest_batch_.full()) FlushIngest();
+    return;
+  }
   auto [group_idx, input] = leaf_route_[stream];
   if (RouteTuple(*groups_[group_idx], input,
                  StreamElement::OfTuple(tuple, ts))) {
@@ -491,6 +624,9 @@ void ParallelExecutor::PushTuple(size_t stream, const Tuple& tuple,
 void ParallelExecutor::PushPunctuation(size_t stream,
                                        const Punctuation& punctuation,
                                        int64_t ts) {
+  // Batch-boundary ordering: buffered tuples reach the shard queues
+  // before the punctuation is broadcast.
+  if (!FlushIngest()) return;
   auto [group_idx, input] = leaf_route_[stream];
   if (Broadcast(*groups_[group_idx], input,
                 StreamElement::OfPunctuation(punctuation, ts))) {
@@ -526,6 +662,11 @@ void ParallelExecutor::MaybeAutoCheckpoint(int64_t ts) {
 
 Status ParallelExecutor::BarrierAll(PipelineMarker marker, int64_t now) {
   if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("parallel executor is stopped");
+  }
+  // The barrier contract covers everything pushed so far — including
+  // tuples still sitting in the driver's ingest buffer.
+  if (!FlushIngest()) {
     return Status::FailedPrecondition("parallel executor is stopped");
   }
   // Leaves-first (groups_ is post-order, children before parents):

@@ -17,12 +17,14 @@
 //    production order per shard, so a punctuation never overtakes the
 //    tuples it covers on any shard's queue;
 //  * output merge — shard result tuples are staged in per-parent-shard
-//    buffers and flushed with batched PushAll at batch boundaries (one
-//    queue lock per burst); a shard's output punctuation first flushes
-//    that shard's staged tuples, then passes a per-group
-//    PunctuationAligner and is forwarded only once every shard of the
-//    group has emitted it (another shard may still hold matching
-//    tuples), which preserves the propagation contract downstream;
+//    TupleBatches and flushed as one queue message per batch once
+//    ExecutorConfig::batch_size rows are staged (first-class batch
+//    hand-off: one queue op moves the whole batch); a shard's output
+//    punctuation first flushes that shard's staged tuples, then passes
+//    a per-group PunctuationAligner and is forwarded only once every
+//    shard of the group has emitted it (another shard may still hold
+//    matching tuples), which preserves the propagation contract
+//    downstream;
 //  * best-effort timestamp merge — each shard worker drains its queue
 //    into per-input reorder buffers and delivers buffered elements in
 //    ascending timestamp order (ties: lowest input), which keeps
@@ -116,7 +118,11 @@ class ParallelExecutor {
   ParallelExecutor& operator=(const ParallelExecutor&) = delete;
 
   /// \brief Routes one trace event by stream name (blocks on a full
-  /// leaf queue — backpressure to the source).
+  /// leaf queue — backpressure to the source). With batch_size > 1,
+  /// consecutive same-stream tuples are accumulated driver-side into a
+  /// TupleBatch that is scattered into per-shard sub-batches in a
+  /// single pass and enqueued as one message per shard; the open batch
+  /// is flushed before any punctuation or barrier goes in.
   Status Push(const TraceEvent& event);
 
   /// \brief Routes by query stream index.
@@ -228,10 +234,20 @@ class ParallelExecutor {
   /// shards observe the same punctuation order. False iff stopped.
   bool Broadcast(OpGroup& group, size_t input, const StreamElement& element);
   /// The shared leaves-first barrier handshake behind Drain /
-  /// Checkpoint / restore-recheck (see PipelineMarker).
+  /// Checkpoint / restore-recheck (see PipelineMarker). Flushes the
+  /// open ingest batch first.
   Status BarrierAll(PipelineMarker marker, int64_t now);
   void NoteProgress(size_t stream, int64_t ts);
   void MaybeAutoCheckpoint(int64_t ts);
+  /// Delivers the driver-side ingest batch: scatter into per-shard
+  /// sub-batches (one pass), one queue message per non-empty shard.
+  /// False iff stopped. No-op (true) when empty.
+  bool FlushIngest();
+  /// One scattered sub-batch -> one message on `shard`'s queue
+  /// (batches of one ride as legacy per-tuple messages, so
+  /// batch_size == 1 reproduces tuple-at-a-time execution exactly).
+  bool PushIngestBatch(OpGroup& group, size_t shard, size_t input,
+                       TupleBatch* batch);
 
   ContinuousJoinQuery query_;
   PlanShape shape_;
@@ -256,6 +272,13 @@ class ParallelExecutor {
   // punctuation counter.
   std::vector<InputProgress> progress_;
   size_t punctuations_since_checkpoint_ = 0;
+  // Driver-side ingest batching (batch_size > 1 only): the open batch
+  // of consecutive ingest_stream_ tuples, plus the recycled per-shard
+  // scatter buffers FlushIngest fills (see partition_router.h,
+  // ScatterBatch).
+  TupleBatch ingest_batch_{1};
+  size_t ingest_stream_ = 0;
+  std::vector<TupleBatch> scatter_scratch_;
   // One OperatorObs per shard worker, indexed in step with workers_.
   // Null when observability is off.
   std::unique_ptr<obs::Observability> obs_;

@@ -46,6 +46,18 @@ size_t PartitionSpec::ShardOf(size_t input, const Tuple& tuple,
   return Mix64(tuple.at(hash_offsets[input]).Hash()) % num_shards;
 }
 
+void ScatterBatch(const PartitionSpec& spec, size_t input,
+                  const TupleBatch& batch, size_t num_shards,
+                  std::vector<TupleBatch>* out) {
+  if (out->size() < num_shards) out->resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) (*out)[s].Clear();
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = batch.tuple(i);
+    (*out)[spec.ShardOf(input, t, num_shards)].Append(t, batch.timestamp(i));
+  }
+}
+
 PartitionSpec ComputePartitionSpec(const ContinuousJoinQuery& query,
                                    const std::vector<LocalInput>& inputs) {
   PartitionSpec spec;

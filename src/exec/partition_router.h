@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
+#include "exec/tuple_batch.h"
 #include "query/cjq.h"
 #include "stream/punctuation.h"
 #include "stream/tuple.h"
@@ -77,6 +78,15 @@ struct PartitionSpec {
 /// offsets exactly as MJoinOperator lays them out).
 PartitionSpec ComputePartitionSpec(const ContinuousJoinQuery& query,
                                    const std::vector<LocalInput>& inputs);
+
+/// \brief Scatters one input batch into per-shard sub-batches in a
+/// single pass (one ShardOf per row). `out` is resized to `num_shards`
+/// and each sub-batch cleared first; rows keep their arrival order
+/// within a shard, so per-edge FIFO is preserved when the sub-batches
+/// are enqueued. Sub-batch storage is recycled across calls.
+void ScatterBatch(const PartitionSpec& spec, size_t input,
+                  const TupleBatch& batch, size_t num_shards,
+                  std::vector<TupleBatch>* out);
 
 /// \brief Merge barrier for output punctuations of a sharded
 /// operator: forwards a punctuation downstream only once every shard

@@ -22,8 +22,10 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
   auto exec = std::unique_ptr<PlanExecutor>(new PlanExecutor());
   exec->query_ = query;
   exec->shape_ = shape;
+  if (config.batch_size == 0) config.batch_size = 1;
   exec->config_ = config;
   exec->safety_ = std::move(safety);
+  exec->pending_batch_ = TupleBatch(config.batch_size);
 
   PUNCTSAFE_ASSIGN_OR_RETURN(
       OperatorTree tree,
@@ -88,6 +90,17 @@ Status PlanExecutor::Push(const TraceEvent& event) {
 
 void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
   NoteProgress(stream, ts);
+  if (config_.batch_size > 1) {
+    // Batched ingestion: accumulate consecutive same-stream tuples
+    // and deliver them as one PushBatch. A stream change flushes —
+    // batches never mix inputs — so per-stream runs in the trace
+    // become whole batches.
+    if (!pending_batch_.empty() && pending_stream_ != stream) FlushIngest();
+    pending_stream_ = stream;
+    pending_batch_.Append(tuple, ts);
+    if (pending_batch_.full()) FlushIngest();
+    return;
+  }
   auto [op, input] = leaf_route_[stream];
   // Under serial execution the push runs the whole synchronous
   // cascade (probes, result emission, parent pushes), so the latency
@@ -109,9 +122,37 @@ void PlanExecutor::PushTuple(size_t stream, const Tuple& tuple, int64_t ts) {
   RecordHighWater();
 }
 
+void PlanExecutor::FlushIngest() {
+  if (pending_batch_.empty()) return;
+  auto [op, input] = leaf_route_[pending_stream_];
+  const int64_t n = static_cast<int64_t>(pending_batch_.size());
+  // Per-batch observation sampling: two clock reads for the whole
+  // batch, a mean per-tuple latency sample, and one kTupleIn ring
+  // event carrying the batch's result count.
+  if (obs::kCompiled && op->observer() != nullptr) {
+    const uint64_t results_before =
+        op->metrics().results_emitted.load(std::memory_order_relaxed);
+    const int64_t start = obs::NowNs();
+    op->PushBatch(input, pending_batch_);
+    const int64_t end = obs::NowNs();
+    op->observer()->RecordLatencyNs((end - start) / n);
+    op->observer()->NoteAt(
+        end, obs::TraceKind::kTupleIn, input,
+        op->metrics().results_emitted.load(std::memory_order_relaxed) -
+            results_before);
+  } else {
+    op->PushBatch(input, pending_batch_);
+  }
+  pending_batch_.Clear();
+  RecordHighWater();
+}
+
 void PlanExecutor::PushPunctuation(size_t stream,
                                    const Punctuation& punctuation,
                                    int64_t ts) {
+  // Batch-boundary ordering: results from buffered tuples must be
+  // emitted before the punctuation is forwarded.
+  FlushIngest();
   NoteProgress(stream, ts);
   auto [op, input] = leaf_route_[stream];
   op->PushPunctuation(input, punctuation, ts);
@@ -142,6 +183,9 @@ void PlanExecutor::MaybeAutoCheckpoint() {
 }
 
 StateSnapshot PlanExecutor::Checkpoint() const {
+  PUNCTSAFE_CHECK(pending_batch_.empty())
+      << "snapshots are taken at batch boundaries: call FlushIngest() "
+         "before Checkpoint()";
   StateSnapshot snap;
   snap.fingerprint = PlanFingerprint(query_, shape_);
   snap.progress = progress_;
@@ -192,6 +236,7 @@ Status PlanExecutor::RestoreState(const StateSnapshot& snapshot) {
 }
 
 void PlanExecutor::SweepAll(int64_t now) {
+  FlushIngest();
   for (auto& op : operators_) op->Sweep(now);
   RecordHighWater();
 }

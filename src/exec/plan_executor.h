@@ -14,6 +14,7 @@
 #include "core/plan_safety.h"
 #include "exec/checkpoint.h"
 #include "exec/mjoin.h"
+#include "exec/tuple_batch.h"
 #include "obs/observability.h"
 #include "query/cjq.h"
 #include "query/plan_shape.h"
@@ -37,8 +38,22 @@ struct ExecutorConfig {
   /// Serial vs pipelined execution (honored by QueryRegister).
   ExecutionMode mode = ExecutionMode::kSerial;
   /// Bounded-queue capacity per operator under kParallel; pushes block
-  /// when full (backpressure).
+  /// when full (backpressure). Capacity counts messages, and one
+  /// message carries a whole batch, so the queue bound scales with
+  /// batch_size.
   size_t queue_capacity = 1024;
+  /// The unit of batched execution — one knob across the serial,
+  /// pipelined, and sharded modes. Consecutive same-stream tuples are
+  /// accumulated into a TupleBatch of this capacity and pushed through
+  /// the operator tree (and, under kParallel, through the queues) as
+  /// one unit; the open batch is flushed before any punctuation is
+  /// forwarded, so results from a batch always precede punctuations
+  /// that arrived after it. Under kParallel it also sizes the
+  /// per-parent-shard result staging (the former hard-coded emit flush
+  /// batch of 128). 1 (the default) reproduces tuple-at-a-time
+  /// execution exactly; 0 is normalized to 1. Throughput-oriented
+  /// setups use 64-256 (bench/bench_hot_path.cc sweeps the knob).
+  size_t batch_size = 1;
   /// Under kParallel: shard workers per operator (hash-partitioned
   /// intra-operator parallelism). Each operator whose join predicates
   /// admit an exact partitioning runs as this many single-threaded
@@ -85,18 +100,29 @@ class PlanExecutor {
   /// \brief Routes one trace event by stream name.
   Status Push(const TraceEvent& event);
 
-  /// \brief Routes by query stream index.
+  /// \brief Routes by query stream index. With batch_size > 1 the
+  /// tuple may be buffered in the open ingest batch; it is delivered
+  /// at the next flush point (batch full, stream change, punctuation,
+  /// SweepAll, or an explicit FlushIngest).
   void PushTuple(size_t stream, const Tuple& tuple, int64_t ts);
   void PushPunctuation(size_t stream, const Punctuation& punctuation,
                        int64_t ts);
 
-  /// \brief Flushes lazy purge batches across all operators.
+  /// \brief Delivers the open ingest batch downstream (no-op when
+  /// empty). Call at end of input, and before Checkpoint when pushes
+  /// did not end on a punctuation.
+  void FlushIngest();
+
+  /// \brief Flushes lazy purge batches across all operators (the open
+  /// ingest batch is delivered first).
   void SweepAll(int64_t now);
 
   /// \brief Captures the executor's complete logical state
   /// (exec/checkpoint.h). Serial execution is quiescent between
   /// pushes, so this is callable at any push boundary; the result is
   /// canonical (sorted), so equal states serialize to equal bytes.
+  /// Snapshots are taken at batch boundaries: the ingest buffer must
+  /// be empty (checked) — call FlushIngest() first.
   StateSnapshot Checkpoint() const;
 
   /// \brief Rebuilds executor state from a snapshot. Must be called on
@@ -154,6 +180,11 @@ class PlanExecutor {
   size_t punct_high_water_ = 0;
   std::vector<InputProgress> progress_;  // per query stream
   size_t punctuations_since_checkpoint_ = 0;
+  // Open ingest batch (batch_size > 1 only): consecutive tuples of
+  // pending_stream_, delivered as one PushBatch at the next flush
+  // point. Storage is recycled across flushes.
+  TupleBatch pending_batch_{1};
+  size_t pending_stream_ = 0;
   // One OperatorObs per operator (shard 0: serial execution), indexed
   // in step with operators_. Null when observability is off.
   std::unique_ptr<obs::Observability> obs_;

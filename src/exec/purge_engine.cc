@@ -49,6 +49,19 @@ size_t PurgeEngine::AddTuple(size_t stream, const Tuple& tuple,
   return states_[stream]->Insert(tuple);
 }
 
+void PurgeEngine::AddTupleBatch(size_t stream, TupleBatch& batch) {
+  PUNCTSAFE_CHECK(stream < states_.size());
+  if (batch.empty()) return;
+  if (obs::kCompiled && obs_ != nullptr) {
+    // Per-batch sampling: one watermark fold and one ring event for
+    // the whole batch instead of two notes per row.
+    obs_->NoteTupleTs(batch.max_timestamp());
+    obs_->Note(obs::TraceKind::kTupleIn, stream, 0);
+  }
+  batch.SelectAll();
+  states_[stream]->InsertBatch(batch);
+}
+
 void PurgeEngine::AddPunctuation(size_t stream,
                                  const Punctuation& punctuation,
                                  int64_t ts) {

@@ -53,6 +53,11 @@ class PurgeEngine {
   /// \brief Records an arriving raw tuple; returns its slot id.
   size_t AddTuple(size_t stream, const Tuple& tuple, int64_t ts);
 
+  /// \brief Records a whole batch of raw tuples on `stream`: one
+  /// observation note per batch (watermark folded over the rows) and
+  /// a bulk store insert. Equivalent to per-row AddTuple.
+  void AddTupleBatch(size_t stream, TupleBatch& batch);
+
   /// \brief Records an arriving raw punctuation.
   void AddPunctuation(size_t stream, const Punctuation& punctuation,
                       int64_t ts);

@@ -109,6 +109,78 @@ void SymmetricHashJoinOperator::PushTuple(size_t input, const Tuple& tuple,
   states_[input]->Insert(tuple);
 }
 
+void SymmetricHashJoinOperator::PushBatch(size_t input, TupleBatch& batch) {
+  PUNCTSAFE_CHECK(input < 2);
+  if (batch.empty()) return;
+  if (my_attrs_[input].empty()) {
+    // Predicate-less query: no probe attribute to vectorize over.
+    JoinOperator::PushBatch(input, batch);
+    return;
+  }
+  if (obs::kCompiled && obs_ != nullptr) {
+    obs_->NoteTupleTs(batch.max_timestamp());
+  }
+
+  batch.SelectAll();
+  // Punctuation-exclusion filtering amortized to the batch boundary
+  // (the store cannot change mid-batch; empty store = no scan).
+  if (config_.drop_excluded_arrivals && punct_stores_[input]->size() > 0) {
+    std::vector<uint32_t>& sel = *batch.mutable_selection();
+    size_t keep = 0;
+    for (uint32_t row : sel) {
+      if (punct_stores_[input]->ExcludesTuple(batch.tuple(row),
+                                              batch.timestamp(row))) {
+        states_[input]->CountDroppedArrival();
+      } else {
+        sel[keep++] = row;
+      }
+    }
+    sel.resize(keep);
+  }
+  if (batch.selection().empty()) return;
+
+  // One vectorized probe over the partner state for the whole batch:
+  // the hash column is gathered once, a same-key run resolves its
+  // bucket once, and per-row emission order matches the per-tuple
+  // path exactly.
+  const size_t other = 1 - input;
+  batch.BuildHashColumn(my_attrs_[input][0]);
+  states_[other]->ProbeBatch(
+      my_attrs_[other][0], batch, my_attrs_[input][0],
+      [&](uint32_t row, size_t, const Tuple& partner) {
+        const Tuple& tuple = batch.tuple(row);
+        for (size_t i = 1; i < my_attrs_[input].size(); ++i) {
+          if (!(partner.at(my_attrs_[other][i]) ==
+                tuple.at(my_attrs_[input][i]))) {
+            return;
+          }
+        }
+        const Tuple& left = (input == 0) ? tuple : partner;
+        const Tuple& right = (input == 0) ? partner : tuple;
+        Emit(StreamElement::OfTuple(ConcatTuples({&left, &right}),
+                                    batch.timestamp(row)));
+      });
+
+  // Eager removability consults only the partner's punctuation store;
+  // when that is empty the whole per-row check is skipped (probing
+  // never touches this input's state, so probe-all-then-insert is
+  // result-identical to the interleaved per-row order).
+  const bool check_removable = config_.purge_policy == PurgePolicy::kEager &&
+                               purgeable_[input] &&
+                               punct_stores_[other]->size() > 0;
+  if (check_removable) {
+    for (uint32_t row : batch.selection()) {
+      if (Removable(input, batch.tuple(row), batch.timestamp(row))) {
+        states_[input]->CountDroppedArrival();
+      } else {
+        states_[input]->Insert(batch.tuple(row));
+      }
+    }
+  } else {
+    states_[input]->InsertBatch(batch);
+  }
+}
+
 void SymmetricHashJoinOperator::PushPunctuation(
     size_t input, const Punctuation& punctuation, int64_t ts) {
   PUNCTSAFE_CHECK(input < 2);

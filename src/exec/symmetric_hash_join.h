@@ -45,6 +45,12 @@ class SymmetricHashJoinOperator : public JoinOperator {
 
   size_t num_inputs() const override { return 2; }
   void PushTuple(size_t input, const Tuple& tuple, int64_t ts) override;
+  /// Batch arrival path: probes the partner state through the
+  /// vectorized TupleStore::ProbeBatch (hash column built once per
+  /// batch) and amortizes the punctuation-exclusion and eager
+  /// removability checks to the batch boundary. Result-identical to
+  /// per-row PushTuple.
+  void PushBatch(size_t input, TupleBatch& batch) override;
   void PushPunctuation(size_t input, const Punctuation& punctuation,
                        int64_t ts) override;
   size_t TotalLiveTuples() const override;

@@ -33,7 +33,7 @@ size_t TupleStore::Insert(const Tuple& tuple) {
     // The cached hash makes this O(1) even for string keys; the Value
     // key is copied (into owning storage) only the first time a key
     // appears in the index.
-    indexes_[i][tuple.at(indexed_offsets_[i])].push_back(slot);
+    indexes_[i].FindOrCreate(tuple.at(indexed_offsets_[i]))->push_back(slot);
   }
   if (arena_) {
     // One bump allocation holds the whole tuple: the Value array
@@ -84,6 +84,15 @@ size_t TupleStore::Insert(const Tuple& tuple) {
   ++live_count_;
   metrics_.OnInsert();
   return slot;
+}
+
+size_t TupleStore::InsertBatch(const TupleBatch& batch) {
+  size_t inserted = 0;
+  for (uint32_t row : batch.selection()) {
+    Insert(batch.tuple(row));
+    ++inserted;
+  }
+  return inserted;
 }
 
 void TupleStore::Remove(size_t slot) {
@@ -176,24 +185,24 @@ void TupleStore::MaybeCompactIndexes() {
 
 void TupleStore::CompactIndexes() const {
   // Dead slots stay tombstoned in `live_` (slot ids must remain
-  // stable); only index buckets are cleaned, in place: compact the
-  // survivors to the front, then truncate (SmallVector keeps its
-  // storage — inline buckets never touch the heap here).
+  // stable); only the indexes are cleaned, by full rebuild: FlatKeyIndex
+  // has no per-entry deletion (rebuild-only by design, so probe chains
+  // never carry tombstones), and compaction is the one infrequent spot
+  // where a rebuild amortizes. Per-bucket slot order is preserved, so
+  // probe emission order is unchanged.
   metrics_.OnIndexCompaction();
   for (size_t i = 0; i < indexes_.size(); ++i) {
-    for (auto it = indexes_[i].begin(); it != indexes_[i].end();) {
-      Bucket& slots = it->second;
-      size_t keep = 0;
-      for (size_t r = 0; r < slots.size(); ++r) {
-        if (live_[slots[r]]) slots[keep++] = slots[r];
+    FlatKeyIndex fresh;
+    fresh.Reserve(indexes_[i].size());
+    indexes_[i].ForEachEntry([&](const Value& key, const Bucket& slots) {
+      Bucket* kept = nullptr;
+      for (size_t slot : slots) {
+        if (!live_[slot]) continue;
+        if (kept == nullptr) kept = fresh.FindOrCreate(key);
+        kept->push_back(slot);
       }
-      if (keep == 0) {
-        it = indexes_[i].erase(it);
-      } else {
-        slots.truncate(keep);
-        ++it;
-      }
-    }
+    });
+    indexes_[i] = std::move(fresh);
   }
   dead_count_ = 0;
   pending_compact_ = false;

@@ -12,19 +12,22 @@
 //    whole blocks at epoch boundaries instead of freeing tuples one by
 //    one. `TupleStoreOptions::arena = false` falls back to per-tuple
 //    heap ownership (the differential harness sweeps both);
-//  * index buckets are SmallVector<size_t, 4> — the common few-slot
-//    bucket lives inline in the map node, no pointer chase — keyed by
-//    Value under the *cached* hash (stream/value.h): inserting or
-//    probing a string key never re-walks its bytes, the map's find
-//    does exactly one key equality, and bucket members need no
-//    per-slot equality re-check (each bucket is exact for its key,
-//    modulo tombstones);
+//  * indexes are FlatKeyIndex (exec/flat_index.h): open-addressing
+//    tables probed 16 tags per SIMD step, keyed by Value under the
+//    *cached* hash (stream/value.h) — inserting or probing a string
+//    key never re-walks its bytes, a lookup does exactly one key
+//    equality, and bucket members need no per-slot equality re-check
+//    (each bucket is exact for its key, modulo tombstones); buckets
+//    are SmallVector<size_t, 4>, inline in the entry for the common
+//    few-slot case;
 //  * `offset_to_index_` maps attribute offset -> index position in
 //    O(1), replacing the old linear scan of `indexed_offsets_`;
 //  * ProbeEach / AnyMatch / ProbeInto are the allocation-free probe
 //    cursors the operators use; FindBucket/ForBucketLive split the
 //    cursor so batch-aware expansion can reuse one bucket lookup
-//    across a run of same-key rows.
+//    across a run of same-key rows; ProbeBatch is the vectorized
+//    flavor — it walks a TupleBatch's contiguous hash column with
+//    SIMD run detection and resolves one bucket per same-key run.
 //
 // Lifetime contract: `const Tuple&`/`const Value&` references obtained
 // from At() or probes stay valid until the *next* AdvanceEpoch() —
@@ -43,11 +46,13 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "exec/arena.h"
+#include "exec/flat_index.h"
 #include "exec/metrics.h"
+#include "exec/simd.h"
+#include "exec/tuple_batch.h"
 #include "obs/observability.h"
 #include "stream/tuple.h"
 #include "util/logging.h"
@@ -74,8 +79,8 @@ class TupleStore {
   static constexpr size_t kCompactDeadFactor = 2;
 
   /// Inline bucket capacity: most buckets hold a handful of slots, so
-  /// they fit inside the map node with no heap spill.
-  using Bucket = SmallVector<size_t, 4>;
+  /// they fit inside the index entry with no heap spill.
+  using Bucket = FlatKeyIndex::Bucket;
 
   /// \param indexed_offsets attribute positions to maintain hash
   ///        indexes on (the input's join attributes).
@@ -85,6 +90,12 @@ class TupleStore {
   /// \brief Stores a copy of the tuple (arena-laid-out when the arena
   /// is on); returns its slot id.
   size_t Insert(const Tuple& tuple);
+
+  /// \brief Stores every *selected* row of the batch (the batch-build
+  /// path hands hashes over in bulk: each row's key hash is already
+  /// cached, so no key bytes are re-walked here). Returns the number
+  /// of rows inserted.
+  size_t InsertBatch(const TupleBatch& batch);
 
   /// \brief Tombstones a slot (idempotent). The payload stays
   /// addressable until the next AdvanceEpoch (see lifetime contract).
@@ -147,9 +158,7 @@ class TupleStore {
     if (pending_compact_) CompactIndexes();
     PUNCTSAFE_CHECK(HasIndexOn(offset))
         << "probe on non-indexed offset " << offset;
-    const HashIndex& index = indexes_[offset_to_index_[offset]];
-    auto it = index.find(value);
-    return it == index.end() ? nullptr : &it->second;
+    return indexes_[offset_to_index_[offset]].Find(value.Hash(), value);
   }
 
   /// \brief Visits every live member of a FindBucket result (nullptr
@@ -196,6 +205,73 @@ class TupleStore {
     return false;
   }
 
+  /// \brief Vectorized batch probe: for every *selected* row of
+  /// `batch`, calls fn(row, slot, tuple) once per live tuple whose
+  /// `offset` attribute equals the row's `key_offset` attribute.
+  ///
+  /// The batch's hash column must have been built over `key_offset`
+  /// (TupleBatch::BuildHashColumn — the "hash all keys up front" half
+  /// of the bargain). The scan walks the contiguous hash column with
+  /// SIMD run detection (exec/simd.h, 2–4 cached hashes per compare):
+  /// a run of equal-key rows resolves its index bucket once, filters
+  /// its live slots once into a scratch, and replays the dense slot
+  /// list per row — the per-row tombstone bit tests are paid once per
+  /// run, not once per row. Match emission order per row is identical
+  /// to a per-row ProbeEach loop (the store cannot change mid-batch:
+  /// the callback must not mutate it).
+  template <typename Fn>
+  void ProbeBatch(size_t offset, const TupleBatch& batch, size_t key_offset,
+                  Fn&& fn) const {
+    if (pending_compact_) CompactIndexes();
+    PUNCTSAFE_CHECK(HasIndexOn(offset))
+        << "probe on non-indexed offset " << offset;
+    PUNCTSAFE_CHECK(batch.HasHashColumn(key_offset))
+        << "ProbeBatch needs the hash column built over the key offset";
+    const FlatKeyIndex& index = indexes_[offset_to_index_[offset]];
+    const std::vector<uint32_t>& sel = batch.selection();
+    const uint64_t* hashes = batch.hashes().data();
+    const size_t n = sel.size();
+    // Live slots of the current run's bucket, filtered once. Reused
+    // across runs and calls, so steady-state probing allocates nothing.
+    thread_local std::vector<size_t> run_slots;
+    size_t k = 0;
+    while (k < n) {
+      const uint32_t row = sel[k];
+      const Value& key = batch.tuple(row).at(key_offset);
+      const Bucket* bucket =
+          index.Find(static_cast<size_t>(hashes[row]), key);
+      // Contiguous span of the selection starting at this row: only a
+      // dense stretch can share the SIMD hash-run scan.
+      size_t span = 1;
+      while (k + span < n && sel[k + span] == row + span) ++span;
+      const size_t run = simd::HashRunLength(hashes + row, span);
+      // Equal hashes almost always mean equal keys; verify so a
+      // collision splits the run instead of borrowing the bucket.
+      size_t same_key = 1;
+      while (same_key < run &&
+             batch.tuple(row + same_key).at(key_offset) == key) {
+        ++same_key;
+      }
+      if (same_key == 1) {
+        ForBucketLive(bucket, [&](size_t slot, const Tuple& t) {
+          fn(row, slot, t);
+        });
+      } else {
+        run_slots.clear();
+        ForBucketLive(bucket, [&](size_t slot, const Tuple&) {
+          run_slots.push_back(slot);
+        });
+        for (size_t slot : run_slots) fn(row, slot, handles_[slot]);
+        for (size_t j = 1; j < same_key; ++j) {
+          const uint32_t r = row + static_cast<uint32_t>(j);
+          metrics_.OnProbe();
+          for (size_t slot : run_slots) fn(r, slot, handles_[slot]);
+        }
+      }
+      k += same_key;
+    }
+  }
+
   /// \brief Probe into a caller-supplied scratch buffer (cleared
   /// first): the steady-state path reuses the buffer's capacity, so no
   /// allocation per probe once it has warmed up.
@@ -218,14 +294,6 @@ class TupleStore {
 
  private:
   static constexpr size_t kNoIndex = static_cast<size_t>(-1);
-
-  // Keyed by Value so a bucket's slots all carry exactly that key (no
-  // per-slot re-check on probes); ValueHash reads the cached hash, so
-  // neither insert nor probe ever re-hashes the key bytes. Type-strict
-  // Value equality keeps int64/double/string keys disjoint. The key
-  // Value is a *copy* (owning — Value's copy constructor re-owns
-  // external string bytes), so index keys never dangle into the arena.
-  using HashIndex = std::unordered_map<Value, Bucket, ValueHash>;
 
   /// Probe-path compaction trigger: a probe that filtered out more
   /// dead than live slots schedules a rebuild, executed at the next
@@ -263,9 +331,11 @@ class TupleStore {
   uint64_t last_block_allocs_ = 0;
   // One index per indexed offset: key Value -> slots (buckets may
   // contain dead slots until compaction; never slots with a different
-  // key). `mutable` because logically-const probes trigger the lazy
-  // compaction.
-  mutable std::vector<HashIndex> indexes_;
+  // key). Keyed by Value so a bucket's slots all carry exactly that
+  // key; the key Value is an owning *copy*, so index keys never dangle
+  // into the arena. `mutable` because logically-const probes trigger
+  // the lazy compaction (a full rebuild of each table from survivors).
+  mutable std::vector<FlatKeyIndex> indexes_;
   mutable size_t dead_count_ = 0;
   mutable bool pending_compact_ = false;
   mutable StateMetrics metrics_;

@@ -147,8 +147,11 @@ class OperatorObs {
     return stalls_.load(std::memory_order_relaxed);
   }
 
-  /// \brief A tuple was hash-routed to this shard (skew visibility).
-  void IncRouted() { routed_.fetch_add(1, std::memory_order_relaxed); }
+  /// \brief `n` tuples were hash-routed to this shard (skew
+  /// visibility; batch routing counts every row of the batch).
+  void IncRouted(uint64_t n = 1) {
+    routed_.fetch_add(n, std::memory_order_relaxed);
+  }
   uint64_t routed() const {
     return routed_.load(std::memory_order_relaxed);
   }

@@ -9,8 +9,11 @@
 // removability at arrival where the serial order stores first, and
 // vice versa). Each trial sweeps shards in {1, 2, 4} crossed with
 // arena storage in {off, on} (the serial reference runs arena-off, so
-// the sweep also proves the arena changes no answers); the failure
-// message logs the RNG seed, shard count, and arena flag for replay.
+// the sweep also proves the arena changes no answers), and rotates the
+// ingest batch size through {1, 7, 64, 1024} — the reference is pinned
+// at batch_size=1 (tuple-at-a-time), so the sweep proves batched
+// execution changes no answers either; the failure message logs the
+// RNG seed, shard count, arena flag, and batch size for replay.
 //
 // tools/ci.sh runs this suite under both TSan and ASan.
 
@@ -154,19 +157,28 @@ TEST(ParallelDifferentialTest, HundredRandomTrialsMatchSerialExecutor) {
     config.mjoin.lazy_batch = 4;
     config.queue_capacity = 1 + seed % 64;  // exercise tight backpressure
 
-    // The reference runs serial with per-tuple heap storage — the
-    // simplest configuration, against which both the arena and every
-    // parallel interleaving must be observationally identical.
+    // Rotated per trial: batched ingest must be answer-preserving at
+    // every granularity (1 = today's tuple-at-a-time path, bit for
+    // bit; 1024 = whole generations travel as one batch).
+    const size_t kBatchSizes[] = {1, 7, 64, 1024};
+    const size_t batch_size = kBatchSizes[trial % 4];
+
+    // The reference runs serial with per-tuple heap storage and
+    // tuple-at-a-time delivery — the simplest configuration, against
+    // which the arena, the batched ingest path, and every parallel
+    // interleaving must be observationally identical.
     config.arena = false;
+    config.batch_size = 1;
     Observation serial = RunSerial(*inst, shape, trace, config);
 
-    // The serial executor with arena storage must already agree.
+    // The serial executor with arena storage + batching must agree.
     config.arena = true;
+    config.batch_size = batch_size;
     Observation serial_arena = RunSerial(*inst, shape, trace, config);
     {
       SCOPED_TRACE(::testing::Message()
-                   << "seed=" << seed << " serial arena=on query="
-                   << inst->query.ToString());
+                   << "seed=" << seed << " serial arena=on batch="
+                   << batch_size << " query=" << inst->query.ToString());
       ASSERT_EQ(serial_arena.results, serial.results)
           << "result multiset diverged";
       EXPECT_EQ(serial_arena.live_tuples, serial.live_tuples);
@@ -183,11 +195,13 @@ TEST(ParallelDifferentialTest, HundredRandomTrialsMatchSerialExecutor) {
       for (size_t shards : {1u, 2u, 4u}) {
         SCOPED_TRACE(::testing::Message()
                      << "seed=" << seed << " shards=" << shards
-                     << " arena=" << (arena ? "on" : "off") << " query="
+                     << " arena=" << (arena ? "on" : "off")
+                     << " batch=" << batch_size << " query="
                      << inst->query.ToString()
                      << " shape=" << shape.ToString(inst->query));
         config.shards = shards;
         config.arena = arena;
+        config.batch_size = batch_size;
         Observation parallel = RunParallel(*inst, shape, trace, config);
 
         ASSERT_EQ(parallel.results, serial.results)

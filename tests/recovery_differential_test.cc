@@ -15,6 +15,13 @@
 // Equality is the same observational bar parallel_differential_test
 // sets: identical result multiset, identical final live state at the
 // sweep fixpoint, and identical total removals (purged + dropped).
+// Each trial rotates the ingest batch size through {1, 7, 64, 1024}
+// (applied to every leg, reference included): snapshots are taken at
+// batch boundaries — the serial leg calls FlushIngest() before
+// Checkpoint(), the parallel barrier flushes implicitly — and restore
+// + replay must land on the same fixpoint regardless of where the
+// batch boundaries fall relative to the kill point. batch=1 trials
+// reproduce the historical tuple-at-a-time behavior bit for bit.
 //
 // tools/ci.sh runs this suite under both ASan and TSan.
 
@@ -147,6 +154,8 @@ TEST(RecoveryDifferentialTest, HundredRandomKillRestoreTrialsMatchSerial) {
     config.mjoin.lazy_batch = 4;
     config.queue_capacity = 1 + seed % 32;
     config.arena = false;
+    const size_t kBatchSizes[] = {1, 7, 64, 1024};
+    config.batch_size = kBatchSizes[trial % 4];
 
     const int64_t now = MaxTimestamp(trace) + 1;
     // Kill point: any push boundary, including "nothing consumed yet"
@@ -172,6 +181,9 @@ TEST(RecoveryDifferentialTest, HundredRandomKillRestoreTrialsMatchSerial) {
       for (size_t i = 0; i < cut; ++i) {
         ASSERT_TRUE((*run)->Push(trace[i]).ok());
       }
+      // Snapshots are batch-aligned: deliver the open ingest batch so
+      // the checkpoint covers every accepted tuple.
+      (*run)->FlushIngest();
       checkpoint_bytes = SerializeSnapshot((*run)->Checkpoint());
       // The "crashed" executor is simply dropped here.
     }
@@ -180,7 +192,8 @@ TEST(RecoveryDifferentialTest, HundredRandomKillRestoreTrialsMatchSerial) {
     {
       SCOPED_TRACE(::testing::Message()
                    << "seed=" << seed << " cut=" << cut << "/"
-                   << trace.size() << " leg=serial-restore query="
+                   << trace.size() << " batch=" << config.batch_size
+                   << " leg=serial-restore query="
                    << inst->query.ToString()
                    << " shape=" << shape.ToString(inst->query));
       auto resumed = PlanExecutor::Create(inst->query, inst->schemes, shape,
@@ -232,7 +245,8 @@ TEST(RecoveryDifferentialTest, HundredRandomKillRestoreTrialsMatchSerial) {
         SCOPED_TRACE(::testing::Message()
                      << "seed=" << seed << " cut=" << cut
                      << " leg=parallel-restore shards=" << shards
-                     << " arena=" << (arena ? "on" : "off") << " query="
+                     << " arena=" << (arena ? "on" : "off")
+                     << " batch=" << config.batch_size << " query="
                      << inst->query.ToString()
                      << " shape=" << shape.ToString(inst->query));
         ExecutorConfig pconfig = config;
@@ -269,7 +283,8 @@ TEST(RecoveryDifferentialTest, HundredRandomKillRestoreTrialsMatchSerial) {
       const size_t shards = 1 + seed % 4;
       SCOPED_TRACE(::testing::Message()
                    << "seed=" << seed << " cut=" << cut
-                   << " leg=cross-mode shards=" << shards);
+                   << " leg=cross-mode shards=" << shards
+                   << " batch=" << config.batch_size);
       ExecutorConfig pconfig = config;
       pconfig.shards = shards;
       auto resumed = ParallelExecutor::Create(inst->query, inst->schemes,

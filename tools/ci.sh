@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: format gate, then builds and ctests the plain,
-# AddressSanitizer, ThreadSanitizer, and UndefinedBehaviorSanitizer
+# AddressSanitizer, ThreadSanitizer, UndefinedBehaviorSanitizer, and
+# scalar (-DPUNCTSAFE_NO_SIMD=ON, portable exec/simd.h fallback)
 # configurations (see -DPUNCTSAFE_SANITIZE in the top-level
 # CMakeLists.txt), then smoke-runs the standalone benchmark binaries
 # in a Release build on tiny inputs. The sanitizer runs are what give
@@ -21,16 +22,18 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-${ROOT}/build-ci}"
-CONFIGS="${PUNCTSAFE_CI_CONFIGS:-format plain asan tsan ubsan bench}"
+CONFIGS="${PUNCTSAFE_CI_CONFIGS:-format plain scalar asan tsan ubsan bench}"
 JOBS="${PUNCTSAFE_CI_JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 run_config() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" no_simd="${3:-OFF}"
   local dir="${BUILD_ROOT}/${name}"
-  echo "=== [${name}] configure (PUNCTSAFE_SANITIZE='${sanitize}') ==="
+  echo "=== [${name}] configure (PUNCTSAFE_SANITIZE='${sanitize}'" \
+       "PUNCTSAFE_NO_SIMD=${no_simd}) ==="
   cmake -B "${dir}" -S "${ROOT}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPUNCTSAFE_SANITIZE="${sanitize}" \
+    -DPUNCTSAFE_NO_SIMD="${no_simd}" \
     -DPUNCTSAFE_BUILD_BENCHMARKS=OFF \
     -DPUNCTSAFE_BUILD_EXAMPLES=OFF
   echo "=== [${name}] build ==="
@@ -114,6 +117,12 @@ for config in ${CONFIGS}; do
   case "${config}" in
     format) "${ROOT}/tools/format.sh" --check ;;
     plain) run_config plain "" ;;
+    # Portable-fallback leg: the vectorized batch path (tag matching,
+    # hash-run detection) compiled with the scalar reference
+    # implementations, full ctest — keeps the non-SIMD path from
+    # rotting and cross-checks SIMD results against it indirectly
+    # (batch_exec_test compares both on every leg).
+    scalar) run_config scalar "" ON ;;
     asan)  run_config asan address ;;
     tsan)  run_config tsan thread ;;
     ubsan) run_config ubsan undefined ;;
