@@ -8,13 +8,22 @@
 // shard. Emits a single JSON object (checked-in baseline:
 // BENCH_partitioned.json, experiment E15 in EXPERIMENTS.md).
 //
+// A second, zipf-skewed trace (--zipf, default 1.2) drives the
+// rebalancer comparison: serial vs static shards=4 (rebalance
+// tracking on, migrations off — per-shard routed/stall counters with
+// a frozen map) vs adaptively rebalanced shards=4. The JSON records
+// per-shard routed/stall counters, migrations, tuples moved, the
+// final skew ratio, and speedup_rebalanced_vs_serial /
+// speedup_rebalanced_vs_static (experiment E15).
+//
 // Usage: bench_partitioned_join [--streams N] [--generations G]
 //                               [--iters I] [--queue-capacity C]
+//                               [--zipf S]
 //
 // Note: sharding needs one hardware thread per shard to pay off; the
 // JSON records hardware_threads so a 1-core container's numbers are
 // interpretable. On >= 4 cores the target is shards=4 >= 2x over the
-// pipelined shards=1 run.
+// pipelined shards=1 run and rebalanced > serial on the skewed trace.
 
 #include <chrono>
 #include <cstdint>
@@ -38,6 +47,12 @@ struct RunStats {
   size_t final_live = 0;
   size_t num_shards = 1;
   std::vector<size_t> shard_state_hw;
+  // Rebalance-tracking extras (zero / empty unless rebalance.enabled).
+  std::vector<uint64_t> shard_routed;
+  std::vector<uint64_t> shard_stalls;
+  uint64_t migrations = 0;
+  uint64_t tuples_moved = 0;
+  double skew = 1.0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -59,13 +74,7 @@ RunStats RunSerialOnce(const bench::ChainFixture& fx, const PlanShape& shape,
 
 RunStats RunPartitionedOnce(const bench::ChainFixture& fx,
                             const PlanShape& shape, const Trace& trace,
-                            size_t queue_capacity, size_t shards) {
-  ExecutorConfig config;
-  config.queue_capacity = queue_capacity;
-  config.shards = shards;
-  // The emit-staging granularity the pipelined runtime ran with before
-  // the knob existed (the former hard-coded kEmitFlushBatch).
-  config.batch_size = 128;
+                            ExecutorConfig config) {
   auto exec = ParallelExecutor::Create(fx.query, fx.schemes, shape, config);
   PUNCTSAFE_CHECK_OK(exec.status());
   auto start = Clock::now();
@@ -76,12 +85,27 @@ RunStats RunPartitionedOnce(const bench::ChainFixture& fx,
   stats.results = (*exec)->num_results();
   stats.state_hw = (*exec)->tuple_high_water();
   stats.final_live = (*exec)->TotalLiveTuples();
+  stats.migrations = (*exec)->rebalance_migrations();
+  stats.tuples_moved = (*exec)->rebalance_tuples_moved();
   auto snaps = (*exec)->GroupSnapshots();
   PUNCTSAFE_CHECK(!snaps.empty());
   stats.num_shards = snaps[0].num_shards;
   stats.shard_state_hw = snaps[0].shard_high_water;
+  stats.shard_routed = snaps[0].shard_routed;
+  stats.shard_stalls = snaps[0].shard_stalls;
+  stats.skew = snaps[0].skew;
   (*exec)->Stop();
   return stats;
+}
+
+ExecutorConfig PartitionedConfig(size_t queue_capacity, size_t shards) {
+  ExecutorConfig config;
+  config.queue_capacity = queue_capacity;
+  config.shards = shards;
+  // The emit-staging granularity the pipelined runtime ran with before
+  // the knob existed (the former hard-coded kEmitFlushBatch).
+  config.batch_size = 128;
+  return config;
 }
 
 template <typename Fn>
@@ -106,7 +130,24 @@ void PrintRun(const char* name, const RunStats& s, size_t events,
   for (size_t i = 0; i < s.shard_state_hw.size(); ++i) {
     std::printf("%s%zu", i ? ", " : "", s.shard_state_hw[i]);
   }
-  std::printf("]}%s\n", trailing_comma ? "," : "");
+  std::printf("]");
+  if (!s.shard_routed.empty()) {
+    std::printf(", \"shard_routed\": [");
+    for (size_t i = 0; i < s.shard_routed.size(); ++i) {
+      std::printf("%s%llu", i ? ", " : "",
+                  static_cast<unsigned long long>(s.shard_routed[i]));
+    }
+    std::printf("], \"shard_stalls\": [");
+    for (size_t i = 0; i < s.shard_stalls.size(); ++i) {
+      std::printf("%s%llu", i ? ", " : "",
+                  static_cast<unsigned long long>(s.shard_stalls[i]));
+    }
+    std::printf(
+        "], \"skew\": %.3f, \"migrations\": %llu, \"tuples_moved\": %llu",
+        s.skew, static_cast<unsigned long long>(s.migrations),
+        static_cast<unsigned long long>(s.tuples_moved));
+  }
+  std::printf("}%s\n", trailing_comma ? "," : "");
 }
 
 int Main(int argc, char** argv) {
@@ -114,6 +155,7 @@ int Main(int argc, char** argv) {
   size_t generations = 300;
   size_t iters = 3;
   size_t queue_capacity = 1024;
+  double zipf = 1.2;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--streams") == 0) {
       streams = std::strtoull(argv[i + 1], nullptr, 10);
@@ -123,10 +165,12 @@ int Main(int argc, char** argv) {
       iters = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
       queue_capacity = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      zipf = std::strtod(argv[i + 1], nullptr);
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'; flags: --streams N --generations N "
-                   "--iters N --queue-capacity N\n",
+                   "--iters N --queue-capacity N --zipf S\n",
                    argv[i]);
       return 2;
     }
@@ -143,17 +187,52 @@ int Main(int argc, char** argv) {
   tconfig.tuples_per_generation = 60;
   Trace trace = MakeCoveringTrace(fx.query, fx.schemes, tconfig);
 
+  // The skewed trace: same generation structure, zipf-ranked draws
+  // within each generation's value pool, so a handful of hot keys
+  // dominate shard routing.
+  CoveringTraceConfig zconfig = tconfig;
+  zconfig.zipf_s = zipf;
+  Trace zipf_trace = MakeCoveringTrace(fx.query, fx.schemes, zconfig);
+
   RunStats serial =
       Best(iters, [&] { return RunSerialOnce(fx, shape, trace); });
   RunStats shard1 = Best(iters, [&] {
-    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 1);
+    return RunPartitionedOnce(fx, shape, trace,
+                              PartitionedConfig(queue_capacity, 1));
   });
   RunStats shard2 = Best(iters, [&] {
-    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 2);
+    return RunPartitionedOnce(fx, shape, trace,
+                              PartitionedConfig(queue_capacity, 2));
   });
   RunStats shard4 = Best(iters, [&] {
-    return RunPartitionedOnce(fx, shape, trace, queue_capacity, 4);
+    return RunPartitionedOnce(fx, shape, trace,
+                              PartitionedConfig(queue_capacity, 4));
   });
+
+  // Skewed legs. "Static" keeps the initial balanced ShardMap but
+  // tracks routing pressure (rebalance enabled, controller interval 0
+  // = never fires) so the JSON shows the skew the rebalancer sees;
+  // "rebalanced" lets the controller migrate hot slots away.
+  RunStats serial_zipf =
+      Best(iters, [&] { return RunSerialOnce(fx, shape, zipf_trace); });
+  ExecutorConfig static_config = PartitionedConfig(queue_capacity, 4);
+  static_config.rebalance.enabled = true;
+  static_config.rebalance.interval_punctuations = 0;
+  RunStats static_zipf = Best(
+      iters, [&] { return RunPartitionedOnce(fx, shape, zipf_trace,
+                                             static_config); });
+  ExecutorConfig rebal_config = PartitionedConfig(queue_capacity, 4);
+  rebal_config.rebalance.enabled = true;
+  // The zipf trace's hot slot drifts per generation, so every check
+  // window shows skew: the default drift backoff
+  // (RebalanceConfig::max_backoff_windows) is what keeps the
+  // controller from paying a quiesce barrier per window chasing it.
+  rebal_config.rebalance.interval_punctuations = 16;
+  rebal_config.rebalance.skew_threshold = 1.2;
+  rebal_config.rebalance.min_routed = 256;
+  RunStats rebal_zipf = Best(
+      iters, [&] { return RunPartitionedOnce(fx, shape, zipf_trace,
+                                             rebal_config); });
 
   for (const RunStats* s : {&shard1, &shard2, &shard4}) {
     PUNCTSAFE_CHECK(s->results == serial.results)
@@ -162,6 +241,18 @@ int Main(int argc, char** argv) {
     PUNCTSAFE_CHECK(s->final_live == serial.final_live)
         << "final state diverged at shards=" << s->num_shards;
   }
+  for (const RunStats* s : {&static_zipf, &rebal_zipf}) {
+    PUNCTSAFE_CHECK(s->results == serial_zipf.results)
+        << "zipf executors disagree: serial=" << serial_zipf.results
+        << " got " << s->results;
+    PUNCTSAFE_CHECK(s->final_live == serial_zipf.final_live)
+        << "zipf final state diverged";
+  }
+  PUNCTSAFE_CHECK(static_zipf.migrations == 0)
+      << "static leg must not migrate";
+  PUNCTSAFE_CHECK(rebal_zipf.migrations > 0)
+      << "rebalanced leg saw no migrations: the zipf trace (s=" << zipf
+      << ") did not trip the skew threshold";
 
   std::printf("{\n");
   std::printf("  \"bench\": \"partitioned_join\",\n");
@@ -177,12 +268,28 @@ int Main(int argc, char** argv) {
            /*trailing_comma=*/true);
   PrintRun("partitioned_shards4", shard4, trace.size(),
            /*trailing_comma=*/true);
+  std::printf("  \"zipf_s\": %.2f,\n", zipf);
+  std::printf("  \"zipf_events\": %zu,\n", zipf_trace.size());
+  PrintRun("serial_zipf", serial_zipf, zipf_trace.size(),
+           /*trailing_comma=*/true);
+  PrintRun("static_zipf_shards4", static_zipf, zipf_trace.size(),
+           /*trailing_comma=*/true);
+  PrintRun("rebalanced_zipf_shards4", rebal_zipf, zipf_trace.size(),
+           /*trailing_comma=*/true);
   std::printf("  \"speedup_shards2_vs_shards1\": %.3f,\n",
               shard2.seconds > 0 ? shard1.seconds / shard2.seconds : 0.0);
   std::printf("  \"speedup_shards4_vs_shards1\": %.3f,\n",
               shard4.seconds > 0 ? shard1.seconds / shard4.seconds : 0.0);
-  std::printf("  \"speedup_shards4_vs_serial\": %.3f\n",
+  std::printf("  \"speedup_shards4_vs_serial\": %.3f,\n",
               shard4.seconds > 0 ? serial.seconds / shard4.seconds : 0.0);
+  std::printf(
+      "  \"speedup_rebalanced_vs_serial\": %.3f,\n",
+      rebal_zipf.seconds > 0 ? serial_zipf.seconds / rebal_zipf.seconds
+                             : 0.0);
+  std::printf(
+      "  \"speedup_rebalanced_vs_static\": %.3f\n",
+      rebal_zipf.seconds > 0 ? static_zipf.seconds / rebal_zipf.seconds
+                             : 0.0);
   std::printf("}\n");
 
   // Sharding must actually pay on hosts with the cores for it; on
@@ -193,6 +300,23 @@ int Main(int argc, char** argv) {
           shard2.seconds > 0 ? shard1.seconds / shard2.seconds : 0.0,
           1.05)) {
     return 1;
+  }
+  // The rebalanced-vs-serial target assumes a thread per shard; below
+  // 4 hardware threads the 4-shard runtime time-slices and the ratio
+  // carries no signal.
+  if (bench::HardwareThreads() >= 4) {
+    if (!bench::CheckParallelSpeedup(
+            "partitioned_join rebalanced-vs-serial",
+            rebal_zipf.seconds > 0
+                ? serial_zipf.seconds / rebal_zipf.seconds
+                : 0.0,
+            1.0)) {
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "partitioned_join rebalanced-vs-serial: SKIP ratio gate "
+                 "(hardware_threads < 4)\n");
   }
   return 0;
 }

@@ -1,0 +1,110 @@
+#include "exec/exchange.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/local_graph.h"
+#include "exec/partition_router.h"
+
+namespace punctsafe {
+
+namespace {
+
+// Number of query predicates with one endpoint stream in `a` and the
+// other in `b` (both sorted leaf sets).
+size_t Connectivity(const ContinuousJoinQuery& query,
+                    const std::vector<size_t>& a,
+                    const std::vector<size_t>& b) {
+  auto contains = [](const std::vector<size_t>& v, size_t s) {
+    for (size_t x : v) {
+      if (x == s) return true;
+    }
+    return false;
+  };
+  size_t count = 0;
+  for (const ResolvedPredicate& p : query.predicates()) {
+    if ((contains(a, p.left_stream) && contains(b, p.right_stream)) ||
+        (contains(b, p.left_stream) && contains(a, p.right_stream))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool NodeIsPartitionable(const ContinuousJoinQuery& query,
+                         const std::vector<PlanShape>& children) {
+  std::vector<LocalInput> inputs;
+  inputs.reserve(children.size());
+  for (const PlanShape& child : children) {
+    LocalInput input;
+    input.streams = child.Leaves();  // sorted, matching composite layout
+    inputs.push_back(std::move(input));
+  }
+  return ComputePartitionSpec(query, inputs).partitionable;
+}
+
+}  // namespace
+
+PlanShape DecomposeForExchange(const ContinuousJoinQuery& query,
+                               const PlanShape& shape) {
+  if (shape.IsLeaf()) return shape;
+
+  std::vector<PlanShape> children;
+  children.reserve(shape.children().size());
+  for (const PlanShape& child : shape.children()) {
+    children.push_back(DecomposeForExchange(query, child));
+  }
+  if (children.size() <= 2 || NodeIsPartitionable(query, children)) {
+    return PlanShape::Join(std::move(children));
+  }
+
+  // Unshardable m-way node: left-deep binary chain, greedily ordered
+  // so each appended child shares as many predicates as possible with
+  // the accumulated cover. Seed with the child of highest total
+  // connectivity (ties: lowest child index) so the chain starts on
+  // the predicate graph's densest vertex.
+  const size_t m = children.size();
+  std::vector<std::vector<size_t>> leaves(m);
+  for (size_t i = 0; i < m; ++i) leaves[i] = children[i].Leaves();
+
+  std::vector<bool> used(m, false);
+  size_t seed = 0;
+  size_t seed_conn = 0;
+  for (size_t i = 0; i < m; ++i) {
+    size_t total = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (j != i) total += Connectivity(query, leaves[i], leaves[j]);
+    }
+    if (total > seed_conn) {
+      seed = i;
+      seed_conn = total;
+    }
+  }
+  used[seed] = true;
+  PlanShape acc = std::move(children[seed]);
+  std::vector<size_t> acc_leaves = std::move(leaves[seed]);
+
+  for (size_t step = 1; step < m; ++step) {
+    size_t best = static_cast<size_t>(-1);
+    size_t best_conn = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      const size_t conn = Connectivity(query, acc_leaves, leaves[i]);
+      if (best == static_cast<size_t>(-1) || conn > best_conn) {
+        best = i;
+        best_conn = conn;
+      }
+    }
+    used[best] = true;
+    acc_leaves.insert(acc_leaves.end(), leaves[best].begin(),
+                      leaves[best].end());
+    std::vector<PlanShape> pair;
+    pair.push_back(std::move(acc));
+    pair.push_back(std::move(children[best]));
+    acc = PlanShape::Join(std::move(pair));
+  }
+  return acc;
+}
+
+}  // namespace punctsafe

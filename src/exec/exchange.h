@@ -1,0 +1,51 @@
+// Repartitioning exchange planning: make every MJoin chain shardable.
+//
+// `ComputePartitionSpec` can only shard an operator with three or
+// more inputs when *all* of its predicates sit inside one covering
+// equivalence class — a multi-class chain (T0.k = T1.k AND
+// T1.v = T2.v) fails the test and falls back to one shard, so the
+// paper's safety-guaranteed plans mostly could not use the cores.
+// But a *binary* operator is exact on ANY covering class
+// (partition_router.h, "exactness"), and the parallel executor
+// already repartitions between operators: a child shard's output
+// tuple is re-hashed on the parent's partition key when it is staged
+// into the per-parent-shard emit buffers and shipped as a batch
+// (`EmitFromShard` + `ScatterBatch` — the peloton
+// ExchangeHashJoinExecutor shape, with punctuations broadcast across
+// the exchange and re-aligned by the parent's PunctuationAligner).
+//
+// So the exchange *plan* transformation is: rewrite every
+// unshardable >=3-input node into a left-deep chain of binary joins,
+// ordered so adjacent operators share predicates (each hop's
+// covering class exists), and let the existing inter-operator
+// machinery do the data movement. Nodes that were already
+// partitionable — or already binary — are left alone. Enabled by
+// ExecutorConfig::exchange; results are shape-independent (the join
+// output multiset does not depend on the operator tree), which the
+// exchange differential test pins against the serial original-shape
+// oracle.
+
+#ifndef PUNCTSAFE_EXEC_EXCHANGE_H_
+#define PUNCTSAFE_EXEC_EXCHANGE_H_
+
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+
+namespace punctsafe {
+
+/// \brief Returns `shape` with every internal node that
+/// ComputePartitionSpec cannot shard (and that has more than two
+/// children) rewritten into a left-deep binary subtree over the same
+/// children, ordered greedily by predicate connectivity (most
+/// connected child joins the accumulated cover first, so every
+/// binary hop has an equi-join predicate — and therefore a covering
+/// class — whenever the predicate graph allows one). Children are
+/// rewritten recursively first; already-shardable or binary nodes
+/// are preserved. The result has the same leaf set and the same
+/// join-result multiset as the input shape.
+PlanShape DecomposeForExchange(const ContinuousJoinQuery& query,
+                               const PlanShape& shape);
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_EXCHANGE_H_

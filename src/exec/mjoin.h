@@ -114,6 +114,17 @@ class MJoinOperator : public JoinOperator {
   /// view (under partitioned execution, one shard's contribution to
   /// the logical operator's aggregate).
   StateMetricsSnapshot AggregateStateSnapshot() const;
+  /// \brief Summed probe-run statistics over all input stores
+  /// (TupleStore::ProbeRunStats): the mean same-key run length of the
+  /// batched probe path, the adaptive-batch tuning signal.
+  TupleStore::ProbeRunStats ProbeRunStatsTotal() const {
+    TupleStore::ProbeRunStats total;
+    for (const auto& state : states_) {
+      total.rows += state->probe_run_stats().rows;
+      total.runs += state->probe_run_stats().runs;
+    }
+    return total;
+  }
   /// \brief Whether input k's state is purgeable (Theorem 3 on the
   /// operator-local generalized graph).
   bool InputPurgeable(size_t input) const {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "exec/bounded_queue.h"
+#include "exec/exchange.h"
 #include "exec/operator_tree.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -84,6 +85,20 @@ struct ParallelExecutor::Worker {
   size_t group = 0;
   std::vector<TupleBatch> emit_buf;
   size_t emit_buffered = 0;
+  // Staged-rows flush trigger. Starts at ExecutorConfig::batch_size;
+  // with adaptive_batch on, this worker retunes it from its own
+  // operator's probe-run statistics at barrier boundaries (own-thread
+  // state, so per-operator adaptation needs no synchronization).
+  size_t emit_threshold = 1;
+  uint64_t adapt_rows_seen = 0;
+  uint64_t adapt_runs_seen = 0;
+
+  // Routing-pressure counters for the rebalancer (maintained only
+  // when ExecutorConfig::rebalance.enabled; obs counters stay tied to
+  // observability). `routed` counts tuples enqueued to this shard,
+  // `stalls` counts full-queue observations before a blocking push.
+  std::atomic<uint64_t> routed{0};
+  std::atomic<uint64_t> stalls{0};
 
   // Barrier handshake (drain / checkpoint / recheck markers all share
   // it). `drains_requested` is touched only by the driver thread;
@@ -97,14 +112,40 @@ struct ParallelExecutor::Worker {
 // One logical operator: K contiguous shard workers behind a
 // partitioning router, plus the output-punctuation merge barrier.
 struct ParallelExecutor::OpGroup {
-  OpGroup(size_t num_shards_in, PartitionSpec spec_in)
+  OpGroup(size_t num_shards_in, size_t active_shards, PartitionSpec spec_in)
       : num_shards(num_shards_in),
         spec(std::move(spec_in)),
+        shard_map(active_shards),
         aligner(num_shards_in) {}
 
   size_t first_worker = 0;  // index into workers_/operators_
+  // Allocated shard workers. Broadcasts, barriers, and the aligner
+  // always cover all of them; the ShardMap routes tuples to an active
+  // subset (idle workers hold full punctuation stores and vote
+  // immediately, so correctness is unaffected by headroom).
   size_t num_shards = 1;
   PartitionSpec spec;
+  // Versioned slot -> shard routing table (exec/shard_map.h). Read
+  // lock-free on every route; mutated only by the driver while the
+  // group is parked at a kMigrate barrier.
+  ShardMap shard_map;
+  // Per-slot routed-tuple counters feeding the rebalancer (null
+  // unless rebalance tracking is on and the group is partitioned);
+  // `slot_base` is the driver-side snapshot the next pass diffs
+  // against, `stall_base` likewise for the group's stall total.
+  std::unique_ptr<std::atomic<uint64_t>[]> slot_routed;
+  std::vector<uint64_t> slot_base;
+  uint64_t stall_base = 0;
+  // Drift backoff (RebalanceConfig::max_backoff_windows): after an
+  // automatic migration the controller sits out `cooldown` check
+  // windows for this group, doubling on each further migration and
+  // resetting when a window comes in balanced.
+  size_t rebalance_backoff = 1;
+  size_t rebalance_cooldown = 0;
+  // The operator's input layout, kept so migration can instantiate
+  // fresh shard replicas (MJoinOperator::RestoreState requires a
+  // freshly created operator).
+  std::vector<LocalInput> node_inputs;
   // Serializes punctuation/drain broadcasts into this group so every
   // shard observes the same punctuation order (keeps the per-shard
   // punctuation stores identical; see docs/CONCURRENCY.md).
@@ -119,31 +160,60 @@ struct ParallelExecutor::OpGroup {
 Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     const ContinuousJoinQuery& query, const SchemeSet& schemes,
     const PlanShape& shape, ExecutorConfig config) {
+  // Exchange planning (exec/exchange.h): rewrite unshardable m-way
+  // nodes into binary chains before anything is derived from the
+  // shape — the executed shape (safety report, operator tree,
+  // checkpoint fingerprint) is the decomposed one.
+  PlanShape effective_shape =
+      config.exchange ? DecomposeForExchange(query, shape) : shape;
   PUNCTSAFE_ASSIGN_OR_RETURN(PlanSafetyReport safety,
-                             CheckPlanSafety(query, schemes, shape));
+                             CheckPlanSafety(query, schemes, effective_shape));
   if (config.shards == 0) config.shards = 1;
   if (config.batch_size == 0) config.batch_size = 1;
+  if (config.adaptive_batch && config.batch_size < 2) {
+    // Adaptive tuning needs a batched starting point; 1 would pin the
+    // per-tuple path forever.
+    config.batch_size = TupleBatch::kDefaultCapacity;
+  }
   config.mjoin.arena = config.arena;
 
   auto exec = std::unique_ptr<ParallelExecutor>(new ParallelExecutor());
   exec->query_ = query;
-  exec->shape_ = shape;
+  exec->shape_ = std::move(effective_shape);
   exec->config_ = config;
   exec->safety_ = std::move(safety);
   exec->ingest_batch_ = TupleBatch(config.batch_size);
+  exec->track_pressure_ = config.rebalance.enabled;
 
   PUNCTSAFE_ASSIGN_OR_RETURN(
       OperatorTree tree,
-      BuildOperatorTree(exec->query_, schemes, shape, config.mjoin));
+      BuildOperatorTree(exec->query_, schemes, exec->shape_, config.mjoin));
 
   ParallelExecutor* raw = exec.get();
   const size_t num_groups = tree.operators.size();
+  // Elasticity headroom: allocate workers up to rebalance.max_shards
+  // per partitionable group; the ShardMap initially activates
+  // config.shards of them.
+  const size_t allocated_shards =
+      config.rebalance.enabled
+          ? std::max(config.shards, config.rebalance.max_shards)
+          : config.shards;
   for (size_t j = 0; j < num_groups; ++j) {
     PartitionSpec spec =
         ComputePartitionSpec(exec->query_, tree.node_inputs[j]);
-    size_t shards = spec.partitionable ? config.shards : 1;
-    auto group = std::make_unique<OpGroup>(shards, std::move(spec));
+    size_t shards = spec.partitionable ? allocated_shards : 1;
+    size_t active = spec.partitionable ? config.shards : 1;
+    auto group = std::make_unique<OpGroup>(shards, active, std::move(spec));
     group->first_worker = exec->workers_.size();
+    group->node_inputs = tree.node_inputs[j];
+    if (exec->track_pressure_ && shards > 1) {
+      group->slot_routed =
+          std::make_unique<std::atomic<uint64_t>[]>(ShardMap::kNumSlots);
+      for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+        group->slot_routed[i].store(0, std::memory_order_relaxed);
+      }
+      group->slot_base.assign(ShardMap::kNumSlots, 0);
+    }
     for (size_t s = 0; s < shards; ++s) {
       std::unique_ptr<MJoinOperator> op;
       if (s == 0) {
@@ -180,6 +250,7 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
     for (size_t s = 0; s < group.num_shards; ++s) {
       Worker& worker = *exec->workers_[group.first_worker + s];
       worker.group = j;
+      worker.emit_threshold = config.batch_size;
       if (group.parent_group != kNone) {
         worker.emit_buf.assign(exec->groups_[group.parent_group]->num_shards,
                                TupleBatch(config.batch_size));
@@ -237,15 +308,14 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
   if (element.is_tuple()) {
     // Stage into the per-parent-shard batch; the flush moves each
     // staged batch with one queue operation instead of one per tuple.
-    // A failed flush means Stop() closed the pipeline; elements are
-    // dropped (the non-graceful path).
-    size_t target =
-        parent.num_shards > 1
-            ? parent.spec.ShardOf(group.parent_input, element.tuple,
-                                  parent.num_shards)
-            : 0;
+    // This re-hash onto the parent's partition key is the
+    // repartitioning exchange (exec/exchange.h): child and parent may
+    // shard on different equivalence classes. A failed flush means
+    // Stop() closed the pipeline; elements are dropped (the
+    // non-graceful path).
+    size_t target = RouteShard(parent, group.parent_input, element.tuple);
     self.emit_buf[target].Append(element.tuple, element.timestamp);
-    if (++self.emit_buffered >= config_.batch_size) FlushEmits(self);
+    if (++self.emit_buffered >= self.emit_threshold) FlushEmits(self);
     return;
   }
   // Output punctuation: flush this shard's staged tuples first so the
@@ -279,6 +349,7 @@ void ParallelExecutor::FlushEmits(Worker& worker) {
     TupleBatch& staged = worker.emit_buf[s];
     if (staged.empty()) continue;
     Worker& target = *workers_[parent.first_worker + s];
+    NotePressure(target, staged.size());
     if (obs::kCompiled && obs_ != nullptr) {
       target.obs->IncRouted(staged.size());
     }
@@ -299,13 +370,32 @@ void ParallelExecutor::FlushEmits(Worker& worker) {
   worker.emit_buffered = 0;
 }
 
+size_t ParallelExecutor::RouteShard(OpGroup& group, size_t input,
+                                    const Tuple& tuple) {
+  if (group.num_shards <= 1) return 0;
+  const uint64_t h = group.spec.KeyHash(input, tuple);
+  if (group.slot_routed != nullptr) {
+    group.slot_routed[ShardMap::SlotOf(h)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return group.shard_map.ShardOf(h);
+}
+
+void ParallelExecutor::NotePressure(Worker& target, uint64_t routed) {
+  if (!track_pressure_) return;
+  target.routed.fetch_add(routed, std::memory_order_relaxed);
+  // Same racy-but-useful stall heuristic as the obs counter: a full
+  // reading here means the blocking push almost certainly waited.
+  if (target.queue.size() >= target.queue.capacity()) {
+    target.stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool ParallelExecutor::RouteTuple(OpGroup& group, size_t input,
                                   const StreamElement& element) {
-  size_t shard = group.num_shards > 1
-                     ? group.spec.ShardOf(input, element.tuple,
-                                          group.num_shards)
-                     : 0;
+  size_t shard = RouteShard(group, input, element.tuple);
   Worker& target = *workers_[group.first_worker + shard];
+  NotePressure(target, 1);
   OpMessage message{PipelineMarker::kNone, input, element, 0};
   if (obs::kCompiled && obs_ != nullptr) {
     message.enqueue_ns = obs::NowNs();
@@ -397,6 +487,30 @@ void ParallelExecutor::WorkerLoop(size_t index) {
     // barriered epoch is already in the parent's queues when the ack
     // lands.
     FlushEmits(worker);
+    if (barriers > 0 && config_.adaptive_batch && !worker.emit_buf.empty()) {
+      // Per-operator adaptive batch: with the staging flushed, retune
+      // this worker's emit threshold from its operator's probe-run
+      // delta (worker-owned state on the worker's own thread). A
+      // migration swaps in a fresh operator whose stats restart at
+      // zero, so a shrinking total just resets the baseline.
+      const TupleStore::ProbeRunStats total = worker.op->ProbeRunStatsTotal();
+      if (total.rows < worker.adapt_rows_seen ||
+          total.runs < worker.adapt_runs_seen) {
+        worker.adapt_rows_seen = total.rows;
+        worker.adapt_runs_seen = total.runs;
+      } else {
+        const uint64_t rows = total.rows - worker.adapt_rows_seen;
+        const uint64_t runs = total.runs - worker.adapt_runs_seen;
+        worker.adapt_rows_seen = total.rows;
+        worker.adapt_runs_seen = total.runs;
+        const size_t target =
+            AdaptiveBatchTarget(rows, runs, worker.emit_threshold);
+        if (target != worker.emit_threshold) {
+          worker.emit_threshold = target;
+          for (TupleBatch& b : worker.emit_buf) b = TupleBatch(target);
+        }
+      }
+    }
     if (barriers > 0) {
       {
         std::lock_guard<std::mutex> lock(worker.mu);
@@ -553,6 +667,7 @@ Status ParallelExecutor::Push(const TraceEvent& event) {
   NoteProgress(*idx, event.element.timestamp);
   if (!event.element.is_tuple()) {
     MaybeAutoCheckpoint(event.element.timestamp);
+    MaybeRebalance(event.element.timestamp);
   }
   return Status::OK();
 }
@@ -563,10 +678,12 @@ bool ParallelExecutor::FlushIngest() {
   OpGroup& group = *groups_[group_idx];
   bool ok = true;
   if (group.num_shards > 1) {
-    // Single-pass scatter into per-shard sub-batches, then one queue
-    // message per non-empty shard.
-    ScatterBatch(group.spec, input, ingest_batch_, group.num_shards,
-                 &scatter_scratch_);
+    // Single-pass scatter into per-shard sub-batches (routed through
+    // the group's ShardMap, counting slot loads for the rebalancer in
+    // the same pass), then one queue message per non-empty shard.
+    ScatterBatch(group.spec, group.shard_map, input, ingest_batch_,
+                 group.num_shards, &scatter_scratch_,
+                 group.slot_routed.get());
     for (size_t s = 0; s < group.num_shards; ++s) {
       if (scatter_scratch_[s].empty()) continue;
       ok &= PushIngestBatch(group, s, input, &scatter_scratch_[s]);
@@ -581,6 +698,7 @@ bool ParallelExecutor::FlushIngest() {
 bool ParallelExecutor::PushIngestBatch(OpGroup& group, size_t shard,
                                        size_t input, TupleBatch* batch) {
   Worker& target = *workers_[group.first_worker + shard];
+  NotePressure(target, batch->size());
   OpMessage message;
   message.input = input;
   if (obs::kCompiled && obs_ != nullptr) {
@@ -632,6 +750,7 @@ void ParallelExecutor::PushPunctuation(size_t stream,
                 StreamElement::OfPunctuation(punctuation, ts))) {
     NoteProgress(stream, ts);
     MaybeAutoCheckpoint(ts);
+    MaybeRebalance(ts);
   }
 }
 
@@ -705,7 +824,12 @@ Status ParallelExecutor::BarrierAll(PipelineMarker marker, int64_t now) {
 }
 
 Status ParallelExecutor::Drain(int64_t now) {
-  return BarrierAll(PipelineMarker::kDrain, now);
+  PUNCTSAFE_RETURN_IF_ERROR(BarrierAll(PipelineMarker::kDrain, now));
+  // Quiescent: worker operator state is published to this thread by
+  // the barrier acks, so the driver can retune its ingest batch from
+  // the observed probe-run structure.
+  MaybeAdaptIngest();
+  return Status::OK();
 }
 
 Result<StateSnapshot> ParallelExecutor::Checkpoint(int64_t now) {
@@ -760,60 +884,8 @@ Status ParallelExecutor::RestoreState(const StateSnapshot& snapshot) {
   // concurrently; the phase-2 barrier's queue pushes publish these
   // writes to the worker threads.
   for (size_t j = 0; j < groups_.size(); ++j) {
-    OpGroup& group = *groups_[j];
-    const OperatorStateSnapshot& logical = snapshot.operators[j];
-    const size_t num_inputs = operators_[group.first_worker]->num_inputs();
-    if (logical.inputs.size() != num_inputs) {
-      return Status::InvalidArgument(
-          StrCat("snapshot operator ", j, " has ", logical.inputs.size(),
-                 " inputs but the operator has ", num_inputs));
-    }
-    // Split the logical snapshot across the group's shards: tuples by
-    // the group's own ShardOf (the inverse the merge is stated
-    // against), punctuations / pending / sweep counters replicated
-    // (broadcast state — every shard holds the full set), summed
-    // counters and result credits on shard 0 only.
-    std::vector<OperatorStateSnapshot> pieces(group.num_shards);
-    for (size_t s = 0; s < group.num_shards; ++s) {
-      OperatorStateSnapshot& piece = pieces[s];
-      piece.inputs.resize(num_inputs);
-      piece.pending = logical.pending;
-      piece.punctuations_purged = logical.punctuations_purged;
-      piece.punctuations_since_sweep = logical.punctuations_since_sweep;
-      piece.op_metrics = logical.op_metrics;
-      if (s != 0) {
-        piece.op_metrics.results_emitted = 0;
-        piece.op_metrics.removability_checks = 0;
-      }
-      for (size_t k = 0; k < num_inputs; ++k) {
-        piece.inputs[k].punctuations = logical.inputs[k].punctuations;
-        if (s == 0) {
-          piece.inputs[k].state_metrics = logical.inputs[k].state_metrics;
-          piece.inputs[k].state_metrics.live = 0;  // recomputed below
-        }
-      }
-    }
-    for (size_t k = 0; k < num_inputs; ++k) {
-      for (const Tuple& tuple : logical.inputs[k].tuples) {
-        size_t target =
-            group.num_shards > 1
-                ? group.spec.ShardOf(k, tuple, group.num_shards)
-                : 0;
-        pieces[target].inputs[k].tuples.push_back(tuple);
-        pieces[target].inputs[k].state_metrics.live += 1;
-      }
-      // Gauge drift (a hand-edited snapshot whose live gauge disagrees
-      // with its tuple list) lands on shard 0, mirroring SplitSnapshot.
-      const uint64_t listed = logical.inputs[k].tuples.size();
-      if (logical.inputs[k].state_metrics.live > listed) {
-        pieces[0].inputs[k].state_metrics.live +=
-            logical.inputs[k].state_metrics.live - listed;
-      }
-    }
-    for (size_t s = 0; s < group.num_shards; ++s) {
-      PUNCTSAFE_RETURN_IF_ERROR(
-          operators_[group.first_worker + s]->RestoreState(pieces[s]));
-    }
+    PUNCTSAFE_RETURN_IF_ERROR(
+        RestoreGroupFromLogical(*groups_[j], snapshot.operators[j]));
   }
   progress_ = snapshot.progress;
   progress_.resize(query_.num_streams());
@@ -838,6 +910,303 @@ Status ParallelExecutor::RestoreState(const StateSnapshot& snapshot) {
     now = std::max(now, p.watermark_ts);
   }
   return BarrierAll(PipelineMarker::kRecheck, now);
+}
+
+Status ParallelExecutor::RestoreGroupFromLogical(
+    OpGroup& group, const OperatorStateSnapshot& logical) {
+  const size_t num_inputs = operators_[group.first_worker]->num_inputs();
+  if (logical.inputs.size() != num_inputs) {
+    return Status::InvalidArgument(
+        StrCat("snapshot operator has ", logical.inputs.size(),
+               " inputs but the operator has ", num_inputs));
+  }
+  // Split the logical snapshot across the group's shards: tuples by
+  // the group's ShardMap over the partition-key hash (the same route
+  // live tuples take, so restored and replayed tuples agree on their
+  // shard), punctuations / pending / sweep counters replicated
+  // (broadcast state — every shard holds the full set), summed
+  // counters and result credits on shard 0 only.
+  std::vector<OperatorStateSnapshot> pieces(group.num_shards);
+  for (size_t s = 0; s < group.num_shards; ++s) {
+    OperatorStateSnapshot& piece = pieces[s];
+    piece.inputs.resize(num_inputs);
+    piece.pending = logical.pending;
+    piece.punctuations_purged = logical.punctuations_purged;
+    piece.punctuations_since_sweep = logical.punctuations_since_sweep;
+    piece.op_metrics = logical.op_metrics;
+    if (s != 0) {
+      piece.op_metrics.results_emitted = 0;
+      piece.op_metrics.removability_checks = 0;
+    }
+    for (size_t k = 0; k < num_inputs; ++k) {
+      piece.inputs[k].punctuations = logical.inputs[k].punctuations;
+      if (s == 0) {
+        piece.inputs[k].state_metrics = logical.inputs[k].state_metrics;
+        piece.inputs[k].state_metrics.live = 0;  // recomputed below
+      }
+    }
+  }
+  for (size_t k = 0; k < num_inputs; ++k) {
+    for (const Tuple& tuple : logical.inputs[k].tuples) {
+      size_t target =
+          group.num_shards > 1
+              ? group.shard_map.ShardOf(group.spec.KeyHash(k, tuple))
+              : 0;
+      pieces[target].inputs[k].tuples.push_back(tuple);
+      pieces[target].inputs[k].state_metrics.live += 1;
+    }
+    // Gauge drift (a hand-edited snapshot whose live gauge disagrees
+    // with its tuple list) lands on shard 0, mirroring SplitSnapshot.
+    const uint64_t listed = logical.inputs[k].tuples.size();
+    if (logical.inputs[k].state_metrics.live > listed) {
+      pieces[0].inputs[k].state_metrics.live +=
+          logical.inputs[k].state_metrics.live - listed;
+    }
+  }
+  for (size_t s = 0; s < group.num_shards; ++s) {
+    PUNCTSAFE_RETURN_IF_ERROR(
+        operators_[group.first_worker + s]->RestoreState(pieces[s]));
+  }
+  return Status::OK();
+}
+
+void ParallelExecutor::MaybeRebalance(int64_t ts) {
+  if (!config_.rebalance.enabled ||
+      config_.rebalance.interval_punctuations == 0) {
+    return;
+  }
+  if (++punctuations_since_rebalance_ <
+      config_.rebalance.interval_punctuations) {
+    return;
+  }
+  punctuations_since_rebalance_ = 0;
+  Status status = RebalancePass(ts, /*target_active=*/0, /*force=*/false);
+  if (!status.ok()) {
+    PUNCTSAFE_LOG(Warning) << "automatic shard rebalance failed: "
+                           << status.ToString();
+  }
+}
+
+Status ParallelExecutor::RebalanceNow(int64_t now) {
+  if (!config_.rebalance.enabled) {
+    return Status::FailedPrecondition(
+        "RebalanceNow requires ExecutorConfig::rebalance.enabled "
+        "(the routed-load counters do not exist otherwise)");
+  }
+  return RebalancePass(now, /*target_active=*/0, /*force=*/true);
+}
+
+Status ParallelExecutor::ResizeShards(size_t active, int64_t now) {
+  if (!config_.rebalance.enabled) {
+    return Status::FailedPrecondition(
+        "ResizeShards requires ExecutorConfig::rebalance.enabled");
+  }
+  if (active == 0) {
+    return Status::InvalidArgument("ResizeShards: active must be >= 1");
+  }
+  return RebalancePass(now, active, /*force=*/true);
+}
+
+Status ParallelExecutor::RebalancePass(int64_t now, size_t target_active,
+                                       bool force) {
+  // Plan first from the driver-visible counters (relaxed reads are
+  // fine: the plan is heuristic; the authoritative state move happens
+  // under the barrier). Nothing pays for a barrier unless some group
+  // actually wants to move.
+  struct PlannedMigration {
+    size_t group = 0;
+    std::vector<uint32_t> assignment;
+    size_t active = 0;
+  };
+  std::vector<PlannedMigration> plan;
+  for (size_t j = 0; j < groups_.size(); ++j) {
+    OpGroup& group = *groups_[j];
+    if (group.num_shards <= 1 || group.slot_routed == nullptr) continue;
+    const size_t current_active = group.shard_map.num_shards();
+    size_t active = target_active == 0
+                        ? current_active
+                        : std::min(target_active, group.num_shards);
+
+    // Load deltas since the last pass, per slot and per active shard.
+    std::vector<uint64_t> slot_delta(ShardMap::kNumSlots, 0);
+    uint64_t routed_delta = 0;
+    for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+      const uint64_t total =
+          group.slot_routed[i].load(std::memory_order_relaxed);
+      slot_delta[i] = total - group.slot_base[i];
+      routed_delta += slot_delta[i];
+    }
+    uint64_t stall_total = 0;
+    for (size_t s = 0; s < group.num_shards; ++s) {
+      stall_total += workers_[group.first_worker + s]->stalls.load(
+          std::memory_order_relaxed);
+    }
+    const uint64_t stall_delta = stall_total - group.stall_base;
+
+    if (!force) {
+      if (routed_delta < config_.rebalance.min_routed) continue;
+      // Backoff: a recent migration means this window's loads were
+      // shaped by the old assignment anyway — consume the window and
+      // sit it out.
+      if (group.rebalance_cooldown > 0) {
+        --group.rebalance_cooldown;
+        for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+          group.slot_base[i] += slot_delta[i];
+        }
+        group.stall_base = stall_total;
+        continue;
+      }
+      std::vector<uint64_t> shard_delta(current_active, 0);
+      for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+        shard_delta[group.shard_map.shard_of_slot(i)] += slot_delta[i];
+      }
+      const double skew = LoadSkew(shard_delta);
+      // Auto-grow: chronic queue stalls mean the active set is
+      // compute-bound, not just imbalanced — activate headroom.
+      const bool grow = config_.rebalance.grow_stall_threshold > 0 &&
+                        stall_delta >= config_.rebalance.grow_stall_threshold &&
+                        active < group.num_shards;
+      if (grow) {
+        ++active;
+      } else if (skew < config_.rebalance.skew_threshold) {
+        // Balanced enough: consume the window so the next check looks
+        // at fresh traffic only, and forgive past drift.
+        group.rebalance_backoff = 1;
+        for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+          group.slot_base[i] += slot_delta[i];
+        }
+        group.stall_base = stall_total;
+        continue;
+      }
+    }
+
+    std::vector<uint32_t> assignment = ComputeShardAssignment(
+        routed_delta > 0 ? slot_delta
+                         : std::vector<uint64_t>(ShardMap::kNumSlots, 1),
+        active);
+    // Consume the load window regardless of whether the assignment
+    // actually changes.
+    for (size_t i = 0; i < ShardMap::kNumSlots; ++i) {
+      group.slot_base[i] += slot_delta[i];
+    }
+    group.stall_base = stall_total;
+    if (assignment == group.shard_map.slots() &&
+        active == current_active) {
+      continue;
+    }
+    if (!force && config_.rebalance.max_backoff_windows > 0) {
+      group.rebalance_cooldown = group.rebalance_backoff;
+      group.rebalance_backoff = std::min(
+          group.rebalance_backoff * 2, config_.rebalance.max_backoff_windows);
+    }
+    plan.push_back({j, std::move(assignment), active});
+  }
+  if (plan.empty()) return Status::OK();
+
+  // Quiesce the whole pipeline (kMigrate: pure barrier, no sweep —
+  // migration must observe state, not change it), move the planned
+  // groups, then rebuild aligner votes with a recheck barrier exactly
+  // as checkpoint restore does.
+  PUNCTSAFE_RETURN_IF_ERROR(BarrierAll(PipelineMarker::kMigrate, now));
+  for (PlannedMigration& m : plan) {
+    PUNCTSAFE_RETURN_IF_ERROR(
+        MigrateGroup(m.group, std::move(m.assignment), m.active));
+  }
+  return BarrierAll(PipelineMarker::kRecheck, now);
+}
+
+Status ParallelExecutor::MigrateGroup(size_t group_idx,
+                                      std::vector<uint32_t> assignment,
+                                      size_t active) {
+  OpGroup& group = *groups_[group_idx];
+  // Capture every allocated shard (workers are parked at the kMigrate
+  // barrier; the acks published their state to this thread) and fold
+  // into the logical operator snapshot — the same monoid checkpoint
+  // uses, so migration is literally Merge then Split.
+  OperatorStateSnapshot logical =
+      operators_[group.first_worker]->CaptureState();
+  for (size_t s = 1; s < group.num_shards; ++s) {
+    logical = MergeOperatorSnapshots(
+        logical, operators_[group.first_worker + s]->CaptureState());
+  }
+  // The merged high-water is the sum of the replicas' marks — a sound
+  // upper bound for one restore, but repeated migrations would seed
+  // each capture with the previous sum and compound it without bound.
+  // At a migration point the state is exactly the live tuples, so the
+  // mark restarts there.
+  for (InputStateSnapshot& input : logical.inputs) {
+    input.state_metrics.high_water =
+        std::max<uint64_t>(input.tuples.size(), input.state_metrics.live);
+  }
+
+  // Count the tuples whose owning shard changes under the new
+  // assignment before installing it.
+  uint64_t moved = 0;
+  for (size_t k = 0; k < logical.inputs.size(); ++k) {
+    for (const Tuple& tuple : logical.inputs[k].tuples) {
+      const uint64_t h = group.spec.KeyHash(k, tuple);
+      if (assignment[ShardMap::SlotOf(h)] != group.shard_map.ShardOf(h)) {
+        ++moved;
+      }
+    }
+  }
+
+  PUNCTSAFE_RETURN_IF_ERROR(
+      group.shard_map.Apply(std::move(assignment), active));
+
+  // Fresh operator replicas (MJoinOperator::RestoreState requires a
+  // freshly created operator), rewired exactly as Create wires them.
+  // Swapping worker.op / operators_ is safe: every worker of every
+  // group is parked in PopAll, and the next queue push publishes the
+  // new pointers.
+  ParallelExecutor* raw = this;
+  for (size_t s = 0; s < group.num_shards; ++s) {
+    PUNCTSAFE_ASSIGN_OR_RETURN(
+        std::unique_ptr<MJoinOperator> op,
+        MJoinOperator::Create(query_, group.node_inputs, config_.mjoin));
+    const size_t w = group.first_worker + s;
+    op->SetEmitter([raw, group_idx, s](const StreamElement& e) {
+      raw->EmitFromShard(group_idx, s, e);
+    });
+    if (workers_[w]->obs != nullptr) op->SetObserver(workers_[w]->obs);
+    workers_[w]->op = op.get();
+    operators_[w] = std::move(op);
+  }
+  PUNCTSAFE_RETURN_IF_ERROR(RestoreGroupFromLogical(group, logical));
+  // Votes recorded under the old assignment are stale (a shard's
+  // matching state just changed under it); the caller's kRecheck
+  // barrier rebuilds them from the restored pending propagations.
+  group.aligner.Reset();
+  rebalance_migrations_.fetch_add(1, std::memory_order_relaxed);
+  rebalance_tuples_moved_.fetch_add(moved, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ParallelExecutor::MaybeAdaptIngest() {
+  if (!config_.adaptive_batch) return;
+  uint64_t rows = 0;
+  uint64_t runs = 0;
+  for (const auto& op : operators_) {
+    const TupleStore::ProbeRunStats total = op->ProbeRunStatsTotal();
+    rows += total.rows;
+    runs += total.runs;
+  }
+  // Migrations replace operators (stats restart at zero); treat a
+  // shrinking total as a fresh baseline.
+  if (rows < adapt_rows_seen_ || runs < adapt_runs_seen_) {
+    adapt_rows_seen_ = rows;
+    adapt_runs_seen_ = runs;
+    return;
+  }
+  const uint64_t d_rows = rows - adapt_rows_seen_;
+  const uint64_t d_runs = runs - adapt_runs_seen_;
+  adapt_rows_seen_ = rows;
+  adapt_runs_seen_ = runs;
+  const size_t target =
+      AdaptiveBatchTarget(d_rows, d_runs, ingest_batch_.capacity());
+  if (target != ingest_batch_.capacity() && ingest_batch_.empty()) {
+    ingest_batch_ = TupleBatch(target);
+  }
 }
 
 void ParallelExecutor::Stop() {
@@ -884,6 +1253,8 @@ ParallelExecutor::GroupSnapshots() const {
     snap.num_shards = group->num_shards;
     snap.partitioned = group->num_shards > 1;
     snap.partition_detail = group->spec.detail;
+    snap.active_shards = group->shard_map.num_shards();
+    snap.shard_map_version = group->shard_map.version();
     for (size_t s = 0; s < group->num_shards; ++s) {
       const MJoinOperator& op = *operators_[group->first_worker + s];
       StateMetricsSnapshot shard = op.AggregateStateSnapshot();
@@ -894,6 +1265,20 @@ ParallelExecutor::GroupSnapshots() const {
           std::max(snap.punctuations_live,
                    op.metrics().punctuations_live.load(
                        std::memory_order_relaxed));
+      if (track_pressure_) {
+        const Worker& worker = *workers_[group->first_worker + s];
+        snap.shard_routed.push_back(
+            worker.routed.load(std::memory_order_relaxed));
+        snap.shard_stalls.push_back(
+            worker.stalls.load(std::memory_order_relaxed));
+      }
+    }
+    if (!snap.shard_routed.empty()) {
+      std::vector<uint64_t> active_routed(
+          snap.shard_routed.begin(),
+          snap.shard_routed.begin() +
+              std::min(snap.active_shards, snap.shard_routed.size()));
+      snap.skew = LoadSkew(active_routed);
     }
     out.push_back(std::move(snap));
   }
@@ -908,11 +1293,22 @@ obs::ObsSnapshot ParallelExecutor::ObservabilitySnapshot() const {
   snap.live_punctuations = TotalLivePunctuations();
   snap.tuple_high_water = tuple_high_water();
   snap.punctuation_high_water = punctuation_high_water();
+  snap.rebalance_migrations = rebalance_migrations();
+  snap.rebalance_tuples_moved = rebalance_tuples_moved();
   if (obs_ == nullptr) return snap;
   snap.operators.reserve(workers_.size());
   for (const auto& group : groups_) {
     const size_t aligner_pending = group->aligner.pending();
     const size_t aligner_hw = group->aligner.pending_high_water();
+    double group_skew = 1.0;
+    if (track_pressure_ && group->num_shards > 1) {
+      std::vector<uint64_t> active_routed(group->shard_map.num_shards(), 0);
+      for (size_t s = 0; s < active_routed.size(); ++s) {
+        active_routed[s] = workers_[group->first_worker + s]->routed.load(
+            std::memory_order_relaxed);
+      }
+      group_skew = LoadSkew(active_routed);
+    }
     for (size_t s = 0; s < group->num_shards; ++s) {
       const size_t w = group->first_worker + s;
       obs::OperatorObsEntry entry;
@@ -920,6 +1316,9 @@ obs::ObsSnapshot ParallelExecutor::ObservabilitySnapshot() const {
       entry.num_shards = group->num_shards;
       entry.partitioned = group->num_shards > 1;
       entry.partition_detail = group->spec.detail;
+      entry.active_shards = group->shard_map.num_shards();
+      entry.shard_map_version = group->shard_map.version();
+      entry.skew = group_skew;
       entry.state = operators_[w]->AggregateStateSnapshot();
       entry.op_metrics = operators_[w]->metrics().Snapshot();
       // Group-level gauges, replicated onto each shard entry (the

@@ -14,6 +14,7 @@
 #include "core/plan_safety.h"
 #include "exec/checkpoint.h"
 #include "exec/mjoin.h"
+#include "exec/shard_map.h"
 #include "exec/tuple_batch.h"
 #include "obs/observability.h"
 #include "query/cjq.h"
@@ -81,12 +82,42 @@ struct ExecutorConfig {
   /// kParallel: after a checkpoint barrier drains the pipeline).
   /// Disabled by default; Checkpoint() can always be called manually.
   CheckpointConfig checkpoint;
+  /// Adaptive shard rebalancing under kParallel (exec/shard_map.h):
+  /// per-slot routed counters feed a controller that migrates hot key
+  /// ranges between shards at punctuation-aligned barriers, and (with
+  /// max_shards > shards) grows/shrinks the active shard set. Off by
+  /// default: routing then uses the initial balanced ShardMap and no
+  /// counters are maintained.
+  RebalanceConfig rebalance;
+  /// Under kParallel: rewrite plan nodes that ComputePartitionSpec
+  /// cannot shard (>= 3 inputs keyed on multiple equivalence classes)
+  /// into left-deep binary chains so every operator partitions and the
+  /// inter-operator emit re-hash acts as a repartitioning exchange
+  /// (exec/exchange.h). Off by default — the executed shape (and the
+  /// checkpoint fingerprint) then match the caller's shape exactly.
+  bool exchange = false;
+  /// Adapt the batched-execution unit at runtime: start from
+  /// batch_size (normalized up to TupleBatch::kDefaultCapacity when
+  /// left at 1) and retune the ingest/emit batch capacities from
+  /// observed probe hash-run lengths at punctuation/drain boundaries,
+  /// clamped to [128, 512] — the band the serial sweep shows winning
+  /// (docs/PERF.md). Off by default: batch_size stays fixed.
+  bool adaptive_batch = false;
 };
 
 /// \brief Identity string tying a snapshot to (query, plan shape);
 /// restore paths refuse a snapshot whose fingerprint differs.
 std::string PlanFingerprint(const ContinuousJoinQuery& query,
                             const PlanShape& shape);
+
+/// \brief Batch capacity chosen by ExecutorConfig::adaptive_batch
+/// from `rows` probed rows collapsing into `runs` same-key runs since
+/// the last retune: scales the mean run length into the [128, 512]
+/// band the serial batch-size sweep shows winning (docs/PERF.md) —
+/// longer runs amortize more per-batch work, so they earn a larger
+/// batch. Returns `current` unchanged when there is no signal
+/// (`runs == 0`).
+size_t AdaptiveBatchTarget(uint64_t rows, uint64_t runs, size_t current);
 
 class PlanExecutor {
  public:
@@ -164,6 +195,11 @@ class PlanExecutor {
   void RecordHighWater();
   void NoteProgress(size_t stream, int64_t ts);
   void MaybeAutoCheckpoint();
+  /// Adaptive-batch retune (config_.adaptive_batch): every
+  /// kAdaptIntervalPunctuations punctuations — a flush point, so the
+  /// ingest batch is empty — re-derive the batch capacity from the
+  /// probe-run statistics accumulated since the previous retune.
+  void MaybeAdaptBatch();
 
   ContinuousJoinQuery query_;
   PlanShape shape_;
@@ -180,6 +216,11 @@ class PlanExecutor {
   size_t punct_high_water_ = 0;
   std::vector<InputProgress> progress_;  // per query stream
   size_t punctuations_since_checkpoint_ = 0;
+  // Adaptive-batch state (config_.adaptive_batch only).
+  static constexpr size_t kAdaptIntervalPunctuations = 16;
+  size_t punctuations_since_adapt_ = 0;
+  uint64_t adapt_rows_seen_ = 0;
+  uint64_t adapt_runs_seen_ = 0;
   // Open ingest batch (batch_size > 1 only): consecutive tuples of
   // pending_stream_, delivered as one PushBatch at the next flush
   // point. Storage is recycled across flushes.

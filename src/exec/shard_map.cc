@@ -1,0 +1,90 @@
+#include "exec/shard_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace punctsafe {
+
+ShardMap::ShardMap(size_t num_shards)
+    : slot_to_shard_(BalancedAssignment(num_shards == 0 ? 1 : num_shards)),
+      num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+std::vector<uint32_t> ShardMap::BalancedAssignment(size_t num_shards) {
+  std::vector<uint32_t> slots(kNumSlots);
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    slots[i] = static_cast<uint32_t>(i % num_shards);
+  }
+  return slots;
+}
+
+Status ShardMap::Apply(std::vector<uint32_t> assignment, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("ShardMap::Apply: num_shards must be >= 1");
+  }
+  if (assignment.size() != kNumSlots) {
+    return Status::InvalidArgument(
+        StrCat("ShardMap::Apply: assignment has ", assignment.size(),
+               " slots, want ", kNumSlots));
+  }
+  for (uint32_t shard : assignment) {
+    if (shard >= num_shards) {
+      return Status::InvalidArgument(
+          StrCat("ShardMap::Apply: slot routed to shard ", shard,
+                 " outside [0, ", num_shards, ")"));
+    }
+  }
+  slot_to_shard_ = std::move(assignment);
+  num_shards_ = num_shards;
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<uint32_t> ComputeShardAssignment(
+    const std::vector<uint64_t>& slot_loads, size_t num_shards) {
+  const size_t n = slot_loads.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return slot_loads[a] > slot_loads[b];
+  });
+
+  std::vector<uint32_t> assignment(n, 0);
+  if (num_shards <= 1) return assignment;
+  std::vector<uint64_t> shard_load(num_shards, 0);
+  std::vector<size_t> shard_slots(num_shards, 0);
+  for (size_t slot : order) {
+    // Least-loaded shard; ties broken by fewest slots so an all-zero
+    // (or heavily duplicated) load vector still spreads slots evenly,
+    // then by lowest shard id for determinism.
+    size_t best = 0;
+    for (size_t s = 1; s < num_shards; ++s) {
+      if (shard_load[s] < shard_load[best] ||
+          (shard_load[s] == shard_load[best] &&
+           shard_slots[s] < shard_slots[best])) {
+        best = s;
+      }
+    }
+    assignment[slot] = static_cast<uint32_t>(best);
+    shard_load[best] += slot_loads[slot];
+    ++shard_slots[best];
+  }
+  return assignment;
+}
+
+double LoadSkew(const std::vector<uint64_t>& shard_loads) {
+  if (shard_loads.empty()) return 1.0;
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint64_t load : shard_loads) {
+    total += load;
+    max = std::max(max, load);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shard_loads.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace punctsafe

@@ -1,0 +1,135 @@
+// Versioned slot -> shard routing table for adaptive rebalancing.
+//
+// Static sharding (PR 2) routed a tuple with `Mix64(key) % K`: the
+// assignment is baked into the modulus, so moving a hot key range to
+// another shard would change *every* tuple's shard. A ShardMap adds
+// one level of indirection: the mixed key hash picks one of
+// `kNumSlots` fixed slots (`hash & (kNumSlots - 1)`), and a small
+// mutable table maps slots to shards. Rebalancing then means
+// reassigning slots — the unit of migration is a slot's key range,
+// and tuples in untouched slots never move. The table carries a
+// monotonically increasing `version()` so the executor can tell
+// which assignment a snapshot or a routing decision was made under
+// (docs/RECOVERY.md, "ShardMap versions and restore").
+//
+// Thread-safety: reads (`ShardOf`) are lock-free loads of plain
+// members. The executor only mutates the map (`Apply`) while every
+// worker of the owning group is parked at a pipeline barrier; the
+// subsequent queue push/pop pair publishes the new table to workers
+// (the same release/acquire argument RestoreState relies on —
+// docs/CONCURRENCY.md, "Rebalancing and the migration marker").
+
+#ifndef PUNCTSAFE_EXEC_SHARD_MAP_H_
+#define PUNCTSAFE_EXEC_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace punctsafe {
+
+class ShardMap {
+ public:
+  /// Number of routing slots. A power of two (the slot index is a
+  /// mask of the mixed hash) comfortably above any realistic shard
+  /// count, so even a skewed assignment has slots to shuffle.
+  static constexpr size_t kNumSlots = 64;
+
+  /// \brief Slot index for a *mixed* 64-bit key hash (the caller mixes
+  /// — PartitionSpec::KeyHash — so slot spread does not depend on raw
+  /// Value::Hash structure).
+  static size_t SlotOf(uint64_t mixed_hash) {
+    return static_cast<size_t>(mixed_hash & (kNumSlots - 1));
+  }
+
+  /// \brief Starts with `BalancedAssignment(num_shards)` at version 0.
+  explicit ShardMap(size_t num_shards);
+
+  size_t ShardOf(uint64_t mixed_hash) const {
+    return slot_to_shard_[SlotOf(mixed_hash)];
+  }
+  size_t shard_of_slot(size_t slot) const { return slot_to_shard_[slot]; }
+
+  /// \brief Number of shards the current assignment routes to. Slots
+  /// only ever hold values in [0, num_shards()).
+  size_t num_shards() const { return num_shards_; }
+
+  /// \brief Bumped by every successful Apply; 0 for the initial map.
+  uint64_t version() const { return version_; }
+
+  const std::vector<uint32_t>& slots() const { return slot_to_shard_; }
+
+  /// \brief Installs a new assignment (kNumSlots entries, each in
+  /// [0, num_shards)) and bumps the version. Returns
+  /// InvalidArgument on a malformed assignment — the map is unchanged
+  /// then. Callers must hold the group quiescent (see file comment).
+  Status Apply(std::vector<uint32_t> assignment, size_t num_shards);
+
+  /// \brief Round-robin slot assignment: slot i -> i % num_shards.
+  /// Deterministic, so a restored executor starts from the same map a
+  /// fresh one would.
+  static std::vector<uint32_t> BalancedAssignment(size_t num_shards);
+
+ private:
+  std::vector<uint32_t> slot_to_shard_;
+  size_t num_shards_;
+  uint64_t version_ = 0;
+};
+
+/// \brief Greedy LPT (longest-processing-time) slot assignment:
+/// slots sorted by observed load descending (ties broken by slot
+/// index), each assigned to the shard with the least assigned load
+/// (ties broken by fewest slots, then lowest shard id). Deterministic
+/// for a given load vector; with all-zero loads it degenerates to an
+/// even slot count per shard. `slot_loads` must have
+/// ShardMap::kNumSlots entries and `num_shards` >= 1.
+std::vector<uint32_t> ComputeShardAssignment(
+    const std::vector<uint64_t>& slot_loads, size_t num_shards);
+
+/// \brief Skew of a load vector: max over mean of the per-shard loads
+/// (>= 1.0), or 1.0 when the total load is zero. The rebalance
+/// trigger compares this against RebalanceConfig::skew_threshold.
+double LoadSkew(const std::vector<uint64_t>& shard_loads);
+
+/// \brief Controller knobs for adaptive shard rebalancing
+/// (ExecutorConfig::rebalance). Disabled by default: per-slot routed
+/// counters and the migration machinery cost nothing unless enabled.
+struct RebalanceConfig {
+  /// Master switch: track per-slot/per-shard routed + stall counters
+  /// and let the controller trigger punctuation-aligned migrations.
+  bool enabled = false;
+  /// Controller cadence: consider rebalancing every N driver-ingested
+  /// punctuations. 0 = track counters but never migrate automatically
+  /// (explicit RebalanceNow()/ResizeShards() still work).
+  size_t interval_punctuations = 32;
+  /// Trigger threshold: migrate when max/mean routed-count skew over
+  /// the active shards since the last check exceeds this.
+  double skew_threshold = 1.5;
+  /// Don't react to noise: skip the skew check unless at least this
+  /// many tuples were routed to the group since the last check.
+  uint64_t min_routed = 1024;
+  /// Worker-allocation ceiling for elastic resizing: the executor
+  /// allocates this many shard workers per partitionable group up
+  /// front and ResizeShards()/auto-grow activate a subset. 0 means
+  /// ExecutorConfig::shards (no elasticity headroom).
+  size_t max_shards = 0;
+  /// Auto-grow: when > 0 and queue-stall count since the last check
+  /// reaches this, activate one more shard (up to the allocation
+  /// ceiling). 0 disables growing; shrinking is always explicit via
+  /// ResizeShards.
+  uint64_t grow_stall_threshold = 0;
+  /// Drift backoff: each automatic migration doubles (up to this cap)
+  /// the number of check windows the controller then sits out for that
+  /// group; one balanced window resets the doubling. A workload whose
+  /// hot keys *drift* trips the skew threshold every window forever —
+  /// no assignment helps the next window — and without backoff the
+  /// controller would pay a quiesce barrier per window chasing it.
+  /// 0 disables backoff (migrate on every qualifying window).
+  size_t max_backoff_windows = 32;
+};
+
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_EXEC_SHARD_MAP_H_

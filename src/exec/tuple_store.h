@@ -116,6 +116,19 @@ class TupleStore {
   const StateMetrics& metrics() const { return metrics_; }
   bool arena_enabled() const { return arena_ != nullptr; }
 
+  /// \brief Observed same-key run structure of the batched probe path:
+  /// `rows` selected rows collapsed into `runs` bucket resolutions, so
+  /// rows/runs is the mean hash-run length — the signal
+  /// ExecutorConfig::adaptive_batch tunes the batch capacity from.
+  /// Deliberately separate from StateMetrics: run stats are a local
+  /// tuning input, not logical operator state, so they stay out of the
+  /// PSCK checkpoint byte format.
+  struct ProbeRunStats {
+    uint64_t rows = 0;
+    uint64_t runs = 0;
+  };
+  const ProbeRunStats& probe_run_stats() const { return probe_run_stats_; }
+
   /// \brief Borrows the owning operator's observation point (nullable)
   /// so epoch boundaries surface as trace events. Deliberately NOT
   /// consulted on the per-probe path — probes are the hot loop and
@@ -252,6 +265,8 @@ class TupleStore {
              batch.tuple(row + same_key).at(key_offset) == key) {
         ++same_key;
       }
+      probe_run_stats_.rows += same_key;
+      ++probe_run_stats_.runs;
       if (same_key == 1) {
         ForBucketLive(bucket, [&](size_t slot, const Tuple& t) {
           fn(row, slot, t);
@@ -339,6 +354,9 @@ class TupleStore {
   mutable size_t dead_count_ = 0;
   mutable bool pending_compact_ = false;
   mutable StateMetrics metrics_;
+  // Probe-run tuning signal (see ProbeRunStats); mutable because
+  // ProbeBatch is logically const.
+  mutable ProbeRunStats probe_run_stats_;
   obs::OperatorObs* obs_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "workload/random_query.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -85,9 +86,24 @@ Trace MakeCoveringTrace(const ContinuousJoinQuery& query,
   int64_t now = 0;
   const int64_t v_per_gen = static_cast<int64_t>(config.values_per_generation);
 
+  // Skewed mode: draw pool ranks from Zipf(zipf_s) instead of
+  // uniformly. Rank 0 is the hot value of every generation; since the
+  // pool is generation-scoped (required for punctuations to close it),
+  // the hot value — and hence the hot key-hash slot — moves with every
+  // generation. Routing skew is therefore strong within a window and
+  // drifting across windows: the adversarial case a rebalance
+  // controller has to chase rather than solve once.
+  std::optional<ZipfSampler> zipf;
+  if (config.zipf_s > 0.0) {
+    zipf.emplace(config.values_per_generation, config.zipf_s);
+  }
+
   for (size_t gen = 0; gen < config.num_generations; ++gen) {
     int64_t base = static_cast<int64_t>(gen) * v_per_gen;
     auto gen_value = [&]() {
+      if (zipf.has_value()) {
+        return Value(base + static_cast<int64_t>(zipf->Sample(&rng)));
+      }
       return Value(base + rng.NextInRange(0, v_per_gen - 1));
     };
 

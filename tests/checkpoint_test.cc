@@ -263,6 +263,46 @@ TEST(CheckpointMergeTest, SplitThenMergeIsTheIdentity) {
   }
 }
 
+TEST(CheckpointMergeTest, AsymmetricReSplitPreservesTheLogicalState) {
+  // The migration path: state captured from K_old shards is folded to
+  // one logical snapshot and re-split for K_new shards, where K_old
+  // and K_new are unrelated (non-power-of-two, grow and shrink). The
+  // re-split pieces must still fold back to the same logical state,
+  // and each piece must survive serialization — a migrated shard's
+  // state is checkpointable like any other.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    StateSnapshot snap = RandomSnapshot(seed);
+    CanonicalizeSnapshot(&snap);
+    const std::string canonical = SerializeSnapshot(snap);
+    for (auto [from, to] : std::initializer_list<std::pair<size_t, size_t>>{
+             {3, 5}, {5, 3}, {4, 2}, {2, 7}, {6, 6}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << seed << " resplit " << from << "->" << to);
+      std::vector<StateSnapshot> old_shards = SplitSnapshot(snap, from);
+      ASSERT_EQ(old_shards.size(), from);
+      StateSnapshot logical = old_shards[0];
+      for (size_t i = 1; i < from; ++i) {
+        logical = MergeSnapshots(logical, old_shards[i]);
+      }
+      std::vector<StateSnapshot> new_shards = SplitSnapshot(logical, to);
+      ASSERT_EQ(new_shards.size(), to);
+      StateSnapshot refolded = new_shards[0];
+      for (size_t i = 1; i < to; ++i) {
+        refolded = MergeSnapshots(refolded, new_shards[i]);
+      }
+      EXPECT_EQ(SerializeSnapshot(refolded), canonical)
+          << "re-split through " << from << " shards lost state";
+      for (size_t i = 0; i < to; ++i) {
+        const std::string bytes = SerializeSnapshot(new_shards[i]);
+        Result<StateSnapshot> restored = DeserializeSnapshot(bytes);
+        ASSERT_TRUE(restored.ok()) << "piece " << i << ": "
+                                   << restored.status().ToString();
+        EXPECT_EQ(SerializeSnapshot(*restored), bytes);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Executor capture / restore.
 

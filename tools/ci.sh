@@ -61,6 +61,15 @@ run_config() {
     echo "=== [${name}] recovery differential oracle (explicit) ==="
     "${dir}/tests/recovery_differential_test" \
       --gtest_filter='RecoveryDifferentialTest.HundredRandomKillRestoreTrialsMatchSerial'
+    # The rebalance sweep forces mid-stream migrations (slot
+    # reshuffles and elastic grow/shrink) at random punctuation
+    # boundaries; under TSan it proves the migrate barrier really
+    # parks every worker before the capture/merge/re-split and the
+    # ShardMap swap publish, under ASan that state handed between
+    # operator generations outlives the replicas it left.
+    echo "=== [${name}] rebalance differential sweep (explicit) ==="
+    "${dir}/tests/rebalance_differential_test" \
+      --gtest_filter='RebalanceDifferentialTest.HundredTrialsWithForcedMidStreamMigrations'
   fi
 }
 
@@ -82,8 +91,14 @@ run_bench_smoke() {
     --metrics-out "${dir}/metrics.jsonl"
   echo "=== [bench] metrics report (tools/obs_report.py) ==="
   python3 "${ROOT}/tools/obs_report.py" "${dir}/metrics.jsonl"
-  echo "=== [bench] smoke: bench_partitioned_join ==="
-  "${dir}/bench/bench_partitioned_join" --generations 10 --iters 1
+  echo "=== [bench] smoke: bench_partitioned_join (zipf + rebalance) ==="
+  # Hosted CI runners have >= 4 hardware threads, so this leg — unlike
+  # a 1-core dev box, where the gate self-skips — enforces the
+  # rebalanced-vs-serial speedup floor on the skewed trace and the
+  # internal migrations>0 / result-equality CHECKs. The JSON (per-shard
+  # routed/stall counters, skew, tuples moved) is kept as an artifact.
+  "${dir}/bench/bench_partitioned_join" --generations 10 --iters 1 \
+    | tee "${dir}/BENCH_partitioned.json"
   echo "=== [bench] smoke: bench_fig3_chained_purge ==="
   "${dir}/bench/bench_fig3_chained_purge" \
     --benchmark_min_time=0.01 --benchmark_filter='windows:20' >/dev/null
