@@ -11,7 +11,12 @@
 // ProbeBatch over key-clustered batches, SIMD dispatch recorded as
 // simd_dispatch) and hard-CHECK hit-count identity against the
 // per-row cursor; serial_batchN_events_per_sec sweeps
-// ExecutorConfig::batch_size end-to-end.
+// ExecutorConfig::batch_size end-to-end. The insert comparison is
+// per-row vs InsertBatch over identical key-clustered rows (batch
+// must not lose — in-binary gate); the *_expand_* micros drive a
+// whole m=3 MJoinOperator per-row vs batch-at-a-time through the
+// columnar expansion frontier and report arrivals/sec plus the
+// batch-over-row speedup.
 //
 // Emits one JSON object (checked-in baseline: BENCH_hot_path.json,
 // experiment E16 in EXPERIMENTS.md). With --baseline FILE the binary
@@ -29,6 +34,7 @@
 //                       [--probe-iters M] [--generations G] [--iters I]
 //                       [--baseline FILE] [--min-ratio R]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -40,6 +46,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/plan_safety.h"
+#include "exec/mjoin.h"
 #include "exec/parallel_executor.h"
 #include "exec/simd.h"
 #include "exec/tuple_batch.h"
@@ -59,6 +67,7 @@ double SecondsSince(Clock::time_point start) {
 
 struct MicroResult {
   double insert_mps = 0;      // inserts per second (millions not implied)
+  double insert_clustered_mps = 0;  // per-row inserts, clustered keys
   double insert_batch_mps = 0;  // TupleBatch-build + InsertBatch path
   double probe_legacy_ps = 0; // Probe() (allocating) probes/sec
   double probe_each_ps = 0;   // ProbeEach cursor probes/sec
@@ -190,28 +199,59 @@ MicroResult RunMicro(size_t n, size_t keys, size_t probe_iters,
     r.checksum += batch_hits;
   }
 
-  // Batch-build insert path: rows accumulate into a TupleBatch and
-  // land via InsertBatch (how batched ingestion feeds the stores).
+  // Batched ingestion vs the identical per-row loop, over the
+  // key-clustered arrival model the probe micro documents (same
+  // generation, same source => runs of kRunLen equal keys). Both
+  // timed loops consume pre-built rows; the rows are built fresh for
+  // each sub-block so neither path inherits the other's cached key
+  // hashes. InsertBatch's run-amortized index path (one bucket
+  // resolution per same-key run) plus once-per-batch bookkeeping must
+  // at least match tuple-at-a-time ingestion on this data — gated
+  // hard in Main() for both key types.
   {
-    auto start = Clock::now();
-    TupleStore store({0});
-    TupleBatch batch(TupleBatch::kDefaultCapacity);
-    int64_t ts = 0;
-    for (const Tuple& t : rows) {
-      batch.Append(t, ts++);
-      if (batch.full()) {
+    constexpr size_t kRunLen = 8;
+    auto clustered = [&] {
+      std::vector<Tuple> cr;
+      cr.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        size_t k = (i / kRunLen) % keys;
+        Value key = string_keys ? Value("key-" + std::to_string(k))
+                                : Value(static_cast<int64_t>(k));
+        cr.push_back(Tuple({key, Value(static_cast<int64_t>(i))}));
+      }
+      return cr;
+    };
+    {
+      std::vector<Tuple> row_feed = clustered();
+      auto start = Clock::now();
+      TupleStore store({0});
+      for (const Tuple& t : row_feed) store.Insert(t);
+      double secs = SecondsSince(start);
+      r.insert_clustered_mps = secs > 0 ? n / secs : 0;
+      r.checksum += store.live_count();
+    }
+    {
+      std::vector<Tuple> batch_feed = clustered();
+      auto start = Clock::now();
+      TupleStore store({0});
+      TupleBatch batch(TupleBatch::kDefaultCapacity);
+      int64_t ts = 0;
+      for (const Tuple& t : batch_feed) {
+        batch.Append(t, ts++);
+        if (batch.full()) {
+          batch.SelectAll();
+          store.InsertBatch(batch);
+          batch.Clear();
+        }
+      }
+      if (!batch.empty()) {
         batch.SelectAll();
         store.InsertBatch(batch);
-        batch.Clear();
       }
+      double secs = SecondsSince(start);
+      r.insert_batch_mps = secs > 0 ? n / secs : 0;
+      r.checksum += store.live_count();
     }
-    if (!batch.empty()) {
-      batch.SelectAll();
-      store.InsertBatch(batch);
-    }
-    double secs = SecondsSince(start);
-    r.insert_batch_mps = secs > 0 ? n / secs : 0;
-    r.checksum += store.live_count();
   }
 
   // Interleaved insert/purge (compaction churn included).
@@ -231,6 +271,111 @@ MicroResult RunMicro(size_t n, size_t keys, size_t probe_iters,
     r.purge_ps = secs > 0 ? ops / secs : 0;
     r.checksum += store.live_count();
   }
+  return r;
+}
+
+// ------------------------------------------------------ expansion micro
+
+struct ExpandMicro {
+  double row_ps = 0;    // arrivals/sec through per-row PushTuple
+  double batch_ps = 0;  // arrivals/sec through the frontier PushBatch
+};
+
+// m=3 chain expansion end to end through MJoinOperator: T1 and T2 are
+// pre-loaded with kPartners matching tuples per key, then a
+// key-clustered T0 arrival sequence (runs of kRunLen equal keys, the
+// probe micro's arrival model) is driven per-row through one operator
+// instance and batch-at-a-time through an identically loaded twin.
+// Each arrival expands through two hops and emits kPartners^2
+// results. Both paths consume pre-staged input (flat tuples vs packed
+// TupleBatches) so the comparison isolates expansion — staging cost
+// is the insert micro's job — and the result counts must match
+// exactly (the batched frontier's result-identity contract, covered
+// in full by expansion_differential_test).
+ExpandMicro RunExpandMicro(size_t keys, size_t arrivals, bool string_keys) {
+  constexpr size_t kRunLen = 8;
+  constexpr size_t kPartners = 2;
+  bench::ChainFixture fx = bench::MakeChain(3);
+  auto make_key = [&](size_t k) {
+    return string_keys ? Value("key-" + std::to_string(k))
+                       : Value(static_cast<int64_t>(k));
+  };
+  auto make_loaded_op = [&]() {
+    std::vector<LocalInput> inputs;
+    for (size_t s = 0; s < fx.query.num_streams(); ++s) {
+      inputs.push_back({{s}, RawAvailableSchemes(fx.query, fx.schemes, s)});
+    }
+    MJoinConfig config;
+    config.purge_policy = PurgePolicy::kNone;  // pure expansion, no sweeps
+    auto op = MJoinOperator::Create(fx.query, inputs, config);
+    PUNCTSAFE_CHECK_OK(op.status());
+    // Partner state: kPartners tuples per key on each non-arrival
+    // input. T2 before T1 so the load-time expansions die on the
+    // first (empty) hop and nothing is emitted.
+    int64_t ts = 0;
+    for (size_t input : {size_t{2}, size_t{1}}) {
+      for (size_t k = 0; k < keys; ++k) {
+        for (size_t p = 0; p < kPartners; ++p) {
+          (*op)->PushTuple(
+              input,
+              Tuple({make_key(k), Value(static_cast<int64_t>(p))}), ts++);
+        }
+      }
+    }
+    return std::move(op).ValueOrDie();
+  };
+
+  // Pre-staged arrival sequence, once as flat tuples and once packed
+  // into kDefaultCapacity-row batches (identical rows, timestamps).
+  std::vector<Tuple> row_feed;
+  row_feed.reserve(arrivals);
+  for (size_t i = 0; i < arrivals; ++i) {
+    row_feed.push_back(Tuple({make_key((i / kRunLen) % keys),
+                              Value(static_cast<int64_t>(i))}));
+  }
+  std::vector<TupleBatch> batch_feed;
+  {
+    TupleBatch building(TupleBatch::kDefaultCapacity);
+    for (size_t i = 0; i < arrivals; ++i) {
+      building.Append(row_feed[i], static_cast<int64_t>(1000000 + i));
+      if (building.full()) {
+        batch_feed.push_back(std::move(building));
+        building = TupleBatch(TupleBatch::kDefaultCapacity);
+      }
+    }
+    if (!building.empty()) batch_feed.push_back(std::move(building));
+  }
+
+  auto row_op = make_loaded_op();
+  auto batch_op = make_loaded_op();
+  uint64_t row_results = 0;
+  uint64_t batch_results = 0;
+  row_op->SetEmitter([&](const StreamElement& e) {
+    if (e.is_tuple()) ++row_results;
+  });
+  batch_op->SetEmitter([&](const StreamElement& e) {
+    if (e.is_tuple()) ++batch_results;
+  });
+  batch_op->SetBatchEmitter(
+      [&](TupleBatch& b) { batch_results += b.size(); });
+
+  ExpandMicro r;
+  auto start = Clock::now();
+  for (size_t i = 0; i < arrivals; ++i) {
+    row_op->PushTuple(0, row_feed[i], static_cast<int64_t>(1000000 + i));
+  }
+  double secs = SecondsSince(start);
+  r.row_ps = secs > 0 ? arrivals / secs : 0;
+
+  start = Clock::now();
+  for (TupleBatch& b : batch_feed) batch_op->PushBatch(0, b);
+  secs = SecondsSince(start);
+  r.batch_ps = secs > 0 ? arrivals / secs : 0;
+
+  const uint64_t expected = arrivals * kPartners * kPartners;
+  PUNCTSAFE_CHECK(row_results == expected && batch_results == expected)
+      << "expansion micro result divergence: row=" << row_results
+      << " batch=" << batch_results << " expected=" << expected;
   return r;
 }
 
@@ -318,6 +463,32 @@ int Main(int argc, char** argv) {
   MicroResult int_micro = RunMicro(store_tuples, keys, probe_iters, false);
   MicroResult str_micro = RunMicro(store_tuples, keys, probe_iters, true);
 
+  // Batched ingestion must not lose to the per-row loop over the same
+  // clustered rows (this pins the string-key regression the
+  // run-amortized InsertBatch fixed); 0.9 floor = run-to-run jitter
+  // headroom, not license to regress.
+  auto check_insert_gate = [](const char* kind, const MicroResult& m) {
+    PUNCTSAFE_CHECK(m.insert_batch_mps >= 0.9 * m.insert_clustered_mps)
+        << kind << "-key InsertBatch slower than per-row Insert on "
+        << "identical clustered rows: " << m.insert_batch_mps << "/s vs "
+        << m.insert_clustered_mps << "/s";
+  };
+  check_insert_gate("int", int_micro);
+  check_insert_gate("str", str_micro);
+
+  // Best-of-iters per side, the same convention as the end-to-end
+  // runs (rates are max-estimators; the interesting signal is what
+  // the path can do, not what the scheduler did to one run).
+  ExpandMicro int_expand, str_expand;
+  auto keep_best_expand = [](ExpandMicro& best, const ExpandMicro& e) {
+    best.row_ps = std::max(best.row_ps, e.row_ps);
+    best.batch_ps = std::max(best.batch_ps, e.batch_ps);
+  };
+  for (size_t i = 0; i < iters; ++i) {
+    keep_best_expand(int_expand, RunExpandMicro(keys, probe_iters, false));
+    keep_best_expand(str_expand, RunExpandMicro(keys, probe_iters, true));
+  }
+
   bench::ChainFixture fx = bench::MakeChain(3);
   PlanShape shape = PlanShape::SingleMJoin(3);
   CoveringTraceConfig tconfig;
@@ -391,6 +562,7 @@ int Main(int argc, char** argv) {
        << ",\n";
   json << "  \"simd_dispatch\": \"" << simd::kDispatchName << "\",\n";
   emit("int_insert_per_sec", int_micro.insert_mps);
+  emit("int_insert_clustered_per_sec", int_micro.insert_clustered_mps);
   emit("int_insert_batch_per_sec", int_micro.insert_batch_mps);
   emit("int_probe_legacy_per_sec", int_micro.probe_legacy_ps);
   emit("int_probe_each_per_sec", int_micro.probe_each_ps);
@@ -398,12 +570,29 @@ int Main(int argc, char** argv) {
   emit("int_probe_batch_per_sec", int_micro.probe_batch_ps);
   emit("int_purge_ops_per_sec", int_micro.purge_ps);
   emit("str_insert_per_sec", str_micro.insert_mps);
+  emit("str_insert_clustered_per_sec", str_micro.insert_clustered_mps);
   emit("str_insert_batch_per_sec", str_micro.insert_batch_mps);
   emit("str_probe_legacy_per_sec", str_micro.probe_legacy_ps);
   emit("str_probe_each_per_sec", str_micro.probe_each_ps);
   emit("str_probe_into_per_sec", str_micro.probe_into_ps);
   emit("str_probe_batch_per_sec", str_micro.probe_batch_ps);
   emit("str_purge_ops_per_sec", str_micro.purge_ps);
+  emit("int_expand_row_per_sec", int_expand.row_ps);
+  emit("int_expand_batch_per_sec", int_expand.batch_ps);
+  emit("str_expand_row_per_sec", str_expand.row_ps);
+  emit("str_expand_batch_per_sec", str_expand.batch_ps);
+  // Batch-over-row expansion speedups on the m=3 chain (the batched
+  // frontier's headline numbers; >= 2x on key-clustered arrivals).
+  std::snprintf(buf, sizeof(buf),
+                "  \"int_expand_batch_speedup\": %.3f,\n",
+                int_expand.row_ps > 0 ? int_expand.batch_ps / int_expand.row_ps
+                                      : 0.0);
+  json << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"str_expand_batch_speedup\": %.3f,\n",
+                str_expand.row_ps > 0 ? str_expand.batch_ps / str_expand.row_ps
+                                      : 0.0);
+  json << buf;
   emit("serial_events_per_sec",
        serial.seconds > 0 ? trace.size() / serial.seconds : 0);
   for (size_t b = 0; b < 4; ++b) {
@@ -474,6 +663,9 @@ int Main(int argc, char** argv) {
              {"int_probe_batch_per_sec", int_micro.probe_batch_ps},
              {"str_probe_batch_per_sec", str_micro.probe_batch_ps},
              {"int_insert_batch_per_sec", int_micro.insert_batch_mps},
+             {"str_insert_batch_per_sec", str_micro.insert_batch_mps},
+             {"int_expand_batch_per_sec", int_expand.batch_ps},
+             {"str_expand_batch_per_sec", str_expand.batch_ps},
              {"int_purge_ops_per_sec", int_micro.purge_ps}},
             bench::ResolveMinRatio(min_ratio))) {
       return 1;

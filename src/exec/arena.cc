@@ -4,11 +4,6 @@
 
 namespace punctsafe {
 
-namespace {
-constexpr size_t kAlign = 8;
-inline size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
-}  // namespace
-
 uint32_t EpochArena::FreshBlock(size_t capacity) {
   if (!free_blocks_.empty() && capacity <= block_bytes_) {
     // Free-listed blocks all have capacity block_bytes_, so any
@@ -33,8 +28,7 @@ uint32_t EpochArena::FreshBlock(size_t capacity) {
   return static_cast<uint32_t>(blocks_.size() - 1);
 }
 
-EpochArena::Allocation EpochArena::Allocate(size_t bytes) {
-  size_t need = AlignUp(bytes);
+EpochArena::Allocation EpochArena::AllocateSlow(size_t need) {
   if (need > block_bytes_) {
     // Oversized: a dedicated block of exactly the requested size, so a
     // giant tuple cannot strand a whole standard block behind it.
@@ -45,10 +39,7 @@ EpochArena::Allocation EpochArena::Allocate(size_t bytes) {
     bytes_live_ += need;
     return {b.data.get(), id};
   }
-  if (current_ == kNoBlock || blocks_[current_].used + need >
-                                  blocks_[current_].capacity) {
-    current_ = FreshBlock(block_bytes_);
-  }
+  current_ = FreshBlock(block_bytes_);
   Block& b = blocks_[current_];
   char* ptr = b.data.get() + b.used;
   b.used += need;

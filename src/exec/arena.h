@@ -53,8 +53,23 @@ class EpochArena {
 
   /// \brief Bump-allocates `bytes` (8-byte aligned) and registers one
   /// live unit on the owning block. Oversized requests get a dedicated
-  /// block of exactly the requested size.
-  Allocation Allocate(size_t bytes);
+  /// block of exactly the requested size. The in-block bump is inline
+  /// — it runs once per stored tuple — and only block turnover leaves
+  /// the header.
+  Allocation Allocate(size_t bytes) {
+    const size_t need = AlignUp(bytes);
+    if (need <= block_bytes_ && current_ != kNoBlock) {
+      Block& b = blocks_[current_];
+      if (b.used + need <= b.capacity) {
+        char* ptr = b.data.get() + b.used;
+        b.used += need;
+        b.live += 1;
+        bytes_live_ += need;
+        return {ptr, current_};
+      }
+    }
+    return AllocateSlow(need);
+  }
 
   /// \brief Marks one unit of `block` dead. The block becomes a
   /// reclamation candidate once all its units are dead; the memory is
@@ -89,6 +104,10 @@ class EpochArena {
     uint64_t born_epoch = 0;
   };
 
+  static size_t AlignUp(size_t n) { return (n + 7) & ~size_t{7}; }
+
+  /// Block-turnover half of Allocate: `need` is already aligned.
+  Allocation AllocateSlow(size_t need);
   uint32_t FreshBlock(size_t capacity);
   void ResetBlock(uint32_t id);
 

@@ -14,6 +14,11 @@ namespace punctsafe {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'C', 'K'};
+// Note: expand_allocs (exec/metrics.h) is deliberately NOT part of the
+// wire format — it counts scratch-capacity growth, which depends on
+// process warmth, so a restored (cold-scratch) executor would re-charge
+// it and break capture -> restore -> capture byte stability. It is a
+// process-local diagnostic only.
 constexpr uint32_t kFormatVersion = 1;
 constexpr uint32_t kMetaSection = 1;
 constexpr uint32_t kOperatorSection = 2;
@@ -238,7 +243,8 @@ bool ReadStateMetrics(Reader* r, StateMetricsSnapshot* m) {
   if (!r->U64(&m->inserted) || !r->U64(&m->purged) ||
       !r->U64(&m->dropped_on_arrival) || !r->U64(&m->probes) ||
       !r->U64(&m->probe_allocs) || !r->U64(&m->index_compactions) ||
-      !r->U64(&m->insert_allocs) || !r->U64(&m->arena_blocks_reclaimed) ||
+      !r->U64(&m->insert_allocs) ||
+      !r->U64(&m->arena_blocks_reclaimed) ||
       !r->U64(&reserved) || !r->U64(&live_bytes) || !r->U64(&live) ||
       !r->U64(&hw)) {
     return false;

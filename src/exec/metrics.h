@@ -43,6 +43,7 @@ struct StateMetricsSnapshot {
   uint64_t probe_allocs = 0;
   uint64_t index_compactions = 0;
   uint64_t insert_allocs = 0;
+  uint64_t expand_allocs = 0;
   uint64_t arena_blocks_reclaimed = 0;
   size_t arena_bytes_reserved = 0;
   size_t arena_bytes_live = 0;
@@ -61,6 +62,7 @@ struct StateMetricsSnapshot {
     probe_allocs += other.probe_allocs;
     index_compactions += other.index_compactions;
     insert_allocs += other.insert_allocs;
+    expand_allocs += other.expand_allocs;
     arena_blocks_reclaimed += other.arena_blocks_reclaimed;
     arena_bytes_reserved += other.arena_bytes_reserved;
     arena_bytes_live += other.arena_bytes_live;
@@ -90,6 +92,14 @@ struct StateMetrics {
   /// — the steady-state "no alloc per insert" property benchmarked in
   /// bench_arena (E17) and pinned in tests/tuple_store_test.cc.
   std::atomic<uint64_t> insert_allocs{0};
+  /// Scratch-capacity growth events on the batched expansion path
+  /// (MJoinOperator charges one per push/sweep whose frontier, hash,
+  /// pair, or staged-output scratch had to grow). Once the working-set
+  /// capacities have warmed up the expansion pipeline reuses them, so
+  /// `expand_allocs` stops moving — the steady-state "no alloc per
+  /// result" property pinned in tests alongside probe_allocs and
+  /// insert_allocs.
+  std::atomic<uint64_t> expand_allocs{0};
   /// Arena blocks reclaimed wholesale at epoch boundaries (0 without
   /// an arena).
   std::atomic<uint64_t> arena_blocks_reclaimed{0};
@@ -102,6 +112,14 @@ struct StateMetrics {
   std::atomic<size_t> high_water{0};       ///< max live ever observed
 
   void OnProbe() { probes.fetch_add(1, std::memory_order_relaxed); }
+  /// \brief Batched probe accounting: n probes in one relaxed add (the
+  /// run-replay path counts its extra rows wholesale).
+  void OnProbes(uint64_t n) {
+    if (n != 0) probes.fetch_add(n, std::memory_order_relaxed);
+  }
+  void OnExpandAllocs(uint64_t count) {
+    if (count != 0) expand_allocs.fetch_add(count, std::memory_order_relaxed);
+  }
   void OnProbeAlloc() {
     probe_allocs.fetch_add(1, std::memory_order_relaxed);
   }
@@ -123,6 +141,15 @@ struct StateMetrics {
   void OnInsert() {
     inserted.fetch_add(1, std::memory_order_relaxed);
     size_t now_live = live.fetch_add(1, std::memory_order_relaxed) + 1;
+    internal::AtomicMax(high_water, now_live);
+  }
+  /// \brief Batched insert accounting: end-state identical to n
+  /// OnInsert calls (intermediate high waters during a pure-insert
+  /// batch are all <= the final one, so one max fold is exact).
+  void OnInserts(size_t n) {
+    if (n == 0) return;
+    inserted.fetch_add(n, std::memory_order_relaxed);
+    size_t now_live = live.fetch_add(n, std::memory_order_relaxed) + n;
     internal::AtomicMax(high_water, now_live);
   }
   void OnPurge(size_t count) {
@@ -151,6 +178,7 @@ struct StateMetrics {
     probe_allocs.store(s.probe_allocs, std::memory_order_relaxed);
     index_compactions.store(s.index_compactions, std::memory_order_relaxed);
     insert_allocs.store(s.insert_allocs, std::memory_order_relaxed);
+    expand_allocs.store(s.expand_allocs, std::memory_order_relaxed);
     arena_blocks_reclaimed.store(s.arena_blocks_reclaimed,
                                  std::memory_order_relaxed);
     arena_bytes_reserved.store(s.arena_bytes_reserved,
@@ -170,6 +198,7 @@ struct StateMetrics {
     s.index_compactions =
         index_compactions.load(std::memory_order_relaxed);
     s.insert_allocs = insert_allocs.load(std::memory_order_relaxed);
+    s.expand_allocs = expand_allocs.load(std::memory_order_relaxed);
     s.arena_blocks_reclaimed =
         arena_blocks_reclaimed.load(std::memory_order_relaxed);
     s.arena_bytes_reserved =

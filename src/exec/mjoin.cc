@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "exec/simd.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -210,13 +211,20 @@ void MJoinOperator::PushTuple(size_t input, const Tuple& tuple, int64_t ts) {
   // The kTupleIn ring event is recorded by the executors (serial leaf
   // push / parallel Deliver), which already hold a fresh NowNs for the
   // latency sample — keeping this path down to one clock-free hook.
+  const size_t scratch_before = ExpandScratchCapacity();
   ProduceResults(input, tuple, ts);
 
   // Under the eager policy, test the chained purge plan before
   // storing: if the stores already close every continuation, the
   // tuple never occupies state.
-  if (config_.purge_policy == PurgePolicy::kEager &&
-      Removable(input, tuple, ts)) {
+  const bool drop = config_.purge_policy == PurgePolicy::kEager &&
+                    Removable(input, tuple, ts);
+  // Any scratch-capacity growth across this push is one expansion
+  // allocation event; steady state stays pinned at zero.
+  if (ExpandScratchCapacity() > scratch_before) {
+    states_[input]->CountExpandAllocs(1);
+  }
+  if (drop) {
     states_[input]->CountDroppedArrival();
     return;
   }
@@ -256,64 +264,24 @@ void MJoinOperator::PushBatch(size_t input, TupleBatch& batch) {
   }
   if (batch.selection().empty()) return;
 
-  // Result production. For the binary case the single expansion hop
-  // runs through the vectorized store probe: hash column built once,
-  // one bucket resolution per same-key run, matches emitted row by
-  // row through the same cursor ForBucketLive uses — so the emission
-  // sequence matches a per-row ProduceResults loop exactly. Wider
-  // MJoins (or a predicate-less cross product) fall back to the
-  // per-row expansion, which is itself run-key cached.
-  bool batched_hop = false;
-  if (num_inputs() == 2) {
-    const size_t v = expand_orders_[input][1];
-    long probe_pred = -1;
-    verify_scratch_.clear();
-    for (size_t pi : predicates_of_input_[v]) {
-      // With two inputs every predicate of v has `input` on the other
-      // side.
-      if (probe_pred < 0) {
-        probe_pred = static_cast<long>(pi);
-      } else {
-        verify_scratch_.push_back(pi);
-      }
-    }
-    if (probe_pred >= 0) {
-      const LocalPredicate& p = predicates_[probe_pred];
-      const size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
-      const size_t key_off = (p.input_a == v) ? p.offset_b : p.offset_a;
-      batch.BuildHashColumn(key_off);
-      const Tuple* parts[2] = {nullptr, nullptr};
-      states_[v]->ProbeBatch(
-          v_off, batch, key_off,
-          [&](uint32_t row, size_t, const Tuple& candidate) {
-            for (size_t pi : verify_scratch_) {
-              const LocalPredicate& vp = predicates_[pi];
-              size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
-              size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
-              if (!(candidate.at(vv_off) == batch.tuple(row).at(vo_off))) {
-                return;
-              }
-            }
-            parts[input] = &batch.tuple(row);
-            parts[v] = &candidate;
-            std::vector<Value> out_row(output_width_);
-            for (const CopySegment& seg : copy_plan_) {
-              const Tuple* part = parts[seg.input];
-              for (size_t i = 0; i < seg.len; ++i) {
-                out_row[seg.to + i] = part->at(seg.from + i);
-              }
-            }
-            Emit(StreamElement::OfTuple(Tuple(std::move(out_row)),
-                                        batch.timestamp(row)));
-          });
-      batched_hop = true;
-    }
+  // Result production, batch-at-a-time: the whole selection becomes
+  // the initial frontier and every expansion hop runs over it at once
+  // — one bucket resolution per same-key run *across* the batch, SIMD
+  // equal-hash prefilter on the verification predicates, one staged
+  // output batch per push (docs/PERF.md, "Batched expansion").
+  // Frontier rows stay source-row-major through every hop, so the
+  // emission sequence matches a per-row ProduceResults loop exactly.
+  const size_t scratch_before = ExpandScratchCapacity();
+  const std::vector<size_t>& order = expand_orders_[input];
+  BatchFrontier* cur = &expand_bufs_[0];
+  BatchFrontier* nxt = &expand_bufs_[1];
+  cur->Reset(num_inputs());
+  cur->SeedFromBatch(batch, input);
+  for (size_t idx = 1; idx < order.size() && !cur->empty(); ++idx) {
+    Expand(order[idx], *cur, nxt);
+    std::swap(cur, nxt);
   }
-  if (!batched_hop) {
-    for (uint32_t row : batch.selection()) {
-      ProduceResults(input, batch.tuple(row), batch.timestamp(row));
-    }
-  }
+  EmitFrontier(*cur, &batch, 0);
 
   // Eager removability amortized the same way: with no punctuation
   // stored anywhere the chained purge plan cannot close any input
@@ -336,38 +304,29 @@ void MJoinOperator::PushBatch(size_t input, TupleBatch& batch) {
   } else {
     states_[input]->InsertBatch(batch);
   }
+  if (ExpandScratchCapacity() > scratch_before) {
+    states_[input]->CountExpandAllocs(1);
+  }
 }
 
 void MJoinOperator::ProduceResults(size_t input, const Tuple& tuple,
                                    int64_t ts) {
-  const size_t m = num_inputs();
   const std::vector<size_t>& order = expand_orders_[input];
 
-  AssignmentBuffer* cur = &expand_bufs_[0];
-  AssignmentBuffer* nxt = &expand_bufs_[1];
-  cur->Reset(m);
-  cur->AppendNullRow()[input] = &tuple;
+  BatchFrontier* cur = &expand_bufs_[0];
+  BatchFrontier* nxt = &expand_bufs_[1];
+  cur->Reset(num_inputs());
+  cur->SeedSingle(&tuple, input);
 
   for (size_t idx = 1; idx < order.size() && !cur->empty(); ++idx) {
     Expand(order[idx], *cur, nxt);
     std::swap(cur, nxt);
   }
-
-  for (size_t r = 0; r < cur->size(); ++r) {
-    const Tuple* const* a = cur->Row(r);
-    std::vector<Value> row(output_width_);
-    for (const CopySegment& seg : copy_plan_) {
-      const Tuple* part = a[seg.input];
-      for (size_t i = 0; i < seg.len; ++i) {
-        row[seg.to + i] = part->at(seg.from + i);
-      }
-    }
-    Emit(StreamElement::OfTuple(Tuple(std::move(row)), ts));
-  }
+  EmitFrontier(*cur, nullptr, ts);
 }
 
-void MJoinOperator::Expand(size_t v, const AssignmentBuffer& in,
-                           AssignmentBuffer* out) const {
+void MJoinOperator::Expand(size_t v, const BatchFrontier& in,
+                           BatchFrontier* out) const {
   out->Reset(in.width());
   if (in.empty()) return;
   // Predicates between v and covered inputs, split into one probe
@@ -376,11 +335,10 @@ void MJoinOperator::Expand(size_t v, const AssignmentBuffer& in,
   // fills inputs uniformly), so split once per call, not per row.
   long probe_pred = -1;
   verify_scratch_.clear();
-  const Tuple* const* proto = in.Row(0);
   for (size_t pi : predicates_of_input_[v]) {
     const LocalPredicate& p = predicates_[pi];
     size_t other = (p.input_a == v) ? p.input_b : p.input_a;
-    if (proto[other] == nullptr) continue;
+    if (in.cell(0, other) == nullptr) continue;
     if (probe_pred < 0) {
       probe_pred = static_cast<long>(pi);
     } else {
@@ -393,54 +351,189 @@ void MJoinOperator::Expand(size_t v, const AssignmentBuffer& in,
     const size_t v_off = (p.input_a == v) ? p.offset_a : p.offset_b;
     const size_t o_in = (p.input_a == v) ? p.input_b : p.input_a;
     const size_t o_off = (p.input_a == v) ? p.offset_b : p.offset_a;
-    // Batch-aware probing: consecutive rows frequently carry the same
-    // probe key (all children of one parent row do), so the bucket
-    // lookup is done once per key *run*, not per row. The cached
-    // bucket pointer stays valid across the run because only
-    // FindBucket can trigger index compaction — ForBucketLive never
-    // mutates the index — and a run break re-resolves it.
-    const Value* run_key = nullptr;
-    const TupleStore::Bucket* bucket = nullptr;
+    const TupleStore& store = *states_[v];
+    // One gather pass builds the probe-key hash column over the whole
+    // frontier (cached Value hashes, no re-hashing); SIMD run
+    // detection then finds same-key runs spanning source rows —
+    // consecutive rows frequently carry the same probe key (all
+    // children of one parent row do, and so do key-clustered batch
+    // rows), so the bucket is resolved and its live members filtered
+    // once per run, not per row. The bucket pointer stays valid across
+    // the run because only FindBucket can trigger index compaction —
+    // ForBucketLive never mutates the index.
+    probe_hashes_.clear();
     for (size_t r = 0; r < rows; ++r) {
-      const Tuple* const* a = in.Row(r);
-      auto matches = [&](const Tuple& candidate) {
-        for (size_t pi : verify_scratch_) {
-          const LocalPredicate& vp = predicates_[pi];
-          size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
-          size_t vo_in = (vp.input_a == v) ? vp.input_b : vp.input_a;
-          size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
-          if (!(candidate.at(vv_off) == a[vo_in]->at(vo_off))) return false;
-        }
-        return true;
-      };
-      const Value& key = a[o_in]->at(o_off);
-      if (run_key == nullptr || !(*run_key == key)) {
-        bucket = states_[v]->FindBucket(v_off, key);
-        run_key = &key;
+      probe_hashes_.push_back(
+          static_cast<uint64_t>(in.cell(r, o_in)->HashAt(o_off)));
+    }
+    size_t k = 0;
+    while (k < rows) {
+      const Value& key = in.cell(k, o_in)->at(o_off);
+      // Exact key equality guards hash collisions inside the hash run
+      // (same discipline as ProbeBatch).
+      const size_t hash_run =
+          simd::HashRunLength(probe_hashes_.data() + k, rows - k);
+      size_t same_key = 1;
+      while (same_key < hash_run &&
+             in.cell(k + same_key, o_in)->at(o_off) == key) {
+        ++same_key;
       }
-      states_[v]->ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
-        if (matches(candidate)) out->AppendWith(a, v, &candidate);
+      const TupleStore::Bucket* bucket = store.FindBucket(v_off, key);
+      store.NoteProbeRun(same_key);
+      run_cands_.clear();
+      store.ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
+        run_cands_.push_back(&candidate);
       });
+      if (run_cands_.empty()) {
+        k += same_key;
+        continue;
+      }
+      if (verify_scratch_.empty()) {
+        // Every (row, candidate) pair of the run is a result.
+        // Row-major product append keeps the frontier in
+        // per-source-row DFS order — the emission-order invariant —
+        // while writing each column as one segment.
+        out->AppendProduct(in, k, same_key, v, run_cands_.data(),
+                           run_cands_.size());
+      } else {
+        pair_rows_.clear();
+        pair_cands_.clear();
+        for (size_t r = k; r < k + same_key; ++r) {
+          for (const Tuple* cand : run_cands_) {
+            pair_rows_.push_back(static_cast<uint32_t>(r));
+            pair_cands_.push_back(cand);
+          }
+        }
+        VerifyPairs(v, in);
+        for (size_t i = 0; i < pair_rows_.size(); ++i) {
+          out->AppendExtended(in, pair_rows_[i], v, pair_cands_[i]);
+        }
+      }
+      k += same_key;
     }
   } else {
-    // No predicate to covered inputs: cross product.
+    // No predicate to covered inputs: cross product of the whole
+    // frontier with v's live state (one state walk, not per row). No
+    // index probe is counted, matching the per-row ForEachLive path.
+    run_cands_.clear();
+    states_[v]->ForEachLive([&](size_t, const Tuple& candidate) {
+      run_cands_.push_back(&candidate);
+    });
+    if (run_cands_.empty()) return;
+    if (verify_scratch_.empty()) {
+      out->AppendProduct(in, 0, rows, v, run_cands_.data(),
+                         run_cands_.size());
+      return;
+    }
+    pair_rows_.clear();
+    pair_cands_.clear();
     for (size_t r = 0; r < rows; ++r) {
-      const Tuple* const* a = in.Row(r);
-      auto matches = [&](const Tuple& candidate) {
-        for (size_t pi : verify_scratch_) {
-          const LocalPredicate& vp = predicates_[pi];
-          size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
-          size_t vo_in = (vp.input_a == v) ? vp.input_b : vp.input_a;
-          size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
-          if (!(candidate.at(vv_off) == a[vo_in]->at(vo_off))) return false;
-        }
-        return true;
-      };
-      states_[v]->ForEachLive([&](size_t, const Tuple& candidate) {
-        if (matches(candidate)) out->AppendWith(a, v, &candidate);
-      });
+      for (const Tuple* cand : run_cands_) {
+        pair_rows_.push_back(static_cast<uint32_t>(r));
+        pair_cands_.push_back(cand);
+      }
+    }
+    VerifyPairs(v, in);
+    for (size_t i = 0; i < pair_rows_.size(); ++i) {
+      out->AppendExtended(in, pair_rows_[i], v, pair_cands_[i]);
     }
   }
+}
+
+void MJoinOperator::VerifyPairs(size_t v, const BatchFrontier& in) const {
+  size_t n = pair_rows_.size();
+  for (size_t pi : verify_scratch_) {
+    if (n == 0) break;
+    const LocalPredicate& vp = predicates_[pi];
+    const size_t vv_off = (vp.input_a == v) ? vp.offset_a : vp.offset_b;
+    const size_t vo_in = (vp.input_a == v) ? vp.input_b : vp.input_a;
+    const size_t vo_off = (vp.input_a == v) ? vp.offset_b : vp.offset_a;
+    // Gather both sides' cached hashes into contiguous columns, SIMD
+    // prefilter, exact Value equality only on the survivors (a hash
+    // collision survives the filter and dies here — false positives,
+    // never false negatives).
+    verify_hashes_a_.clear();
+    verify_hashes_b_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      verify_hashes_a_.push_back(
+          static_cast<uint64_t>(pair_cands_[i]->HashAt(vv_off)));
+      verify_hashes_b_.push_back(static_cast<uint64_t>(
+          in.cell(pair_rows_[i], vo_in)->HashAt(vo_off)));
+    }
+    filter_scratch_.resize(n);
+    const size_t maybe =
+        simd::FilterEqualHashes(verify_hashes_a_.data(),
+                                verify_hashes_b_.data(), n,
+                                filter_scratch_.data());
+    // In-place stable compaction (filter indices ascend, so the write
+    // cursor never passes a pending read), preserving pair order — and
+    // with it emission order.
+    size_t kept = 0;
+    for (size_t j = 0; j < maybe; ++j) {
+      const uint32_t i = filter_scratch_[j];
+      if (pair_cands_[i]->at(vv_off) ==
+          in.cell(pair_rows_[i], vo_in)->at(vo_off)) {
+        pair_rows_[kept] = pair_rows_[i];
+        pair_cands_[kept] = pair_cands_[i];
+        ++kept;
+      }
+    }
+    n = kept;
+  }
+  pair_rows_.resize(n);
+  pair_cands_.resize(n);
+}
+
+void MJoinOperator::EmitFrontier(const BatchFrontier& frontier,
+                                 const TupleBatch* src, int64_t single_ts) {
+  const size_t n = frontier.size();
+  if (n == 0) return;
+  // Stage every output row into one flat Value area via the copy plan.
+  // ALL rows are built before any view Tuple points into out_values_ —
+  // the vector must not grow once views exist. Grow-only warm buffer
+  // (the TupleBatch pooling discipline): rows are overwritten by
+  // copy-assign, so slots past `needed` are just retained scratch —
+  // a clear+resize would default-construct and destroy every slot on
+  // every emit.
+  const size_t needed = n * output_width_;
+  if (out_values_.size() < needed) out_values_.resize(needed);
+  // Segment-major staging: one frontier column is walked sequentially
+  // per copy segment (its base pointer and the segment bounds stay in
+  // registers across the row loop), instead of re-resolving every
+  // input's cell for every row.
+  for (const CopySegment& seg : copy_plan_) {
+    const Tuple* const* col = frontier.column(seg.input);
+    Value* out = out_values_.data() + seg.to;
+    for (size_t r = 0; r < n; ++r, out += output_width_) {
+      const Tuple* part = col[r];
+      for (size_t i = 0; i < seg.len; ++i) {
+        out[i] = part->at(seg.from + i);
+      }
+    }
+  }
+  // View tuples only (never owning rows) through out_batch_, so its
+  // pooled slots stay capacity-free; consumers copy what they keep
+  // (EmitBatch contract).
+  out_batch_.Clear();
+  for (size_t r = 0; r < n; ++r) {
+    out_batch_.AppendView(
+        out_values_.data() + r * output_width_, output_width_,
+        src != nullptr ? src->timestamp(frontier.src_row(r)) : single_ts);
+  }
+  EmitBatch(out_batch_);
+  out_batch_.Clear();
+}
+
+size_t MJoinOperator::ExpandScratchCapacity() const {
+  size_t total =
+      expand_bufs_[0].CapacitySum() + expand_bufs_[1].CapacitySum();
+  total += verify_scratch_.capacity() + probe_hashes_.capacity() +
+           run_cands_.capacity() + pair_rows_.capacity() +
+           pair_cands_.capacity() + verify_hashes_a_.capacity() +
+           verify_hashes_b_.capacity() + filter_scratch_.capacity();
+  total += combos_scratch_.capacity() + sweep_scratch_.capacity();
+  total += out_values_.capacity() + out_batch_.TupleCapacity();
+  return total;
 }
 
 bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
@@ -448,10 +541,10 @@ bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
   ++metrics_.removability_checks;
   const size_t m = num_inputs();
 
-  AssignmentBuffer* joinable = &expand_bufs_[0];
-  AssignmentBuffer* scratch = &expand_bufs_[1];
+  BatchFrontier* joinable = &expand_bufs_[0];
+  BatchFrontier* scratch = &expand_bufs_[1];
   joinable->Reset(m);
-  joinable->AppendNullRow()[input] = &tuple;
+  joinable->SeedSingle(&tuple, input);
 
   // Fixpoint over the generalized edges: an input counts as closed as
   // soon as ANY edge whose sources are already closed has all its
@@ -475,11 +568,10 @@ bool MJoinOperator::Removable(size_t input, const Tuple& tuple, int64_t now) {
       // per-punctuation std::unordered_set allocated a node per combo.
       combos_scratch_.clear();
       for (size_t r = 0; r < joinable->size(); ++r) {
-        const Tuple* const* a = joinable->Row(r);
         std::vector<Value> combo;
         combo.reserve(edge.sources.size());
         for (const RuntimeEdge::Source& src : edge.sources) {
-          combo.push_back(a[src.input]->at(src.offset));
+          combo.push_back(joinable->cell(r, src.input)->at(src.offset));
         }
         combos_scratch_.push_back(Tuple(std::move(combo)));
       }
@@ -577,6 +669,7 @@ void MJoinOperator::Sweep(int64_t now) {
   std::vector<bool> changed(num_inputs(), false);
   for (size_t k = 0; k < num_inputs(); ++k) {
     if (!input_purgeable_[k]) continue;
+    const size_t scratch_before = ExpandScratchCapacity();
     sweep_scratch_.clear();
     states_[k]->ForEachLive([&](size_t slot, const Tuple& t) {
       if (Removable(k, t, now)) sweep_scratch_.push_back(slot);
@@ -584,6 +677,9 @@ void MJoinOperator::Sweep(int64_t now) {
     if (!sweep_scratch_.empty()) changed[k] = true;
     purged_total += sweep_scratch_.size();
     states_[k]->PurgeSlots(sweep_scratch_);
+    if (ExpandScratchCapacity() > scratch_before) {
+      states_[k]->CountExpandAllocs(1);
+    }
   }
   TryPropagate(now, changed);
   if (config_.purge_punctuations) PurgeObsoletePunctuations(now);

@@ -38,7 +38,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
-#include "exec/assignment_buffer.h"
+#include "exec/batch_frontier.h"
 #include "exec/checkpoint.h"
 #include "exec/operator.h"
 #include "exec/punctuation_store.h"
@@ -199,13 +199,32 @@ class MJoinOperator : public JoinOperator {
 
   size_t OffsetOf(size_t input, size_t stream, size_t attr) const;
   /// Extends each partial assignment of `in` through input v's state
-  /// into `out` (cleared first), index-probing one predicate to the
-  /// covered inputs via the allocation-free ProbeEach cursor and
-  /// verifying the rest (cross product when no predicate applies).
-  /// `in` and `out` must be distinct; callers ping-pong the two
+  /// into `out` (cleared first), batch-at-a-time: the probe-key hashes
+  /// of the whole frontier are gathered into one column, SIMD run
+  /// detection resolves one index bucket per same-key run (runs span
+  /// source rows, not just one row's children), and the verification
+  /// predicates run as a cached-hash prefilter over the (row,
+  /// candidate) pair list before exact Value equality touches the
+  /// survivors (cross product when no probe predicate applies). `in`
+  /// and `out` must be distinct; callers ping-pong the two
   /// per-operator scratch buffers.
-  void Expand(size_t v, const AssignmentBuffer& in,
-              AssignmentBuffer* out) const;
+  void Expand(size_t v, const BatchFrontier& in, BatchFrontier* out) const;
+  /// Compacts the (pair_rows_, pair_cands_) pair list in place to the
+  /// pairs satisfying every predicate in verify_scratch_: per
+  /// predicate, SIMD equal-hash prefilter, then exact equality on the
+  /// survivors (order-preserving, so emission order matches a per-row
+  /// verify loop).
+  void VerifyPairs(size_t v, const BatchFrontier& in) const;
+  /// Assembles one output row per frontier row via copy_plan_ into the
+  /// flat out_values_ staging area, wraps them as view tuples in
+  /// out_batch_, and emits the whole batch (EmitBatch). Timestamps come
+  /// from `src` through the frontier's provenance column, or from
+  /// `single_ts` for tuple-at-a-time pushes (src == nullptr).
+  void EmitFrontier(const BatchFrontier& frontier, const TupleBatch* src,
+                    int64_t single_ts);
+  /// Summed capacities of every expansion scratch structure; growth
+  /// across a push/sweep is charged to StateMetrics::expand_allocs.
+  size_t ExpandScratchCapacity() const;
   bool Removable(size_t input, const Tuple& tuple, int64_t now);
   void ProduceResults(size_t input, const Tuple& tuple, int64_t ts);
   /// Re-checks pending propagations for the inputs whose punctuation
@@ -244,8 +263,25 @@ class MJoinOperator : public JoinOperator {
   // steady-state expansion and chained-purge loops are allocation-free
   // (mutable: Expand is logically const). The operator is
   // single-threaded (one shard worker), so no synchronization.
-  mutable AssignmentBuffer expand_bufs_[2];
+  mutable BatchFrontier expand_bufs_[2];
   mutable std::vector<size_t> verify_scratch_;
+  // Probe-key hash column over the frontier (lives across the whole
+  // run loop of one hop).
+  mutable std::vector<uint64_t> probe_hashes_;
+  // Live candidates of the current run's bucket, filtered once and
+  // replayed per row.
+  mutable std::vector<const Tuple*> run_cands_;
+  // (frontier row, candidate) pair list under verification, plus the
+  // per-predicate hash columns and survivor indices of the prefilter.
+  mutable std::vector<uint32_t> pair_rows_;
+  mutable std::vector<const Tuple*> pair_cands_;
+  mutable std::vector<uint64_t> verify_hashes_a_;
+  mutable std::vector<uint64_t> verify_hashes_b_;
+  mutable std::vector<uint32_t> filter_scratch_;
+  // Batched result staging: flat output values (all rows built before
+  // any view points into the vector) wrapped as view tuples.
+  std::vector<Value> out_values_;
+  TupleBatch out_batch_;
   std::vector<Tuple> combos_scratch_;
   std::vector<size_t> sweep_scratch_;
 

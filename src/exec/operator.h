@@ -29,6 +29,14 @@ enum class PurgePolicy {
 class JoinOperator {
  public:
   using Emitter = std::function<void(const StreamElement&)>;
+  /// Batch-granular result emission: the operator hands a whole staged
+  /// TupleBatch downstream in one call. The batch (and any view tuples
+  /// inside it — batched expansion stages rows as views over operator
+  /// scratch) is only valid DURING the call: consumers must copy what
+  /// they keep and must not hold references past their return. The
+  /// reference is mutable so consumers can build hash columns / filter
+  /// the selection in place.
+  using BatchEmitter = std::function<void(TupleBatch&)>;
 
   virtual ~JoinOperator() = default;
 
@@ -63,6 +71,13 @@ class JoinOperator {
   virtual size_t TotalLivePunctuations() const = 0;
 
   void SetEmitter(Emitter emitter) { emitter_ = std::move(emitter); }
+  /// \brief Optional batch-granular emission channel. When unset,
+  /// EmitBatch falls back to per-element Emit in row order, so
+  /// operators call EmitBatch unconditionally and batch_size=1
+  /// executors stay bit-identical to tuple-at-a-time wiring.
+  void SetBatchEmitter(BatchEmitter emitter) {
+    batch_emitter_ = std::move(emitter);
+  }
 
   /// \brief Attaches this operator's observation point (may be null
   /// to detach). The executor owns the OperatorObs; operators only
@@ -81,11 +96,30 @@ class JoinOperator {
     if (emitter_) emitter_(element);
   }
 
+  /// \brief Emits every row of `batch` (all rows are results; no
+  /// selection is consulted). Counts results once for the whole batch
+  /// — the fallback loop below must NOT route through Emit, or rows
+  /// would double-count.
+  void EmitBatch(TupleBatch& batch) {
+    if (batch.empty()) return;
+    metrics_.results_emitted.fetch_add(batch.size(),
+                                       std::memory_order_relaxed);
+    if (batch_emitter_) {
+      batch_emitter_(batch);
+      return;
+    }
+    if (!emitter_) return;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      emitter_(StreamElement::OfTuple(batch.tuple(i), batch.timestamp(i)));
+    }
+  }
+
   /// \brief Hook for subclasses that forward the observer to owned
   /// components (e.g. tuple stores reporting epoch advances).
   virtual void OnObserverSet() {}
 
   Emitter emitter_;
+  BatchEmitter batch_emitter_;
   OperatorMetrics metrics_;
   obs::OperatorObs* obs_ = nullptr;
 };

@@ -9,6 +9,7 @@
 #include "exec/bounded_queue.h"
 #include "exec/exchange.h"
 #include "exec/operator_tree.h"
+#include "exec/simd.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -257,6 +258,13 @@ Result<std::unique_ptr<ParallelExecutor>> ParallelExecutor::Create(
       }
       exec->operators_[group.first_worker + s]->SetEmitter(
           [raw, j, s](const StreamElement& e) { raw->EmitFromShard(j, s, e); });
+      if (config.batch_size > 1) {
+        // Batch-granular result channel; batch_size == 1 leaves it
+        // unset so EmitBatch falls back per element and the wiring is
+        // bit-identical to tuple-at-a-time delivery.
+        exec->operators_[group.first_worker + s]->SetBatchEmitter(
+            [raw, j, s](TupleBatch& b) { raw->EmitBatchFromShard(j, s, b); });
+      }
     }
   }
 
@@ -335,6 +343,34 @@ void ParallelExecutor::EmitFromShard(size_t group_idx, size_t shard,
   }
   Broadcast(parent, group.parent_input,
             StreamElement::OfPunctuation(element.punctuation, forward_ts));
+}
+
+void ParallelExecutor::EmitBatchFromShard(size_t group_idx, size_t shard,
+                                          TupleBatch& batch) {
+  OpGroup& group = *groups_[group_idx];
+  if (group.parent_group == kNone) {
+    // Root: the whole batch is results. One atomic add and (when
+    // results are kept) one lock section per batch instead of per row.
+    num_results_.fetch_add(batch.size(), std::memory_order_relaxed);
+    if (config_.keep_results) {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        kept_results_.push_back(batch.tuple(i));  // copy re-owns the view
+      }
+    }
+    return;
+  }
+  // Interior: route and stage row by row (rows of one result batch
+  // generally scatter across parent shards), flushing at the same
+  // threshold as the per-element path so queue granularity and
+  // batch-boundary ordering are unchanged.
+  OpGroup& parent = *groups_[group.parent_group];
+  Worker& self = *workers_[group.first_worker + shard];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    size_t target = RouteShard(parent, group.parent_input, batch.tuple(i));
+    self.emit_buf[target].Append(batch.tuple(i), batch.timestamp(i));
+    if (++self.emit_buffered >= self.emit_threshold) FlushEmits(self);
+  }
 }
 
 void ParallelExecutor::FlushEmits(Worker& worker) {
@@ -1168,6 +1204,11 @@ Status ParallelExecutor::MigrateGroup(size_t group_idx,
     op->SetEmitter([raw, group_idx, s](const StreamElement& e) {
       raw->EmitFromShard(group_idx, s, e);
     });
+    if (config_.batch_size > 1) {
+      op->SetBatchEmitter([raw, group_idx, s](TupleBatch& b) {
+        raw->EmitBatchFromShard(group_idx, s, b);
+      });
+    }
     if (workers_[w]->obs != nullptr) op->SetObserver(workers_[w]->obs);
     workers_[w]->op = op.get();
     operators_[w] = std::move(op);
@@ -1288,6 +1329,8 @@ ParallelExecutor::GroupSnapshots() const {
 obs::ObsSnapshot ParallelExecutor::ObservabilitySnapshot() const {
   obs::ObsSnapshot snap;
   snap.executor = "parallel";
+  snap.simd_dispatch = simd::kDispatchName;
+  snap.batch_size = config_.batch_size;
   snap.results = num_results();
   snap.live_tuples = TotalLiveTuples();
   snap.live_punctuations = TotalLivePunctuations();

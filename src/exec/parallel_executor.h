@@ -273,6 +273,12 @@ class ParallelExecutor {
   /// Child group `group_idx`, shard `shard` emitted `element`.
   void EmitFromShard(size_t group_idx, size_t shard,
                      const StreamElement& element);
+  /// Batch-granular flavor of EmitFromShard (tuples only — operators
+  /// never batch punctuations): the whole staged result batch is
+  /// routed/staged in one call. Root results take one atomic add and
+  /// one results_mu_ section for the batch; the rows are views over
+  /// operator scratch, so everything kept is copied before return.
+  void EmitBatchFromShard(size_t group_idx, size_t shard, TupleBatch& batch);
   /// Pushes the worker's staged result tuples into the parent group's
   /// shard queues (one batched PushAll per non-empty buffer). Runs on
   /// the worker's own thread; no-op when nothing is staged.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/operator_tree.h"
+#include "exec/simd.h"
 #include "util/string_util.h"
 
 namespace punctsafe {
@@ -46,6 +47,12 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
       BuildOperatorTree(exec->query_, schemes, shape, config.mjoin));
 
   // Serial wiring: child outputs call straight into the parent input.
+  // Batched executors also wire the batch-granular channel, so a
+  // child's staged result batch becomes one parent PushBatch (the
+  // parent's InsertBatch copies what it stores — the views die with
+  // the call, per the EmitBatch contract). batch_size == 1 leaves the
+  // channel unset: EmitBatch then falls back per element and the
+  // wiring is bit-identical to tuple-at-a-time.
   for (size_t j = 0; j < tree.operators.size(); ++j) {
     const OperatorTree::ParentEdge& edge = tree.parents[j];
     if (edge.parent_op == OperatorTree::ParentEdge::kNoParent) continue;
@@ -58,6 +65,10 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
         parent->PushPunctuation(k, e.punctuation, e.timestamp);
       }
     });
+    if (config.batch_size > 1) {
+      tree.operators[j]->SetBatchEmitter(
+          [parent, k](TupleBatch& b) { parent->PushBatch(k, b); });
+    }
   }
 
   exec->progress_.resize(query.num_streams());
@@ -75,6 +86,18 @@ Result<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     ++raw->num_results_;
     if (raw->config_.keep_results) raw->kept_results_.push_back(e.tuple);
   });
+  if (config.batch_size > 1) {
+    tree.root()->SetBatchEmitter([raw](TupleBatch& b) {
+      raw->num_results_ += b.size();
+      if (raw->config_.keep_results) {
+        // The rows are views over operator scratch; the push_back copy
+        // re-owns them (same as the per-element path's e.tuple copy).
+        for (size_t i = 0; i < b.size(); ++i) {
+          raw->kept_results_.push_back(b.tuple(i));
+        }
+      }
+    });
+  }
   exec->operators_ = std::move(tree.operators);
 
   if (obs::kCompiled && config.observe.enabled) {
@@ -300,6 +323,8 @@ void PlanExecutor::RecordHighWater() {
 obs::ObsSnapshot PlanExecutor::ObservabilitySnapshot() const {
   obs::ObsSnapshot snap;
   snap.executor = "serial";
+  snap.simd_dispatch = simd::kDispatchName;
+  snap.batch_size = config_.batch_size;
   snap.results = num_results_;
   snap.live_tuples = TotalLiveTuples();
   snap.live_punctuations = TotalLivePunctuations();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/plan_safety.h"
+#include "exec/simd.h"
 #include "util/logging.h"
 
 namespace punctsafe {
@@ -73,8 +74,8 @@ void PurgeEngine::AddPunctuation(size_t stream,
   punct_stores_[stream]->Add(punctuation, ts);
 }
 
-void PurgeEngine::Expand(size_t v, const AssignmentBuffer& in,
-                         AssignmentBuffer* out) const {
+void PurgeEngine::Expand(size_t v, const BatchFrontier& in,
+                         BatchFrontier* out) const {
   out->Reset(in.width());
   if (in.empty()) return;
   // Probe one predicate to a covered stream, verify the rest. The
@@ -82,11 +83,10 @@ void PurgeEngine::Expand(size_t v, const AssignmentBuffer& in,
   // fixpoint fills streams uniformly), so split once per call.
   long probe_pred = -1;
   verify_scratch_.clear();
-  const Tuple* const* proto = in.Row(0);
   for (size_t pi = 0; pi < query_.predicates().size(); ++pi) {
     const ResolvedPredicate& p = query_.predicates()[pi];
     if (!p.Involves(v)) continue;
-    if (proto[p.OtherStream(v)] == nullptr) continue;
+    if (in.cell(0, p.OtherStream(v)) == nullptr) continue;
     if (probe_pred < 0) {
       probe_pred = static_cast<long>(pi);
     } else {
@@ -99,29 +99,52 @@ void PurgeEngine::Expand(size_t v, const AssignmentBuffer& in,
   const size_t rows = in.size();
   const size_t probe_attr = probe.AttrOn(v);
   const size_t probe_other_attr = probe.AttrOn(probe_other);
-  // Batch-aware probing (same shape as MJoinOperator::Expand):
-  // consecutive rows sharing the probe key reuse one bucket lookup;
-  // only FindBucket can invalidate the cached pointer, and a run
-  // break re-resolves it.
-  const Value* run_key = nullptr;
-  const TupleStore::Bucket* bucket = nullptr;
+  const TupleStore& store = *states_[v];
+  // Batch-aware probing over the columnar frontier (same shape as
+  // MJoinOperator::Expand): one probe-hash gather, SIMD run detection,
+  // one bucket resolution + live filter per same-key run. Only
+  // FindBucket can invalidate the bucket pointer, and each run
+  // re-resolves it.
+  probe_hashes_.clear();
   for (size_t r = 0; r < rows; ++r) {
-    const Tuple* const* a = in.Row(r);
-    const Value& key = a[probe_other]->at(probe_other_attr);
-    if (run_key == nullptr || !(*run_key == key)) {
-      bucket = states_[v]->FindBucket(probe_attr, key);
-      run_key = &key;
+    probe_hashes_.push_back(static_cast<uint64_t>(
+        in.cell(r, probe_other)->HashAt(probe_other_attr)));
+  }
+  size_t k = 0;
+  while (k < rows) {
+    const Value& key = in.cell(k, probe_other)->at(probe_other_attr);
+    const size_t hash_run =
+        simd::HashRunLength(probe_hashes_.data() + k, rows - k);
+    size_t same_key = 1;
+    while (same_key < hash_run &&
+           in.cell(k + same_key, probe_other)->at(probe_other_attr) == key) {
+      ++same_key;
     }
-    states_[v]->ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
-      for (size_t pi : verify_scratch_) {
-        const ResolvedPredicate& p = query_.predicates()[pi];
-        size_t other = p.OtherStream(v);
-        if (!(candidate.at(p.AttrOn(v)) == a[other]->at(p.AttrOn(other)))) {
-          return;
-        }
-      }
-      out->AppendWith(a, v, &candidate);
+    const TupleStore::Bucket* bucket = store.FindBucket(probe_attr, key);
+    store.NoteProbeRun(same_key);
+    run_cands_.clear();
+    store.ForBucketLive(bucket, [&](size_t, const Tuple& candidate) {
+      run_cands_.push_back(&candidate);
     });
+    // Per-pair exact verification without the SIMD hash prefilter:
+    // chained-purge frontiers are capped small (max_joinable_set), so
+    // the gather passes would cost more than they save.
+    for (size_t r = k; r < k + same_key; ++r) {
+      for (const Tuple* cand : run_cands_) {
+        bool ok = true;
+        for (size_t pi : verify_scratch_) {
+          const ResolvedPredicate& p = query_.predicates()[pi];
+          size_t other = p.OtherStream(v);
+          if (!(cand->at(p.AttrOn(v)) ==
+                in.cell(r, other)->at(p.AttrOn(other)))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out->AppendExtended(in, r, v, cand);
+      }
+    }
+    k += same_key;
   }
 }
 
@@ -130,10 +153,10 @@ bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
   if (!stream_purgeable_[stream]) return false;
   const size_t n = query_.num_streams();
 
-  AssignmentBuffer* joinable = &expand_bufs_[0];
-  AssignmentBuffer* scratch = &expand_bufs_[1];
+  BatchFrontier* joinable = &expand_bufs_[0];
+  BatchFrontier* scratch = &expand_bufs_[1];
   joinable->Reset(n);
-  joinable->AppendNullRow()[stream] = &tuple;
+  joinable->SeedSingle(&tuple, stream);
 
   std::vector<bool> covered(n, false);
   covered[stream] = true;
@@ -153,11 +176,11 @@ bool PurgeEngine::Removable(size_t stream, const Tuple& tuple,
       // per-check std::unordered_set.
       combos_scratch_.clear();
       for (size_t r = 0; r < joinable->size(); ++r) {
-        const Tuple* const* a = joinable->Row(r);
         std::vector<Value> combo;
         combo.reserve(edge.bindings.size());
         for (const LocalGpgEdge::Binding& b : edge.bindings) {
-          combo.push_back(a[b.source_input]->at(b.source_attr));
+          combo.push_back(
+              joinable->cell(r, b.source_input)->at(b.source_attr));
         }
         combos_scratch_.push_back(Tuple(std::move(combo)));
       }

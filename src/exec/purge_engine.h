@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "core/local_graph.h"
-#include "exec/assignment_buffer.h"
+#include "exec/batch_frontier.h"
 #include "exec/punctuation_store.h"
 #include "exec/tuple_store.h"
 #include "obs/observability.h"
@@ -90,10 +90,13 @@ class PurgeEngine {
   PurgeEngine() = default;
 
   /// Extends each partial assignment of `in` through stream v's state
-  /// into `out` (cleared first), via the allocation-free ProbeEach
-  /// cursor. `in` and `out` must be distinct buffers.
-  void Expand(size_t v, const AssignmentBuffer& in,
-              AssignmentBuffer* out) const;
+  /// into `out` (cleared first), batch-at-a-time over the columnar
+  /// frontier: one probe-hash gather, SIMD run detection, one bucket
+  /// resolution per same-key run (same shape as MJoinOperator::Expand,
+  /// minus the prefiltered verification — chained-purge frontiers stay
+  /// small, so exact per-pair checks win). `in` and `out` must be
+  /// distinct buffers.
+  void Expand(size_t v, const BatchFrontier& in, BatchFrontier* out) const;
 
   ContinuousJoinQuery query_;
   PurgeEngineConfig config_;
@@ -108,8 +111,10 @@ class PurgeEngine {
 
   // Reused scratch for the chained-purge fixpoint (mutable: Removable
   // is const). The engine is single-threaded, like the operators.
-  mutable AssignmentBuffer expand_bufs_[2];
+  mutable BatchFrontier expand_bufs_[2];
   mutable std::vector<size_t> verify_scratch_;
+  mutable std::vector<uint64_t> probe_hashes_;
+  mutable std::vector<const Tuple*> run_cands_;
   mutable std::vector<Tuple> combos_scratch_;
   mutable std::vector<size_t> sweep_scratch_;
 };

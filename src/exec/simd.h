@@ -1,6 +1,8 @@
-// SIMD primitives for the vectorized probe path: 16-wide control-tag
-// matching (exec/flat_index.h) and equal-hash run detection over the
-// contiguous hash column a TupleBatch carries (TupleStore::ProbeBatch).
+// SIMD primitives for the vectorized probe and expansion paths:
+// 16-wide control-tag matching (exec/flat_index.h), equal-hash run
+// detection over the contiguous hash column a TupleBatch carries
+// (TupleStore::ProbeBatch), and the pairwise equal-hash filter that
+// prefilters expansion verification (MJoinOperator::Expand).
 //
 // Dispatch is compile-time: SSE2 (implied by x86-64) with an AVX2
 // refinement for the 4-wide uint64 hash compare, NEON on AArch64, and
@@ -127,6 +129,67 @@ inline size_t HashRunLength(const uint64_t* hashes, size_t n) {
     if (hashes[i] != head) return i;
   }
   return n;
+}
+
+/// \brief Writes the indices i (ascending) where a[i] == b[i] into
+/// `out_idx` (caller-sized to >= n); returns the survivor count. The
+/// verification prefilter of batched expansion: both columns carry
+/// *cached* Value hashes, so equal hashes almost always mean equal
+/// values and exact equality only runs on the survivors (a collision
+/// survives the filter and is rejected by the exact check — the filter
+/// has false positives, never false negatives).
+inline size_t FilterEqualHashes(const uint64_t* a, const uint64_t* b,
+                                size_t n, uint32_t* out_idx) {
+  size_t count = 0;
+  size_t i = 0;
+#if defined(PUNCTSAFE_SIMD_AVX2)
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi64(va, vb)));
+    // Each 64-bit lane owns 8 mask bits; a lane matches when all 8 are
+    // set.
+    for (unsigned lane = 0; lane < 4; ++lane) {
+      if (((eq >> (8 * lane)) & 0xFFu) == 0xFFu) {
+        out_idx[count++] = static_cast<uint32_t>(i + lane);
+      }
+    }
+  }
+#elif defined(PUNCTSAFE_SIMD_SSE2)
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // 32-bit compares are exact when both halves of a 64-bit lane
+    // match (same trick as HashRunLength).
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb)));
+    if ((eq & 0x00FFu) == 0x00FFu) out_idx[count++] = static_cast<uint32_t>(i);
+    if ((eq & 0xFF00u) == 0xFF00u) {
+      out_idx[count++] = static_cast<uint32_t>(i + 1);
+    }
+  }
+#elif defined(PUNCTSAFE_SIMD_NEON)
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    const uint64x2_t eq = vceqq_u64(va, vb);
+    if (vgetq_lane_u64(eq, 0) == ~uint64_t{0}) {
+      out_idx[count++] = static_cast<uint32_t>(i);
+    }
+    if (vgetq_lane_u64(eq, 1) == ~uint64_t{0}) {
+      out_idx[count++] = static_cast<uint32_t>(i + 1);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (a[i] == b[i]) out_idx[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
 }
 
 }  // namespace simd

@@ -25,7 +25,7 @@ TupleStore::TupleStore(std::vector<size_t> indexed_offsets,
   }
 }
 
-size_t TupleStore::Insert(const Tuple& tuple) {
+size_t TupleStore::InsertRow(const Tuple& tuple, uint64_t* heap_allocs) {
   size_t slot = handles_.size();
   for (size_t i = 0; i < indexed_offsets_.size(); ++i) {
     PUNCTSAFE_CHECK(indexed_offsets_[i] < tuple.size())
@@ -35,6 +35,22 @@ size_t TupleStore::Insert(const Tuple& tuple) {
     // appears in the index.
     indexes_[i].FindOrCreate(tuple.at(indexed_offsets_[i]))->push_back(slot);
   }
+  return AppendRowStorage(tuple, heap_allocs);
+}
+
+size_t TupleStore::AppendRowStorage(const Tuple& tuple,
+                                    uint64_t* heap_allocs) {
+  size_t slot = AppendRowPayload(tuple, heap_allocs);
+  live_.push_back(true);
+  pos_in_live_.push_back(live_slots_.size());
+  live_slots_.push_back(slot);
+  ++live_count_;
+  return slot;
+}
+
+size_t TupleStore::AppendRowPayload(const Tuple& tuple,
+                                    uint64_t* heap_allocs) {
+  size_t slot = handles_.size();
   if (arena_) {
     // One bump allocation holds the whole tuple: the Value array
     // first, then the payload bytes of every string too long for
@@ -64,35 +80,101 @@ size_t TupleStore::Insert(const Tuple& tuple) {
     }
     handles_.emplace_back(Tuple::ExternalRef{}, values, n);
     slot_block_.push_back(alloc.block);
+  } else {
+    // Heap mode: the handle owns a fresh value vector (one allocation)
+    // plus one per string that exceeds the inline buffer.
+    *heap_allocs += 1;
+    for (const Value& v : tuple.values()) {
+      if (v.ExternalBytes() > 0) *heap_allocs += 1;
+    }
+    handles_.push_back(tuple);
+  }
+  return slot;
+}
+
+size_t TupleStore::Insert(const Tuple& tuple) {
+  uint64_t heap_allocs = 0;
+  size_t slot = InsertRow(tuple, &heap_allocs);
+  if (arena_) {
     uint64_t block_allocs = arena_->blocks_allocated();
     metrics_.OnInsertAllocs(block_allocs - last_block_allocs_);
     last_block_allocs_ = block_allocs;
     metrics_.OnArenaEpoch(0, arena_->bytes_reserved(), arena_->bytes_live());
   } else {
-    // Heap mode: the handle owns a fresh value vector (one allocation)
-    // plus one per string that exceeds the inline buffer.
-    uint64_t allocs = 1;
-    for (const Value& v : tuple.values()) {
-      if (v.ExternalBytes() > 0) ++allocs;
-    }
-    handles_.push_back(tuple);
-    metrics_.OnInsertAllocs(allocs);
+    metrics_.OnInsertAllocs(heap_allocs);
   }
-  live_.push_back(true);
-  pos_in_live_.push_back(live_slots_.size());
-  live_slots_.push_back(slot);
-  ++live_count_;
   metrics_.OnInsert();
   return slot;
 }
 
 size_t TupleStore::InsertBatch(const TupleBatch& batch) {
-  size_t inserted = 0;
-  for (uint32_t row : batch.selection()) {
-    Insert(batch.tuple(row));
-    ++inserted;
+  const std::vector<uint32_t>& sel = batch.selection();
+  if (sel.empty()) return 0;
+  // The metrics tail — two atomic adds, the arena block-alloc delta,
+  // and the gauge refresh — runs once per batch; the delta
+  // accumulation makes the final counter values identical to a
+  // per-row Insert loop. Slot bookkeeping that would grow mid-batch
+  // grows once up front — keeping the at-least-doubling step so
+  // repeated batches stay amortized O(1) (reserving to the exact
+  // size every batch would degrade growth to quadratic).
+  const size_t total = handles_.size() + sel.size();
+  auto reserve_geometric = [total](auto& v) {
+    if (total > v.capacity()) v.reserve(std::max(total, v.capacity() * 2));
+  };
+  reserve_geometric(handles_);
+  reserve_geometric(live_);
+  reserve_geometric(pos_in_live_);
+  reserve_geometric(live_slots_);
+  if (arena_) reserve_geometric(slot_block_);
+  uint64_t heap_allocs = 0;
+  if (indexed_offsets_.size() == 1) {
+    // Single-index store (the common operator shape): one bucket
+    // resolution per same-key run across the batch — the insert-side
+    // twin of ProbeBatch's run amortization. The bucket pointer stays
+    // valid for the whole run because nothing calls FindOrCreate (the
+    // only operation that can grow the index) until the key changes.
+    const size_t off = indexed_offsets_[0];
+    FlatKeyIndex::Bucket* bucket = nullptr;
+    const Value* run_key = nullptr;
+    for (uint32_t row : sel) {
+      const Tuple& tuple = batch.tuple(row);
+      PUNCTSAFE_CHECK(off < tuple.size())
+          << "indexed offset beyond tuple arity";
+      const Value& key = tuple.at(off);
+      if (run_key == nullptr || !(*run_key == key)) {
+        bucket = indexes_[0].FindOrCreate(key);
+        run_key = &key;
+      }
+      bucket->push_back(handles_.size());
+      AppendRowPayload(tuple, &heap_allocs);
+    }
+    // Bulk live bookkeeping: the batch's slots are consecutive
+    // [first_slot, total) and all live, so the three per-row
+    // push_backs (one into a bit vector) collapse into sequential
+    // fills.
+    const size_t first_slot = total - sel.size();
+    const size_t first_pos = live_slots_.size();
+    live_.resize(total, true);
+    pos_in_live_.resize(total);
+    live_slots_.resize(first_pos + sel.size());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      pos_in_live_[first_slot + i] = first_pos + i;
+      live_slots_[first_pos + i] = first_slot + i;
+    }
+    live_count_ += sel.size();
+  } else {
+    for (uint32_t row : sel) InsertRow(batch.tuple(row), &heap_allocs);
   }
-  return inserted;
+  if (arena_) {
+    uint64_t block_allocs = arena_->blocks_allocated();
+    metrics_.OnInsertAllocs(block_allocs - last_block_allocs_);
+    last_block_allocs_ = block_allocs;
+    metrics_.OnArenaEpoch(0, arena_->bytes_reserved(), arena_->bytes_live());
+  } else {
+    metrics_.OnInsertAllocs(heap_allocs);
+  }
+  metrics_.OnInserts(sel.size());
+  return sel.size();
 }
 
 void TupleStore::Remove(size_t slot) {

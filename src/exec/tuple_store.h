@@ -91,10 +91,12 @@ class TupleStore {
   /// is on); returns its slot id.
   size_t Insert(const Tuple& tuple);
 
-  /// \brief Stores every *selected* row of the batch (the batch-build
-  /// path hands hashes over in bulk: each row's key hash is already
-  /// cached, so no key bytes are re-walked here). Returns the number
-  /// of rows inserted.
+  /// \brief Stores every *selected* row of the batch. Single-index
+  /// stores (the common operator shape) resolve one index bucket per
+  /// same-key run across the batch — the insert-side twin of
+  /// ProbeBatch's run amortization — and the slot bookkeeping grows
+  /// once per batch instead of amortized-doubling inside the row
+  /// loop. Returns the number of rows inserted.
   size_t InsertBatch(const TupleBatch& batch);
 
   /// \brief Tombstones a slot (idempotent). The payload stays
@@ -128,6 +130,24 @@ class TupleStore {
     uint64_t runs = 0;
   };
   const ProbeRunStats& probe_run_stats() const { return probe_run_stats_; }
+
+  /// \brief Accounts one same-key run of `rows` probe rows that shared
+  /// a single bucket resolution (ProbeBatch and the frontier expansion
+  /// both call it once per run): folds the run into the
+  /// adaptive-batch tuning stats and counts the rows beyond the first
+  /// as probes — the first row's probe is counted by the accompanying
+  /// ForBucketLive, so per-run totals equal a per-row probe loop
+  /// exactly (checkpointed counters stay mode-independent).
+  void NoteProbeRun(size_t rows) const {
+    probe_run_stats_.rows += rows;
+    ++probe_run_stats_.runs;
+    if (rows > 1) metrics_.OnProbes(rows - 1);
+  }
+
+  /// \brief Charges expansion-scratch allocation events against this
+  /// store's metrics (the arrival input's store carries the expansion
+  /// cost of its pushes; see StateMetrics::expand_allocs).
+  void CountExpandAllocs(uint64_t n) const { metrics_.OnExpandAllocs(n); }
 
   /// \brief Borrows the owning operator's observation point (nullable)
   /// so epoch boundaries surface as trace events. Deliberately NOT
@@ -265,8 +285,7 @@ class TupleStore {
              batch.tuple(row + same_key).at(key_offset) == key) {
         ++same_key;
       }
-      probe_run_stats_.rows += same_key;
-      ++probe_run_stats_.runs;
+      NoteProbeRun(same_key);
       if (same_key == 1) {
         ForBucketLive(bucket, [&](size_t slot, const Tuple& t) {
           fn(row, slot, t);
@@ -279,7 +298,6 @@ class TupleStore {
         for (size_t slot : run_slots) fn(row, slot, handles_[slot]);
         for (size_t j = 1; j < same_key; ++j) {
           const uint32_t r = row + static_cast<uint32_t>(j);
-          metrics_.OnProbe();
           for (size_t slot : run_slots) fn(r, slot, handles_[slot]);
         }
       }
@@ -321,6 +339,25 @@ class TupleStore {
 
   void MaybeCompactIndexes();
   void CompactIndexes() const;
+
+  /// Core of Insert without the per-row metrics tail: index insert,
+  /// storage layout, live bookkeeping. Heap-mode allocation counts
+  /// accumulate into *heap_allocs; arena-mode counts are derived from
+  /// the block-alloc delta by the caller (once per row for Insert,
+  /// once per batch for InsertBatch — same totals either way).
+  size_t InsertRow(const Tuple& tuple, uint64_t* heap_allocs);
+
+  /// Storage half of InsertRow (arena/heap layout + live
+  /// bookkeeping), no index insert — InsertBatch's run-amortized path
+  /// resolves the bucket itself, once per same-key run.
+  size_t AppendRowStorage(const Tuple& tuple, uint64_t* heap_allocs);
+
+  /// Payload half of AppendRowStorage (arena/heap copy, handle, block
+  /// id) WITHOUT the live-slot bookkeeping: InsertBatch appends
+  /// payloads per row and fills the live structures in bulk — the new
+  /// slots are consecutive, so three per-row push_backs (one into a
+  /// bit vector) become three sequential fills per batch.
+  size_t AppendRowPayload(const Tuple& tuple, uint64_t* heap_allocs);
 
   std::vector<size_t> indexed_offsets_;
   // offset -> position in indexes_ (kNoIndex when not indexed).

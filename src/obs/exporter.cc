@@ -166,6 +166,8 @@ std::string RenderJsonLine(const ObsSnapshot& snapshot) {
   AppendKvSigned(&out, "wall_ms", snapshot.wall_ms, &first);
   AppendKv(&out, "seq", snapshot.seq, &first);
   AppendKvString(&out, "executor", snapshot.executor, &first);
+  AppendKvString(&out, "simd_dispatch", snapshot.simd_dispatch, &first);
+  AppendKv(&out, "batch_size", snapshot.batch_size, &first);
   AppendKv(&out, "results", snapshot.results, &first);
   AppendKv(&out, "live_tuples", snapshot.live_tuples, &first);
   AppendKv(&out, "live_punctuations", snapshot.live_punctuations,

@@ -226,6 +226,12 @@ struct ObsSnapshot {
   int64_t wall_ms = 0;    ///< filled by the exporter
   uint64_t seq = 0;       ///< filled by the exporter
   std::string executor;   ///< "serial" | "parallel"
+  /// Active SIMD dispatch (simd::kDispatchName: "avx2" | "sse2" |
+  /// "neon" | "scalar") so a recorded run names the code path that
+  /// produced it.
+  std::string simd_dispatch;
+  /// Configured execution batch capacity (1 = tuple-at-a-time).
+  size_t batch_size = 0;
   uint64_t results = 0;
   size_t live_tuples = 0;
   size_t live_punctuations = 0;

@@ -99,6 +99,17 @@ class Tuple {
   /// data lives in an arena, valid only while that storage is).
   bool is_external() const { return data_ != nullptr && !was_owning(); }
 
+  /// \brief Rebinds this tuple in place as a non-owning view of
+  /// `data` (drops any owned values, keeping the vector's capacity).
+  /// Equivalent to assigning Tuple(ExternalRef{}, data, size) but
+  /// without constructing a temporary — the per-result-row fast path
+  /// of TupleBatch::AppendView.
+  void BindExternal(const Value* data, size_t size) {
+    owned_.clear();
+    data_ = data;
+    size_ = size;
+  }
+
   size_t size() const { return size_; }
   const Value& at(size_t i) const { return data_[i]; }
   std::span<const Value> values() const { return {data_, size_}; }

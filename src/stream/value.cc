@@ -6,20 +6,6 @@
 
 namespace punctsafe {
 
-namespace {
-// Per-type hash seeds and mixing match the historical recipe: seed the
-// type index with a golden-ratio multiple, then fold in the payload
-// hash boost-combine style. Equal values hash equally across all
-// storage modes because string hashing runs over the bytes
-// (std::hash<std::string_view> hashes bytes, mode-independent).
-inline size_t TypeSeed(ValueType type) {
-  return static_cast<size_t>(type) * 0x9E3779B97F4A7C15ULL;
-}
-inline size_t Mix(size_t seed, size_t payload_hash) {
-  return seed ^ (payload_hash + 0x9E3779B9u + (seed << 6) + (seed >> 2));
-}
-}  // namespace
-
 const char* ValueTypeToString(ValueType type) {
   switch (type) {
     case ValueType::kNull:
@@ -32,20 +18,6 @@ const char* ValueTypeToString(ValueType type) {
       return "string";
   }
   return "?";
-}
-
-size_t Value::HashNull() { return TypeSeed(ValueType::kNull); }
-
-size_t Value::HashInt64(int64_t v) {
-  return Mix(TypeSeed(ValueType::kInt64), std::hash<int64_t>{}(v));
-}
-
-size_t Value::HashDouble(double v) {
-  return Mix(TypeSeed(ValueType::kDouble), std::hash<double>{}(v));
-}
-
-size_t Value::HashString(std::string_view v) {
-  return Mix(TypeSeed(ValueType::kString), std::hash<std::string_view>{}(v));
 }
 
 void Value::SetString(const char* data, uint32_t len, size_t hash) {
@@ -76,36 +48,6 @@ Value Value::ExternalString(const char* data, uint32_t len, size_t hash) {
 }
 
 void Value::FreeOwned() noexcept { delete[] payload_.owned_str; }
-
-void Value::CopyFrom(const Value& other) {
-  switch (other.mode_) {
-    case Mode::kOwnedStr:
-    case Mode::kExternalStr:
-      // Deep-copy: an external (arena-resident) source must not leak
-      // its non-owning pointer into the copy.
-      SetString(other.string_view().data(), other.len_, other.hash_);
-      break;
-    default:
-      payload_ = other.payload_;
-      mode_ = other.mode_;
-      len_ = other.len_;
-      hash_ = other.hash_;
-      break;
-  }
-}
-
-void Value::MoveFrom(Value& other) noexcept {
-  payload_ = other.payload_;
-  mode_ = other.mode_;
-  len_ = other.len_;
-  hash_ = other.hash_;
-  if (other.mode_ == Mode::kOwnedStr) {
-    // Ownership transferred; neuter the source.
-    other.mode_ = Mode::kNull;
-    other.len_ = 0;
-    other.hash_ = HashNull();
-  }
-}
 
 int64_t Value::AsInt64() const {
   PUNCTSAFE_CHECK(type() == ValueType::kInt64)

@@ -185,10 +185,29 @@ class Value {
     const char* external_str;
   };
 
-  static size_t HashNull();
-  static size_t HashInt64(int64_t v);
-  static size_t HashDouble(double v);
-  static size_t HashString(std::string_view v);
+  // Per-type hash seeds and mixing match the historical recipe: seed
+  // the type index with a golden-ratio multiple, then fold in the
+  // payload hash boost-combine style. Equal values hash equally across
+  // all storage modes because string hashing runs over the bytes
+  // (std::hash<std::string_view> hashes bytes, mode-independent).
+  // Inline: these run in every Value constructor — the default ctor's
+  // HashNull in particular is a constant and must compile to one.
+  static size_t TypeSeed(ValueType type) {
+    return static_cast<size_t>(type) * 0x9E3779B97F4A7C15ULL;
+  }
+  static size_t Mix(size_t seed, size_t payload_hash) {
+    return seed ^ (payload_hash + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+  }
+  static size_t HashNull() { return TypeSeed(ValueType::kNull); }
+  static size_t HashInt64(int64_t v) {
+    return Mix(TypeSeed(ValueType::kInt64), std::hash<int64_t>{}(v));
+  }
+  static size_t HashDouble(double v) {
+    return Mix(TypeSeed(ValueType::kDouble), std::hash<double>{}(v));
+  }
+  static size_t HashString(std::string_view v) {
+    return Mix(TypeSeed(ValueType::kString), std::hash<std::string_view>{}(v));
+  }
 
   std::string_view string_view() const {
     switch (mode_) {
@@ -206,8 +225,35 @@ class Value {
   /// "copying an external Value materializes ownership".
   void SetString(const char* data, uint32_t len, size_t hash);
 
-  void CopyFrom(const Value& other);
-  void MoveFrom(Value& other) noexcept;
+  // Inline fast path: everything except owned/external strings is a
+  // plain member copy (scalars and inline strings carry their whole
+  // payload in the union), and Value copies are the per-row unit of
+  // work in batch staging, arena insertion, and result emission. Only
+  // the string deep-copy leaves the header.
+  void CopyFrom(const Value& other) {
+    if (other.mode_ == Mode::kOwnedStr || other.mode_ == Mode::kExternalStr) {
+      // Deep-copy: an external (arena-resident) source must not leak
+      // its non-owning pointer into the copy.
+      SetString(other.string_view().data(), other.len_, other.hash_);
+    } else {
+      payload_ = other.payload_;
+      mode_ = other.mode_;
+      len_ = other.len_;
+      hash_ = other.hash_;
+    }
+  }
+  void MoveFrom(Value& other) noexcept {
+    payload_ = other.payload_;
+    mode_ = other.mode_;
+    len_ = other.len_;
+    hash_ = other.hash_;
+    if (other.mode_ == Mode::kOwnedStr) {
+      // Ownership transferred; neuter the source.
+      other.mode_ = Mode::kNull;
+      other.len_ = 0;
+      other.hash_ = HashNull();
+    }
+  }
   // Out of line: keeps GCC's -Wfree-nonheap-object from firing on the
   // (never-taken) delete branch when it const-propagates an
   // inline-string Value through the union.

@@ -47,6 +47,22 @@ run_config() {
   # publication-order proof for cross-shard hand-off, so make its
   # presence explicit in both rather than relying on the suite
   # listing.
+  # The batched-expansion differential oracle (batch_size sweep vs the
+  # tuple-at-a-time reference, exact emission order, cross-product /
+  # verify-heavy / sparse-selection shapes, expand_allocs pin) also
+  # runs on the scalar leg: with PUNCTSAFE_NO_SIMD the identical
+  # frontier pipeline executes over the portable FilterEqualHashes /
+  # HashRunLength fallbacks, which is the behavioral SIMD-vs-scalar
+  # cross-check (tools/simd_crosscheck.sh covers compile-only).
+  if [ "${name}" = "scalar" ] || [ "${name}" = "asan" ] || \
+     [ "${name}" = "tsan" ]; then
+    echo "=== [${name}] batched-expansion differential oracle (explicit) ==="
+    "${dir}/tests/expansion_differential_test"
+  fi
+  if [ "${name}" = "scalar" ]; then
+    echo "=== [${name}] simd branch compile cross-check ==="
+    "${ROOT}/tools/simd_crosscheck.sh"
+  fi
   if [ "${name}" = "asan" ] || [ "${name}" = "tsan" ]; then
     echo "=== [${name}] arena differential sweep (explicit) ==="
     "${dir}/tests/parallel_differential_test" \

@@ -48,6 +48,12 @@ def render_snapshot(snap, out):
         f" tuple_hw={snap.get('tuple_high_water', 0)}"
         f" punct_hw={snap.get('punctuation_high_water', 0)}"
     )
+    # Execution-mode tags (absent in pre-v2 JSONL): which SIMD dispatch
+    # produced the run and the configured batch capacity.
+    if snap.get("simd_dispatch"):
+        head += f" simd={snap['simd_dispatch']}"
+    if snap.get("batch_size"):
+        head += f" batch={snap['batch_size']}"
     migrations = snap.get("rebalance_migrations", 0)
     if migrations:
         head += (
