@@ -1379,6 +1379,13 @@ std::vector<Tuple> ParallelExecutor::kept_results() const {
   return kept_results_;
 }
 
+std::vector<Tuple> ParallelExecutor::TakeResults() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<Tuple> out = std::move(kept_results_);
+  kept_results_.clear();
+  return out;
+}
+
 Status FeedTraceParallel(ParallelExecutor* executor, const Trace& trace) {
   int64_t max_ts = 0;
   for (const TraceEvent& event : trace) {

@@ -233,6 +233,13 @@ class ParallelExecutor {
   /// \brief Copy of the retained results (requires keep_results).
   std::vector<Tuple> kept_results() const;
 
+  /// \brief Moves out the results retained since the last take
+  /// (requires keep_results; safe from any thread). The parallel
+  /// counterpart of PlanExecutor::TakeResults — results that arrived
+  /// by the take are returned exactly once; in-flight results land in
+  /// a later take (exact after Drain).
+  std::vector<Tuple> TakeResults();
+
   const PlanSafetyReport& safety() const { return safety_; }
   const ContinuousJoinQuery& query() const { return query_; }
   const PlanShape& shape() const { return shape_; }

@@ -175,6 +175,17 @@ class PlanExecutor {
   uint64_t num_results() const { return num_results_; }
   const std::vector<Tuple>& kept_results() const { return kept_results_; }
 
+  /// \brief Moves out the results retained since the last take
+  /// (requires keep_results) — the subscriber-streaming drain of the
+  /// ingestion server, which must not hold every result forever.
+  /// num_results() stays cumulative. Snapshots taken after a take no
+  /// longer carry the drained results.
+  std::vector<Tuple> TakeResults() {
+    std::vector<Tuple> out = std::move(kept_results_);
+    kept_results_.clear();
+    return out;
+  }
+
   /// \brief Full observability snapshot (null-safe: returns an empty
   /// snapshot when observability is off). Feed to obs::MetricsExporter
   /// via a lambda.

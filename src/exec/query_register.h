@@ -39,6 +39,13 @@ class QueryRegister {
  public:
   QueryRegister() = default;
 
+  /// \brief Seeds the register with an existing catalog (and
+  /// optionally a scheme set) — the multi-query server path
+  /// (src/server/query_registry.h), where streams are created once at
+  /// the server and each registration brings its own schemes.
+  explicit QueryRegister(StreamCatalog catalog, SchemeSet schemes = {})
+      : catalog_(std::move(catalog)), schemes_(std::move(schemes)) {}
+
   /// \brief Registers a stream schema.
   Status RegisterStream(const std::string& name, Schema schema) {
     return catalog_.Register(name, std::move(schema));

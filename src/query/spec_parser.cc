@@ -49,14 +49,30 @@ Result<AttrRef> ParseAttrRef(const std::string& token, size_t line_no) {
 
 }  // namespace
 
-Result<ParsedSpec> ParseSpec(const std::string& text) {
+namespace {
+
+Result<ParsedSpec> ParseSpecImpl(const std::string& text,
+                                 const StreamCatalog* seed_catalog) {
   ParsedSpec spec;
-  std::vector<std::string> lines = Split(text, '\n');
-  for (size_t i = 0; i < lines.size(); ++i) {
-    size_t line_no = i + 1;
-    std::string line = lines[i];
+  if (seed_catalog != nullptr) spec.catalog = *seed_catalog;
+  // Physical lines first; after comment stripping, ';' splits a
+  // physical line into further logical lines (all reported under the
+  // physical line number), so one-line specs work.
+  std::vector<std::string> lines;
+  std::vector<size_t> line_numbers;
+  std::vector<std::string> physical = Split(text, '\n');
+  for (size_t i = 0; i < physical.size(); ++i) {
+    std::string line = physical[i];
     size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
+    for (std::string& part : Split(line, ';')) {
+      lines.push_back(std::move(part));
+      line_numbers.push_back(i + 1);
+    }
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t line_no = line_numbers[i];
+    const std::string& line = lines[i];
     std::vector<std::string> tokens = Tokens(line);
     if (tokens.empty()) continue;
     const std::string& keyword = tokens[0];
@@ -121,10 +137,28 @@ Result<ParsedSpec> ParseSpec(const std::string& text) {
   if (spec.query_streams.empty()) {
     return Status::InvalidArgument("spec has no query line");
   }
+  for (const std::string& stream : spec.query_streams) {
+    if (!spec.catalog.Get(stream).ok()) {
+      return Status::NotFound(
+          StrCat("query references unknown stream '", stream,
+                 "' (declare it with a stream line or seed the catalog)"));
+    }
+  }
   if (spec.predicates.empty()) {
     return Status::InvalidArgument("spec has no join lines");
   }
   return spec;
+}
+
+}  // namespace
+
+Result<ParsedSpec> ParseSpec(const std::string& text) {
+  return ParseSpecImpl(text, nullptr);
+}
+
+Result<ParsedSpec> ParseSpec(const std::string& text,
+                             const StreamCatalog& seed_catalog) {
+  return ParseSpecImpl(text, &seed_catalog);
 }
 
 }  // namespace punctsafe

@@ -13,7 +13,10 @@
 // Lines: `stream <name> <attr>:<type>...` (types: int, double,
 // string), `scheme <stream> <attr>...` (several attrs = one
 // multi-attribute scheme), `query <stream>...`, `join <s>.<a> =
-// <s>.<a>`. `#` starts a comment; blank lines are ignored.
+// <s>.<a>`. `#` starts a comment; blank lines are ignored. A `;` is
+// equivalent to a newline, so a whole spec fits on a single line —
+// the form the ingestion server's `REGISTER QUERY ... AS <spec>`
+// command uses (src/server/, docs/SERVER.md).
 
 #ifndef PUNCTSAFE_QUERY_SPEC_PARSER_H_
 #define PUNCTSAFE_QUERY_SPEC_PARSER_H_
@@ -42,6 +45,15 @@ struct ParsedSpec {
 
 /// \brief Parses the spec text; error messages carry line numbers.
 Result<ParsedSpec> ParseSpec(const std::string& text);
+
+/// \brief Like ParseSpec, but seeds the spec's catalog with
+/// already-registered streams (the ingestion-server case: streams are
+/// created once via `CREATE STREAM` and referenced by many query
+/// specs). `stream` lines in the text may add further streams but
+/// redeclaring a seeded name is rejected (AlreadyExists), exactly as
+/// a duplicate declaration inside one spec is.
+Result<ParsedSpec> ParseSpec(const std::string& text,
+                             const StreamCatalog& seed_catalog);
 
 }  // namespace punctsafe
 

@@ -1,0 +1,166 @@
+// QueryRegistry: the multi-query catalog of the ingestion server
+// (docs/SERVER.md). Where QueryRegister admits ONE query per instance
+// from C++ call sites, the registry serves many concurrent queries
+// over shared streams: streams are created once, each registered
+// query brings its own punctuation schemes and executor
+// configuration, and every ingested tuple/punctuation fans out to all
+// queries reading that stream. Registration reuses the full admission
+// pipeline (spec_parser -> SafetyChecker -> plan safety), rejecting
+// unsafe queries with the checker's witness, and detects
+// syntactically identical safe sub-joins across queries, sharing
+// their punctuation stores behind refcounted handles
+// (server/subplan_sharing.h).
+//
+// Thread contract: every public method is safe from any thread (one
+// coarse mutex — the registry is the single driver of each executor,
+// which satisfies the executors' single-driver-thread contract). The
+// socket server (server/server.h) calls it from its event loop;
+// embedders may call it directly.
+
+#ifndef PUNCTSAFE_SERVER_QUERY_REGISTRY_H_
+#define PUNCTSAFE_SERVER_QUERY_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/query_register.h"
+#include "server/subplan_sharing.h"
+#include "stream/catalog.h"
+#include "stream/element.h"
+#include "util/status.h"
+
+namespace punctsafe {
+namespace server {
+
+/// \brief One sub-join sharing decision surfaced at registration.
+struct SubjoinSharing {
+  std::string signature;
+  std::vector<std::string> streams;
+  /// Safety verdict of the restricted sub-join (sharing precondition).
+  bool safe = false;
+  /// True iff another registered query already held this signature's
+  /// shared state when this query acquired it.
+  bool shared_at_registration = false;
+  /// Queries currently holding the handle (>= 1 for safe sub-joins of
+  /// a live query; 0 for unsafe ones, which acquire nothing).
+  size_t sharers = 0;
+};
+
+/// \brief What RegisterQuery reports back to the client.
+struct RegistrationInfo {
+  std::string id;
+  /// Rendered plan shape, e.g. "[item bid]".
+  std::string plan;
+  /// The admission verdict (always safe here — unsafe registrations
+  /// return an error instead), with the checker's explanation.
+  SafetyReport safety;
+  /// Sub-join sharing decisions, safe and unsafe alike.
+  std::vector<SubjoinSharing> subjoins;
+  /// How many of this query's safe sub-joins were already held by
+  /// other queries (the "state saved" signal).
+  size_t shared_subjoins = 0;
+};
+
+class QueryRegistry {
+ public:
+  /// \param default_config executor configuration applied to
+  ///        registrations that do not override it (keep_results is
+  ///        forced on — the registry owns result draining).
+  explicit QueryRegistry(ExecutorConfig default_config = {})
+      : default_config_(std::move(default_config)) {}
+
+  /// \brief Registers a stream schema (protocol `CREATE STREAM`).
+  Status CreateStream(const std::string& name, Schema schema);
+
+  /// \brief Admits a query (protocol `REGISTER QUERY id AS spec`).
+  /// `spec_text` is spec_parser syntax (';' = newline) carrying
+  /// scheme/query/join lines; every referenced stream must already
+  /// exist (stream lines are rejected — streams are shared state,
+  /// created via CreateStream). The safety check runs at registration
+  /// and unsafe queries are rejected with the checker's witness in
+  /// the status message.
+  Result<RegistrationInfo> RegisterQuery(
+      const std::string& id, const std::string& spec_text,
+      std::optional<ExecutorConfig> config = std::nullopt);
+
+  /// \brief Drops a query; its shared sub-join handles are released
+  /// (shared state dies with the last holder).
+  Status UnregisterQuery(const std::string& id);
+
+  bool HasQuery(const std::string& id) const;
+  std::vector<std::string> QueryIds() const;
+
+  /// \brief Fans a tuple out to every query reading `stream`. Without
+  /// an explicit timestamp the registry's logical clock stamps it.
+  Status PushTuple(const std::string& stream, const Tuple& tuple,
+                   std::optional<int64_t> ts = std::nullopt);
+
+  /// \brief Fans a punctuation out to every query reading `stream`
+  /// and into the shared sub-join punctuation stores (once per shared
+  /// state, however many queries hold it).
+  Status PushPunctuation(const std::string& stream, const Punctuation& p,
+                         std::optional<int64_t> ts = std::nullopt);
+
+  /// \brief Barrier: flushes/drains every executor so all results of
+  /// prior pushes are observable via TakeResults (protocol `DRAIN`).
+  Status DrainAll(std::optional<int64_t> ts = std::nullopt);
+
+  /// \brief Moves out the results `id` emitted since the last take
+  /// (subscriber streaming; arrival order preserved per query).
+  Result<std::vector<Tuple>> TakeResults(const std::string& id);
+
+  /// \brief Sharing decisions of a registered query, with live
+  /// sharer counts.
+  Result<std::vector<SubjoinSharing>> SharingFor(const std::string& id) const;
+
+  /// \brief Registry-wide stats as ordered key/value pairs (protocol
+  /// `STATS`).
+  std::vector<std::pair<std::string, std::string>> Stats() const;
+
+  /// \brief Copy of the stream catalog (schema lookups for protocol
+  /// parsing).
+  StreamCatalog CatalogSnapshot() const;
+
+  /// \brief Schema of one stream (what protocol value parsing needs
+  /// per PUSH/PUNCT, without copying the whole catalog).
+  Result<Schema> SchemaFor(const std::string& stream) const;
+
+  /// \brief The configuration registrations start from (immutable
+  /// after construction).
+  const ExecutorConfig& default_config() const { return default_config_; }
+
+  /// \brief Current logical ingestion clock.
+  int64_t clock() const;
+
+ private:
+  struct Entry {
+    RegisteredQuery rq;
+    SchemeSet schemes;
+    std::vector<SharedSubjoinHandle> handles;  // safe sub-joins only
+    std::vector<SubjoinSharing> subjoins;      // decisions, all sub-joins
+    uint64_t tuples_in = 0;
+    uint64_t punctuations_in = 0;
+  };
+
+  // Stamps an element: explicit timestamps advance the clock, implicit
+  // ones tick it.
+  int64_t ResolveTimestamp(std::optional<int64_t> ts);
+
+  mutable std::mutex mu_;
+  ExecutorConfig default_config_;
+  StreamCatalog catalog_;
+  std::map<std::string, Entry> queries_;  // ordered for stable STATS
+  SubjoinSharingTable sharing_;
+  int64_t clock_ = 0;
+};
+
+}  // namespace server
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_SERVER_QUERY_REGISTRY_H_

@@ -1,0 +1,124 @@
+// Cross-query sub-plan sharing for the multi-query ingestion server
+// (docs/SERVER.md): when two registered queries contain syntactically
+// identical *safe* sub-joins, the per-stream punctuation state those
+// sub-joins accumulate is identical too — "Safe Subjoins in Acyclic
+// Joins" (PAPERS.md) gives the theory for why safety of the sub-join
+// is the sharing precondition. This module detects such sub-joins and
+// shares their punctuation stores behind a refcounted handle; sharing
+// the full sub-join *tuple* state is the recorded follow-up, and the
+// interface already carries the decision a full implementation needs.
+//
+// Identity is syntactic and conservative: the canonical signature
+// folds in the sorted stream set, the canonicalized equi-join
+// predicates, and the punctuation schemes relevant to those streams.
+// Queries registered with different schemes on the same join
+// therefore never share (their purge behavior differs), and unsafe
+// sub-joins never share (their punctuation state is not a sufficient
+// summary — exactly the paper's unbounded case).
+
+#ifndef PUNCTSAFE_SERVER_SUBPLAN_SHARING_H_
+#define PUNCTSAFE_SERVER_SUBPLAN_SHARING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/punctuation_store.h"
+#include "query/cjq.h"
+#include "query/plan_shape.h"
+#include "stream/scheme.h"
+
+namespace punctsafe {
+namespace server {
+
+/// \brief One sub-join of a registered plan: an internal plan node
+/// spanning >= 2 streams, restricted to the predicates among them.
+struct SubjoinSpec {
+  /// Canonical identity (see SubjoinSignature).
+  std::string signature;
+  /// Stream names of the sub-join, sorted ascending.
+  std::vector<std::string> streams;
+  /// True iff the restricted sub-query passed the safety check — the
+  /// precondition for sharing its state across queries.
+  bool safe = false;
+};
+
+/// \brief Canonical signature of a sub-join: sorted stream names,
+/// sorted "s.a=s.b" predicate renderings (lexicographically smaller
+/// side first), and the restricted scheme set. Two sub-joins share
+/// iff their signatures are byte-identical.
+std::string SubjoinSignature(const ContinuousJoinQuery& query,
+                             const std::vector<size_t>& streams,
+                             const SchemeSet& schemes);
+
+/// \brief Enumerates the sub-joins of `shape` over `query` — one per
+/// internal node — marking each safe iff the sub-query restricted to
+/// the node's leaves (streams, predicates among them, schemes on
+/// them) passes the SafetyChecker. Nodes whose restriction is not a
+/// valid CJQ (disconnected sub-join) are reported unsafe: a shared
+/// cross-product summary is never state-bounded.
+std::vector<SubjoinSpec> EnumerateSubjoins(const ContinuousJoinQuery& query,
+                                           const SchemeSet& schemes,
+                                           const PlanShape& shape);
+
+/// \brief The shared state of one sub-join signature: a punctuation
+/// store per participating stream, fed once per ingested punctuation
+/// by the registry regardless of how many queries hold the handle.
+class SharedSubjoinState {
+ public:
+  explicit SharedSubjoinState(SubjoinSpec spec) : spec_(std::move(spec)) {}
+
+  const SubjoinSpec& spec() const { return spec_; }
+
+  bool Involves(const std::string& stream) const;
+
+  /// \brief Records a punctuation observed on `stream` at `now`;
+  /// ignored (returns false) for streams outside the sub-join.
+  bool AddPunctuation(const std::string& stream, const Punctuation& p,
+                      int64_t now);
+
+  /// \brief Live punctuations summed over the per-stream stores.
+  size_t TotalPunctuations() const;
+
+  /// \brief The shared store for `stream`, or nullptr.
+  const PunctuationStore* StoreFor(const std::string& stream) const;
+
+ private:
+  SubjoinSpec spec_;
+  // Ordered so STATS output is deterministic.
+  std::map<std::string, PunctuationStore> stores_;
+};
+
+using SharedSubjoinHandle = std::shared_ptr<SharedSubjoinState>;
+
+/// \brief The registry-wide sharing table: signature -> live shared
+/// state. Handles are refcounted; a signature's state dies with the
+/// last query holding it (weak entries are pruned lazily).
+class SubjoinSharingTable {
+ public:
+  /// \brief Returns the live handle for `spec.signature`, creating it
+  /// if absent. `*was_shared` reports whether another query already
+  /// held it — the sharing decision surfaced at registration.
+  SharedSubjoinHandle Acquire(const SubjoinSpec& spec, bool* was_shared);
+
+  /// \brief Queries currently holding the signature's handle (0 when
+  /// dead/unknown). Counts only query-held references.
+  size_t Sharers(const std::string& signature) const;
+
+  /// \brief Live states whose sub-join involves `stream`, each once.
+  std::vector<SharedSubjoinHandle> StatesFor(const std::string& stream);
+
+  /// \brief Live shared states in signature order (dead entries are
+  /// skipped; pruning happens on the next StatesFor).
+  std::vector<SharedSubjoinHandle> LiveStates() const;
+
+ private:
+  std::map<std::string, std::weak_ptr<SharedSubjoinState>> by_signature_;
+};
+
+}  // namespace server
+}  // namespace punctsafe
+
+#endif  // PUNCTSAFE_SERVER_SUBPLAN_SHARING_H_

@@ -17,6 +17,12 @@ Status StreamCatalog::Register(const std::string& name, Schema schema) {
   return Status::OK();
 }
 
+std::string StreamCatalog::ToString() const {
+  return JoinMapped(names_, ", ", [this](const std::string& name) {
+    return StrCat(name, index_.at(name).ToString());
+  });
+}
+
 Result<const Schema*> StreamCatalog::Get(const std::string& name) const {
   auto it = index_.find(name);
   if (it == index_.end()) {

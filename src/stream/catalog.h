@@ -31,6 +31,10 @@ class StreamCatalog {
   const std::vector<std::string>& names() const { return names_; }
   size_t size() const { return names_.size(); }
 
+  /// \brief "item(sellerid:int64, ...), bid(...)" rendering in
+  /// registration order (STATS output of the ingestion server).
+  std::string ToString() const;
+
  private:
   std::vector<std::string> names_;
   std::unordered_map<std::string, Schema> index_;

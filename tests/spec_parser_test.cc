@@ -106,5 +106,51 @@ TEST(SpecParserTest, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(spec->catalog.size(), 2u);
 }
 
+TEST(SpecParserTest, SemicolonsSeparateLikeNewlines) {
+  // The one-line transport form the server's REGISTER QUERY uses.
+  auto spec = ParseSpec(
+      "stream a k:int; stream b k:int; scheme a k; scheme b k; "
+      "query a b; join a.k = b.k");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->catalog.size(), 2u);
+  EXPECT_EQ(spec->schemes.size(), 2u);
+  EXPECT_EQ(spec->predicates.size(), 1u);
+
+  // Mixed separators; all segments of a physical line report its
+  // number.
+  auto bad = ParseSpec("stream a k:int; stream b k:int\nquery a b; frob\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+
+  // A comment covers the rest of the physical line, semicolons
+  // included.
+  auto commented = ParseSpec(
+      "stream a k:int # ignored; also ignored\n"
+      "stream b k:int; query a b; join a.k = b.k\n");
+  ASSERT_TRUE(commented.ok()) << commented.status().ToString();
+}
+
+TEST(SpecParserTest, SeededCatalogSupportsStreamlessSpecs) {
+  StreamCatalog catalog;
+  ASSERT_TRUE(catalog.Register("a", Schema::OfInts({"k"})).ok());
+  ASSERT_TRUE(catalog.Register("b", Schema::OfInts({"k"})).ok());
+
+  auto spec =
+      ParseSpec("scheme a k; query a b; join a.k = b.k", catalog);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->catalog.size(), 2u);
+  EXPECT_EQ(spec->schemes.size(), 1u);
+
+  // Unknown streams still fail against the seeded catalog.
+  EXPECT_TRUE(ParseSpec("query a zzz; join a.k = zzz.k", catalog)
+                  .status()
+                  .IsNotFound());
+  // Re-declaring a seeded stream collides.
+  EXPECT_TRUE(ParseSpec("stream a k:int; query a b; join a.k = b.k",
+                        catalog)
+                  .status()
+                  .IsAlreadyExists());
+}
+
 }  // namespace
 }  // namespace punctsafe

@@ -17,6 +17,9 @@
 #   subset.
 #   PUNCTSAFE_BENCH_MIN_RATIO tunes the bench regression-gate floor
 #   (default 0.75; the bench binaries read it themselves).
+#   PUNCTSAFE_CTEST_TIMEOUT caps every single test's wall time
+#   (default 300s) so a wedged event loop or deadlocked pipeline fails
+#   the run instead of hanging it until the CI job timeout.
 
 set -euo pipefail
 
@@ -24,6 +27,22 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${1:-${ROOT}/build-ci}"
 CONFIGS="${PUNCTSAFE_CI_CONFIGS:-format plain scalar asan tsan ubsan bench}"
 JOBS="${PUNCTSAFE_CI_JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
+CTEST_TIMEOUT="${PUNCTSAFE_CTEST_TIMEOUT:-300}"
+
+# Runs an explicit post-ctest test binary by path, failing loudly when
+# the binary does not exist: a bare "${dir}/tests/foo" that was
+# renamed would otherwise read as a passing leg even though the
+# intended coverage never ran.
+run_explicit() {
+  local binary="$1"
+  shift
+  if [ ! -x "${binary}" ]; then
+    echo "ERROR: explicit test binary '${binary}' is missing or not" \
+         "executable (renamed without updating tools/ci.sh?)" >&2
+    exit 1
+  fi
+  "${binary}" "$@"
+}
 
 run_config() {
   local name="$1" sanitize="$2" no_simd="${3:-OFF}"
@@ -39,7 +58,8 @@ run_config() {
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${name}] ctest ==="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  (cd "${dir}" && ctest --output-on-failure --timeout "${CTEST_TIMEOUT}" \
+    -j "${JOBS}")
   # The arena storage sweep (parallel_differential_test crosses
   # arena {off,on} x shards {1,2,4} against an arena-off serial
   # reference) runs as part of ctest above; under ASan it is the
@@ -57,7 +77,17 @@ run_config() {
   if [ "${name}" = "scalar" ] || [ "${name}" = "asan" ] || \
      [ "${name}" = "tsan" ]; then
     echo "=== [${name}] batched-expansion differential oracle (explicit) ==="
-    "${dir}/tests/expansion_differential_test"
+    run_explicit "${dir}/tests/expansion_differential_test"
+  fi
+  # The server end-to-end test (loopback sockets, background event
+  # loop, multi-client fan-out) gets explicit runs on the plain leg
+  # and under both sanitizers: ASan covers connection/result buffer
+  # lifetimes, TSan the event-loop thread against client threads and
+  # the registry's coarse lock.
+  if [ "${name}" = "plain" ] || [ "${name}" = "asan" ] || \
+     [ "${name}" = "tsan" ]; then
+    echo "=== [${name}] server end-to-end (explicit) ==="
+    run_explicit "${dir}/tests/server_e2e_test"
   fi
   if [ "${name}" = "scalar" ]; then
     echo "=== [${name}] simd branch compile cross-check ==="
@@ -65,7 +95,7 @@ run_config() {
   fi
   if [ "${name}" = "asan" ] || [ "${name}" = "tsan" ]; then
     echo "=== [${name}] arena differential sweep (explicit) ==="
-    "${dir}/tests/parallel_differential_test" \
+    run_explicit "${dir}/tests/parallel_differential_test" \
       --gtest_filter='ParallelDifferentialTest.HundredRandomTrialsMatchSerialExecutor'
     # The recovery oracle (serial = kill/restore/replay = split-merge =
     # parallel restore, arena {off,on} x shards {1,2,4}) exercises the
@@ -75,7 +105,7 @@ run_config() {
     # really quiesces every worker before CaptureState reads operator
     # state from the driver thread.
     echo "=== [${name}] recovery differential oracle (explicit) ==="
-    "${dir}/tests/recovery_differential_test" \
+    run_explicit "${dir}/tests/recovery_differential_test" \
       --gtest_filter='RecoveryDifferentialTest.HundredRandomKillRestoreTrialsMatchSerial'
     # The rebalance sweep forces mid-stream migrations (slot
     # reshuffles and elastic grow/shrink) at random punctuation
@@ -84,7 +114,7 @@ run_config() {
     # ShardMap swap publish, under ASan that state handed between
     # operator generations outlives the replicas it left.
     echo "=== [${name}] rebalance differential sweep (explicit) ==="
-    "${dir}/tests/rebalance_differential_test" \
+    run_explicit "${dir}/tests/rebalance_differential_test" \
       --gtest_filter='RebalanceDifferentialTest.HundredTrialsWithForcedMidStreamMigrations'
   fi
 }
